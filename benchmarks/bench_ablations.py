@@ -1,0 +1,87 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+1. QPG fingerprint stability: including Cost/Status properties in the
+   fingerprint explodes the number of "distinct" plans.
+2. Access-path selection: disabling index scans changes plan shape and cost.
+3. Join ordering: dynamic programming vs the greedy fallback.
+"""
+
+from repro.converters import converter_for
+from repro.core.compare import UNSTABLE_PROPERTY_CATEGORIES, structural_fingerprint
+from repro.dialects import create_dialect
+from repro.optimizer import OpKind, Planner, PlannerOptions
+from repro.sqlparser import parse_one
+
+
+def _loaded_postgres():
+    dialect = create_dialect("postgresql")
+    dialect.execute("CREATE TABLE t0 (c0 INT PRIMARY KEY, c1 INT)")
+    dialect.execute("CREATE TABLE t1 (c0 INT, c1 INT)")
+    dialect.execute("CREATE TABLE t2 (c0 INT, c1 INT)")
+    for table in ("t0", "t1", "t2"):
+        dialect.execute(
+            f"INSERT INTO {table} (c0, c1) VALUES " + ", ".join(f"({i}, {i % 11})" for i in range(1, 201))
+        )
+    dialect.analyze_tables()
+    return dialect
+
+
+def test_ablation_fingerprint_stability(benchmark):
+    """Fingerprints that include unstable properties see far more 'new' plans."""
+    dialect = _loaded_postgres()
+    converter = converter_for("postgresql")
+    queries = [f"SELECT * FROM t1 WHERE c1 < {threshold}" for threshold in range(1, 11)]
+
+    def count_unique(include_configuration):
+        fingerprints = set()
+        for query in queries:
+            plan = converter.convert(dialect.explain(query, format="text").text, format="text")
+            fingerprints.add(structural_fingerprint(plan, include_configuration=include_configuration))
+        return len(fingerprints)
+
+    stable_unique = benchmark(count_unique, False)
+    sensitive_unique = count_unique(True)
+    benchmark.extra_info["stable_unique_plans"] = stable_unique
+    benchmark.extra_info["configuration_sensitive_unique_plans"] = sensitive_unique
+    assert stable_unique == 1               # structurally identical plans
+    assert sensitive_unique == len(queries)  # every constant looks new
+    assert len(UNSTABLE_PROPERTY_CATEGORIES) == 3
+
+
+def test_ablation_index_scan_selection(benchmark):
+    """Disabling index access paths forces sequential scans on the PK lookup."""
+    dialect = _loaded_postgres()
+    query = parse_one("SELECT * FROM t0 WHERE c0 = 10")
+
+    def plan_with(enable_index):
+        planner = Planner(
+            dialect.database,
+            options=PlannerOptions(enable_index_scan=enable_index, enable_index_only_scan=enable_index),
+        )
+        return planner.plan_statement(query)
+
+    with_index = benchmark(plan_with, True)
+    without_index = plan_with(False)
+    assert with_index.find(OpKind.INDEX_SCAN) or with_index.find(OpKind.INDEX_ONLY_SCAN)
+    assert not without_index.find(OpKind.INDEX_SCAN)
+    assert without_index.find(OpKind.SEQ_SCAN)
+    benchmark.extra_info["index_plan_cost"] = round(with_index.cost.total, 2)
+    benchmark.extra_info["seqscan_plan_cost"] = round(without_index.cost.total, 2)
+
+
+def test_ablation_join_ordering(benchmark):
+    """Greedy join ordering (dp_threshold=1) must not beat dynamic programming."""
+    dialect = _loaded_postgres()
+    query = parse_one(
+        "SELECT t0.c0 FROM t0 JOIN t1 ON t0.c0 = t1.c0 JOIN t2 ON t1.c1 = t2.c1 WHERE t2.c0 < 50"
+    )
+
+    def plan_cost(dp_threshold):
+        planner = Planner(dialect.database, options=PlannerOptions(dp_threshold=dp_threshold))
+        return planner.plan_statement(query).cost.total
+
+    dp_cost = benchmark(plan_cost, 8)
+    greedy_cost = plan_cost(1)
+    benchmark.extra_info["dp_cost"] = round(dp_cost, 2)
+    benchmark.extra_info["greedy_cost"] = round(greedy_cost, 2)
+    assert dp_cost <= greedy_cost * 1.001

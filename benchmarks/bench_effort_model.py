@@ -1,0 +1,15 @@
+"""E-V — Section V-A.2: PEV2 adaptation effort (≈80 % reduction for five DBMSs)."""
+
+import pytest
+
+from repro.visualize import estimate_effort
+
+
+def test_effort_model(benchmark):
+    effort = benchmark(estimate_effort, 5)
+    benchmark.extra_info["dbms_specific_days"] = effort.dbms_specific_days
+    benchmark.extra_info["uplan_days"] = effort.uplan_days
+    benchmark.extra_info["reduction"] = round(effort.reduction_fraction, 3)
+    assert effort.dbms_specific_days == pytest.approx(940)
+    assert effort.uplan_days == pytest.approx(194, abs=1)
+    assert effort.reduction_fraction == pytest.approx(0.79, abs=0.03)

@@ -1,0 +1,31 @@
+"""E-F1 — Figure 1: the Neo4j relationship-index-contains-scan plan."""
+
+from repro.converters import converter_for
+from repro.core import OperationCategory
+from repro.dialects import create_dialect
+
+QUERY = "MATCH ()-[r]->() WHERE r.title ENDS WITH 'developer' RETURN r"
+
+
+def _figure1_plan():
+    dialect = create_dialect("neo4j")
+    for i in range(8):
+        a = dialect.store.create_node(["Person"], {"name": f"p{i}"})
+        b = dialect.store.create_node(["Person"], {"name": f"q{i}"})
+        dialect.store.create_relationship(
+            a.node_id, "WORKS_WITH", b.node_id, {"title": "developer" if i % 2 else "designer"}
+        )
+    output = dialect.explain(QUERY, format="text")
+    plan = converter_for("neo4j").convert(output.text, format="text")
+    return output.text, plan
+
+
+def test_fig1_neo4j_relationship_plan(benchmark):
+    raw, plan = benchmark(_figure1_plan)
+    benchmark.extra_info["raw_plan"] = raw.splitlines()[:8]
+    names = [node.operation.identifier for node in plan.nodes()]
+    assert "Produce Results" in names
+    assert "Relationship Scan" in names  # UndirectedRelationshipIndexContainsScan
+    scan_nodes = plan.find_operations("Relationship Scan")
+    assert scan_nodes[0].operation.category is OperationCategory.JOIN
+    assert plan.plan_property_value("Planner") is not None

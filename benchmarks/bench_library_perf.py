@@ -1,0 +1,65 @@
+"""E-PERF — library-level throughput: conversion, serialization, fingerprinting.
+
+Not a table in the paper, but the performance characteristics a downstream
+adopter of the library cares about: how fast raw plans are converted and how
+fast unified plans are serialized and fingerprinted.
+"""
+
+from repro.converters import converter_for
+from repro.core import formats, structural_fingerprint
+from repro.dialects import create_dialect
+
+SETUP = [
+    "CREATE TABLE t0 (c0 INT, c1 INT)",
+    "CREATE TABLE t1 (c0 INT)",
+    "INSERT INTO t0 (c0, c1) VALUES " + ", ".join(f"({i}, {i % 9})" for i in range(1, 301)),
+    "INSERT INTO t1 (c0) VALUES " + ", ".join(f"({i})" for i in range(1, 61)),
+]
+
+QUERY = (
+    "SELECT t1.c0, COUNT(*) FROM t0 JOIN t1 ON t0.c0 = t1.c0 "
+    "WHERE t0.c1 < 7 GROUP BY t1.c0 ORDER BY t1.c0 LIMIT 10"
+)
+
+
+def _postgresql_raw_plan():
+    dialect = create_dialect("postgresql")
+    for statement in SETUP:
+        dialect.execute(statement)
+    dialect.analyze_tables()
+    return dialect.explain(QUERY, format="json").text
+
+
+def test_convert_throughput(benchmark):
+    raw = _postgresql_raw_plan()
+    converter = converter_for("postgresql")
+    plan = benchmark(converter.convert, raw, "json")
+    assert plan.node_count() >= 4
+
+
+def test_serialize_json_throughput(benchmark):
+    raw = _postgresql_raw_plan()
+    plan = converter_for("postgresql").convert(raw, format="json")
+    text = benchmark(formats.serialize, plan, "json")
+    assert text
+
+
+def test_fingerprint_throughput(benchmark):
+    raw = _postgresql_raw_plan()
+    plan = converter_for("postgresql").convert(raw, format="json")
+    digest = benchmark(structural_fingerprint, plan)
+    assert len(digest) == 64
+
+
+def test_explain_end_to_end_throughput(benchmark):
+    dialect = create_dialect("postgresql")
+    for statement in SETUP:
+        dialect.execute(statement)
+    dialect.analyze_tables()
+    converter = converter_for("postgresql")
+
+    def explain_and_convert():
+        return converter.convert(dialect.explain(QUERY, format="text").text, format="text")
+
+    plan = benchmark(explain_and_convert)
+    assert plan.node_count() >= 4

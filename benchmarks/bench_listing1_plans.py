@@ -1,0 +1,51 @@
+"""E-L1 — Listing 1: the PostgreSQL and SQLite serialized plans for the join/union query."""
+
+from repro.converters import converter_for
+from repro.dialects import create_dialect
+
+SETUP = [
+    "CREATE TABLE t0 (c0 INT)",
+    "CREATE TABLE t1 (c0 INT)",
+    "CREATE TABLE t2 (c0 INT PRIMARY KEY)",
+    "INSERT INTO t0 (c0) VALUES " + ", ".join(f"({i})" for i in range(1, 1001)),
+    "INSERT INTO t1 (c0) VALUES " + ", ".join(f"({i})" for i in range(1, 41)),
+    "INSERT INTO t2 (c0) VALUES " + ", ".join(f"({i})" for i in range(1, 101)),
+]
+
+QUERY = (
+    "SELECT t1.c0 FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0 WHERE t0.c0 < 100 "
+    "GROUP BY t1.c0 UNION SELECT c0 FROM t2 WHERE c0 < 10"
+)
+
+
+def _listing1():
+    outputs = {}
+    for name in ("postgresql", "sqlite"):
+        dialect = create_dialect(name)
+        for statement in SETUP:
+            dialect.execute(statement)
+        dialect.analyze_tables()
+        raw = dialect.explain(QUERY, format="text").text
+        outputs[name] = (raw, converter_for(name).convert(raw, format="text"))
+    return outputs
+
+
+def test_listing1_serialized_plans(benchmark):
+    outputs = benchmark(_listing1)
+    postgresql_raw, postgresql_plan = outputs["postgresql"]
+    sqlite_raw, sqlite_plan = outputs["sqlite"]
+    benchmark.extra_info["postgresql_plan"] = postgresql_raw.splitlines()[:12]
+    benchmark.extra_info["sqlite_plan"] = sqlite_raw.splitlines()[:10]
+    # PostgreSQL: aggregate/append structure with a sequential scan on t0 and an
+    # index-based access on t2; a plan-level Planning Time property.
+    assert "Append" in postgresql_raw and "Seq Scan on t0" in postgresql_raw
+    assert "Index Only Scan" in postgresql_raw or "Bitmap" in postgresql_raw
+    assert "Planning Time" in postgresql_raw
+    # SQLite: compound query with temp B-trees, as in the listing.
+    assert "COMPOUND QUERY" in sqlite_raw
+    assert "USE TEMP B-TREE FOR GROUP BY" in sqlite_raw
+    assert "UNION USING TEMP B-TREE" in sqlite_raw
+    # Both convert into unified plans of the same conceptual components even
+    # though the representations differ significantly.
+    assert postgresql_plan.node_count() >= 6
+    assert sqlite_plan.node_count() >= 5

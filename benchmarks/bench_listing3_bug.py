@@ -1,0 +1,30 @@
+"""E-L3 — Listing 3: the MySQL index-lookup logic bug found by QPG (via TLP)."""
+
+from repro.dialects import create_dialect
+from repro.sqlparser import parse_one
+from repro.testing import FaultyDialect, bugs_for, check_tlp
+
+
+def _listing3():
+    dialect = FaultyDialect(
+        create_dialect("mysql"), logic_bugs=bugs_for("mysql", "logic"), trigger_rate=1
+    )
+    dialect.execute("CREATE TABLE t0 (c0 INT, c1 INT)")
+    dialect.execute("INSERT INTO t0 (c1, c0) VALUES (0, 1)")
+    dialect.execute(
+        "INSERT INTO t0 (c1, c0) VALUES " + ", ".join(f"({i % 3}, {i})" for i in range(2, 30))
+    )
+    dialect.execute("INSERT INTO t0 (c1, c0) VALUES (NULL, 30), (NULL, 31)")
+    dialect.execute("CREATE INDEX i0 ON t0(c1)")
+    dialect.analyze_tables()
+    predicate = parse_one("SELECT * FROM t0 WHERE t0.c1 IN (GREATEST(0.1, 0.2))").body.where
+    return check_tlp(dialect, "t0", predicate)
+
+
+def test_listing3_mysql_bug(benchmark):
+    result = benchmark(_listing3)
+    benchmark.extra_info["partition_queries"] = list(result.partition_queries)
+    # The fault-injected MySQL returns an inconsistent partitioned result —
+    # the class of wrong-result bug reported as MySQL #113302.
+    assert not result.passed
+    assert result.base_count != result.partition_count or result.message

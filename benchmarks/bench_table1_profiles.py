@@ -1,0 +1,9 @@
+"""E-T1 — Table I: the studied DBMSs (metadata registry)."""
+
+from repro.study import table1_rows
+
+
+def test_table1_profiles(benchmark):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 9
+    benchmark.extra_info["table1"] = rows

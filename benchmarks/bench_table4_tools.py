@@ -1,0 +1,10 @@
+"""E-T4 — Table IV: third-party visualization tools survey."""
+
+from repro.study import commercial_fraction, table4_rows
+
+
+def test_table4_tools(benchmark):
+    rows = benchmark(table4_rows)
+    benchmark.extra_info["table4"] = rows
+    assert len(rows) == 7
+    assert commercial_fraction() > 0.8

@@ -1,0 +1,25 @@
+"""E-T5 — Table V: bugs found by QPG and CERT with UPlan.
+
+The bounded campaign against the fault-injected MySQL / PostgreSQL / TiDB
+simulations must rediscover all 17 known bugs with the paper's distribution
+(MySQL 7, PostgreSQL 1, TiDB 9; QPG finds the logic bugs, CERT the
+performance bugs).
+"""
+
+from repro.testing import KNOWN_BUGS, TestingCampaign
+
+
+def _run_campaign():
+    campaign = TestingCampaign(queries_per_dbms=80, cert_pairs_per_dbms=40)
+    return campaign.run()
+
+
+def test_table5_bug_campaign(benchmark):
+    result = benchmark.pedantic(_run_campaign, rounds=1, iterations=1)
+    benchmark.extra_info["table5"] = result.table5_rows()
+    benchmark.extra_info["queries_generated"] = result.queries_generated
+    assert len(result.reports) == len(KNOWN_BUGS) == 17
+    assert result.by_dbms() == {"mysql": 7, "postgresql": 1, "tidb": 9}
+    qpg_found = sum(1 for report in result.reports if report.found_by == "QPG")
+    cert_found = sum(1 for report in result.reports if report.found_by == "CERT")
+    assert qpg_found == 13 and cert_found == 4

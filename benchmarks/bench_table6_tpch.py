@@ -1,0 +1,17 @@
+"""E-T6 — Table VI: average operations per category for TPC-H across five DBMSs."""
+
+from repro.benchmarking import table6_rows
+
+
+def test_table6_tpch_operations(benchmark, tpch_plans):
+    rows = benchmark(table6_rows, tpch_plans)
+    benchmark.extra_info["table6"] = rows
+    by_dbms = {row["DBMS"]: row for row in rows}
+    # Shape checks from the paper: TiDB has the most operations, the
+    # relational DBMSs have more than the non-relational ones, MongoDB has no
+    # Join operations, and the relational DBMSs have the most Producers.
+    assert by_dbms["tidb"]["Sum"] == max(row["Sum"] for row in rows)
+    assert by_dbms["mysql"]["Sum"] > by_dbms["mongodb"]["Sum"]
+    assert by_dbms["postgresql"]["Sum"] > by_dbms["neo4j"]["Sum"]
+    assert by_dbms["mongodb"]["Join"] == 0.0
+    assert by_dbms["postgresql"]["Producer"] > by_dbms["neo4j"]["Producer"]

@@ -1,0 +1,20 @@
+"""E-T7 — Table VII: YCSB (MongoDB) and WDBench (Neo4j) operation averages."""
+
+from repro.benchmarking import collect_nosql_plans, table7_rows
+
+
+def _collect():
+    return table7_rows(collect_nosql_plans(scale=0.4))
+
+
+def test_table7_nosql_workloads(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    benchmark.extra_info["table7"] = rows
+    by_dbms = {row["DBMS"]: row for row in rows}
+    # MongoDB YCSB plans expose no Join and no Combinator/Folder-heavy shapes;
+    # Neo4j WDBench plans are dominated by Join (relationship) operations —
+    # the same distribution Table VII reports.
+    assert by_dbms["mongodb"]["Join"] == 0.0
+    assert by_dbms["neo4j"]["Join"] > 0.5
+    assert by_dbms["mongodb"]["Sum"] < 5
+    assert by_dbms["neo4j"]["Folder"] < 1.0

@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper and
+attaches the regenerated rows/series to ``benchmark.extra_info`` so that the
+numbers appear in the pytest-benchmark JSON output alongside the timings.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.benchmarking import collect_tpch_plans
+
+#: Scale factor used across benches; small enough for CI, large enough for shape.
+BENCH_SCALE = 0.3
+
+
+@pytest.fixture(scope="session")
+def tpch_plans():
+    """TPC-H unified plans for the five JSON-capable DBMSs (reused by benches)."""
+    return collect_tpch_plans(scale=BENCH_SCALE)

@@ -1,0 +1,13 @@
+"""Pytest configuration for the repository.
+
+Ensures ``src/`` is importable even when the package has not been installed,
+which keeps ``pytest tests/`` and ``pytest benchmarks/`` working in offline
+environments where editable installs are unavailable.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

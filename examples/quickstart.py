@@ -1,0 +1,57 @@
+"""Quickstart: obtain a DBMS-specific plan, convert it to UPlan, and use it.
+
+Run with:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.converters import converter_for
+from repro.core import OperationCategory, formats, structural_fingerprint
+from repro.dialects import create_dialect
+from repro.visualize import render_ascii
+
+
+def main() -> None:
+    # 1. Spin up a simulated PostgreSQL, create a small schema, and load rows.
+    postgresql = create_dialect("postgresql")
+    postgresql.execute("CREATE TABLE t0 (c0 INT, c1 INT)")
+    postgresql.execute("CREATE TABLE t1 (c0 INT PRIMARY KEY)")
+    postgresql.execute(
+        "INSERT INTO t0 (c0, c1) VALUES " + ", ".join(f"({i}, {i % 10})" for i in range(1, 501))
+    )
+    postgresql.execute("INSERT INTO t1 (c0) VALUES " + ", ".join(f"({i})" for i in range(1, 101)))
+    postgresql.analyze_tables()
+
+    query = (
+        "SELECT t1.c0, COUNT(*) FROM t0 JOIN t1 ON t0.c0 = t1.c0 "
+        "WHERE t0.c1 < 5 GROUP BY t1.c0 ORDER BY t1.c0 LIMIT 10"
+    )
+
+    # 2. Ask the DBMS for its native serialized plan (what EXPLAIN returns).
+    raw = postgresql.explain(query, format="text")
+    print("=" * 30, "raw PostgreSQL plan", "=" * 30)
+    print(raw.text)
+
+    # 3. Convert it into the unified query plan representation.
+    plan = converter_for("postgresql").convert(raw.text, format="text")
+    print("\n" + "=" * 30, "unified plan (text form)", "=" * 30)
+    print(formats.serialize(plan, "text"))
+
+    # 4. Use the unified plan: category histogram, fingerprint, visualization.
+    print("\nOperations per category:")
+    for category, count in plan.count_categories().items():
+        if count:
+            print(f"  {category.value:11s} {count}")
+    print("Producer operations:", len(plan.operations_in(OperationCategory.PRODUCER)))
+    print("Structural fingerprint:", structural_fingerprint(plan)[:16], "…")
+    print("\n" + render_ascii(plan))
+
+    # 5. The same plan serialized as JSON (exchangeable with other tools).
+    print("\nJSON document size:", len(formats.serialize(plan, "json")), "bytes")
+
+
+if __name__ == "__main__":
+    main()

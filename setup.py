@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments where the ``wheel`` package (required by PEP 660 editable
+builds with older setuptools) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

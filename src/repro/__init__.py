@@ -1,0 +1,44 @@
+"""repro — a reproduction of *"Towards a Unified Query Plan Representation"*.
+
+The package is organised in three layers:
+
+Substrates
+    :mod:`repro.sqlparser`, :mod:`repro.catalog`, :mod:`repro.storage`,
+    :mod:`repro.engine`, :mod:`repro.optimizer` — a from-scratch relational
+    query-processing stack (plus document/graph/time-series stores) used by
+    the simulated DBMSs.
+
+Simulated DBMSs and converters
+    :mod:`repro.dialects` — nine simulated DBMSs exposing serialized query
+    plans in their native formats; :mod:`repro.converters` — converters from
+    each native format into the unified representation.
+
+UPlan and applications
+    :mod:`repro.core` — the unified query plan representation (the paper's
+    contribution); :mod:`repro.testing` (QPG, CERT, TLP),
+    :mod:`repro.visualize`, :mod:`repro.benchmarking`, and
+    :mod:`repro.study` — the case-study artefacts and the three applications.
+"""
+
+from repro.core import (
+    Operation,
+    OperationCategory,
+    PlanBuilder,
+    PlanNode,
+    Property,
+    PropertyCategory,
+    UnifiedPlan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Operation",
+    "OperationCategory",
+    "PlanBuilder",
+    "PlanNode",
+    "Property",
+    "PropertyCategory",
+    "UnifiedPlan",
+    "__version__",
+]

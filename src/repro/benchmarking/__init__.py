@@ -1,0 +1,37 @@
+"""Application A.3: cross-DBMS benchmarking on the unified representation."""
+
+from repro.benchmarking import tpch, ycsb, wdbench
+from repro.benchmarking.metrics import (
+    WorkloadPlans,
+    collect_nosql_plans,
+    collect_tpch_plans,
+    figure4_variances,
+    high_variance_queries,
+    table6_rows,
+    table7_rows,
+)
+from repro.benchmarking.analysis import (
+    Query11Analysis,
+    ScanTiming,
+    analyse_query11,
+    scan_count_comparison,
+    unified_text,
+)
+
+__all__ = [
+    "tpch",
+    "ycsb",
+    "wdbench",
+    "WorkloadPlans",
+    "collect_tpch_plans",
+    "collect_nosql_plans",
+    "table6_rows",
+    "table7_rows",
+    "figure4_variances",
+    "high_variance_queries",
+    "Query11Analysis",
+    "ScanTiming",
+    "analyse_query11",
+    "scan_count_comparison",
+    "unified_text",
+]

@@ -1,0 +1,154 @@
+"""Cross-DBMS plan metrics: Tables VI and VII and Figure 4 of the paper.
+
+The benchmarking application converts every workload query's serialized plan
+into the unified representation, counts operations per category, and compares
+the distributions across DBMSs.  The variance of Producer-operation counts per
+TPC-H query (Figure 4) points at optimization opportunities such as the
+query 11 case analysed in :mod:`repro.benchmarking.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.converters import converter_for
+from repro.core.categories import OPERATION_CATEGORY_ORDER, OperationCategory
+from repro.core.compare import average_category_histogram, producer_count
+from repro.core.model import UnifiedPlan
+from repro.dialects import create_dialect
+from repro.benchmarking import tpch, wdbench, ycsb
+
+
+@dataclass
+class WorkloadPlans:
+    """Unified plans collected for one DBMS over one workload."""
+
+    dbms: str
+    plans: Dict[int, UnifiedPlan] = field(default_factory=dict)
+
+    def average_counts(self) -> Dict[OperationCategory, float]:
+        """Average operation count per category (one Table VI row)."""
+        return average_category_histogram(list(self.plans.values()))
+
+    def producer_counts(self) -> Dict[int, int]:
+        """Producer-operation count per query (Figure 4 input)."""
+        return {query: producer_count(plan) for query, plan in self.plans.items()}
+
+
+def collect_tpch_plans(
+    dbms_names: Sequence[str] = ("mongodb", "mysql", "neo4j", "postgresql", "tidb"),
+    scale: float = 1.0,
+    queries: Optional[Sequence[int]] = None,
+) -> Dict[str, WorkloadPlans]:
+    """Run TPC-H on each DBMS and convert every query plan to UPlan."""
+    selected = list(queries or sorted(tpch.QUERIES))
+    results: Dict[str, WorkloadPlans] = {}
+    for name in dbms_names:
+        dialect = create_dialect(name)
+        converter = converter_for(name)
+        workload = WorkloadPlans(dbms=name)
+        if name == "mongodb":
+            tpch.load_mongodb(dialect, scale=scale)
+            for query_number, (collection, pipeline) in tpch.MONGODB_PIPELINES.items():
+                if query_number not in selected:
+                    continue
+                document = dialect.explain_aggregate(collection, pipeline)
+                import json
+
+                workload.plans[query_number] = converter.convert(
+                    json.dumps(document, default=str), format="json"
+                )
+        elif name == "neo4j":
+            tpch.load_neo4j(dialect, scale=scale)
+            for query_number, cypher in tpch.NEO4J_QUERIES.items():
+                if query_number not in selected:
+                    continue
+                output = dialect.explain(cypher, format="json")
+                workload.plans[query_number] = converter.convert(output.text, format="json")
+        else:
+            tpch.load_into(dialect, scale=scale)
+            explain_format = converter.formats[0]
+            for query_number in selected:
+                query = tpch.QUERIES[query_number]
+                output = dialect.explain(query, format=explain_format)
+                workload.plans[query_number] = converter.convert(output.text, format=explain_format)
+        results[name] = workload
+    return results
+
+
+def table6_rows(plans_by_dbms: Dict[str, WorkloadPlans]) -> List[Dict[str, object]]:
+    """Render Table VI: average operations per category per DBMS."""
+    rows = []
+    for dbms in sorted(plans_by_dbms):
+        averages = plans_by_dbms[dbms].average_counts()
+        row: Dict[str, object] = {"DBMS": dbms}
+        total = 0.0
+        for category in OPERATION_CATEGORY_ORDER:
+            if category is OperationCategory.CONSUMER:
+                continue
+            value = round(averages[category], 2)
+            row[category.value] = value
+            total += value
+        row["Sum"] = round(total, 2)
+        rows.append(row)
+    return rows
+
+
+def collect_nosql_plans(scale: float = 1.0) -> Dict[str, WorkloadPlans]:
+    """Collect plans for YCSB (MongoDB) and WDBench (Neo4j) — Table VII."""
+    import json
+
+    results: Dict[str, WorkloadPlans] = {}
+
+    mongodb = create_dialect("mongodb")
+    ycsb.load_ycsb(mongodb, records=int(300 * scale) + 50)
+    converter = converter_for("mongodb")
+    workload = WorkloadPlans(dbms="mongodb")
+    commands = ycsb.workload_a(operations=30) + ycsb.workload_scan(operations=10)
+    for index, command in enumerate(commands):
+        document = mongodb.explain_find(
+            command["collection"], command.get("criteria"), limit=command.get("limit")
+        )
+        workload.plans[index] = converter.convert(json.dumps(document, default=str), format="json")
+    results["mongodb"] = workload
+
+    neo4j = create_dialect("neo4j")
+    wdbench.load_wdbench(neo4j, entities=int(200 * scale) + 50, edges=int(600 * scale) + 100)
+    neo_converter = converter_for("neo4j")
+    neo_workload = WorkloadPlans(dbms="neo4j")
+    for index, pattern in enumerate(wdbench.generate_patterns(count=30)):
+        output = neo4j.explain(pattern, format="json")
+        neo_workload.plans[index] = neo_converter.convert(output.text, format="json")
+    results["neo4j"] = neo_workload
+    return results
+
+
+def table7_rows(plans_by_dbms: Dict[str, WorkloadPlans]) -> List[Dict[str, object]]:
+    """Render Table VII for the YCSB / WDBench workloads."""
+    return table6_rows(plans_by_dbms)
+
+
+def figure4_variances(plans_by_dbms: Dict[str, WorkloadPlans]) -> Dict[int, float]:
+    """Per-query variance of Producer-operation counts across DBMSs (Figure 4)."""
+    query_numbers = sorted(
+        {query for workload in plans_by_dbms.values() for query in workload.plans}
+    )
+    variances: Dict[int, float] = {}
+    for query_number in query_numbers:
+        counts = [
+            producer_count(workload.plans[query_number])
+            for workload in plans_by_dbms.values()
+            if query_number in workload.plans
+        ]
+        if len(counts) < 2:
+            variances[query_number] = 0.0
+            continue
+        mean = sum(counts) / len(counts)
+        variances[query_number] = sum((count - mean) ** 2 for count in counts) / len(counts)
+    return variances
+
+
+def high_variance_queries(variances: Dict[int, float], threshold: float = 5.0) -> List[int]:
+    """Queries whose Producer-count variance exceeds *threshold* (paper: six)."""
+    return sorted(query for query, variance in variances.items() if variance > threshold)

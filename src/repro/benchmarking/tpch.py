@@ -1,0 +1,451 @@
+"""TPC-H workload: schema, deterministic data generator, and the 22 queries.
+
+The paper evaluates UPlan's benchmarking application on TPC-H (Tables VI,
+Figure 4, Listing 4).  The full TPC-H specification uses dates, string
+functions, and correlated subqueries beyond the simulated engines' SQL
+subset; the queries here are *simplified but faithful* rewrites: every query
+touches the same tables, joins, groupings and (sub)query structure as its
+original, so the operation-count metrics the paper reports keep their shape.
+Dates are encoded as integer day numbers.
+
+For MongoDB the paper rewrites queries 1, 3 and 4 against a single embedded
+``orders`` collection; for Neo4j it maps rows to nodes and foreign keys to
+relationships.  Both rewrites are provided here as well.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+TPCH_TABLES = (
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+)
+
+#: CREATE TABLE statements (types reduced to the simulated engines' subset).
+SCHEMA_STATEMENTS: List[str] = [
+    "CREATE TABLE region (r_regionkey INT PRIMARY KEY, r_name TEXT)",
+    "CREATE TABLE nation (n_nationkey INT PRIMARY KEY, n_name TEXT, n_regionkey INT)",
+    "CREATE TABLE supplier (s_suppkey INT PRIMARY KEY, s_name TEXT, s_nationkey INT, s_acctbal FLOAT)",
+    "CREATE TABLE customer (c_custkey INT PRIMARY KEY, c_name TEXT, c_nationkey INT, c_acctbal FLOAT, c_mktsegment INT)",
+    "CREATE TABLE part (p_partkey INT PRIMARY KEY, p_name TEXT, p_size INT, p_retailprice FLOAT, p_brand INT, p_type INT)",
+    "CREATE TABLE partsupp (ps_partkey INT, ps_suppkey INT, ps_availqty INT, ps_supplycost FLOAT)",
+    "CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_custkey INT, o_orderstatus INT, o_totalprice FLOAT, o_orderdate INT, o_orderpriority INT)",
+    "CREATE TABLE lineitem (l_orderkey INT, l_partkey INT, l_suppkey INT, l_linenumber INT, l_quantity FLOAT, l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT, l_returnflag INT, l_linestatus INT, l_shipdate INT, l_commitdate INT, l_receiptdate INT, l_shipmode INT)",
+]
+
+INDEX_STATEMENTS: List[str] = [
+    "CREATE INDEX idx_nation_region ON nation(n_regionkey)",
+    "CREATE INDEX idx_supplier_nation ON supplier(s_nationkey)",
+    "CREATE INDEX idx_customer_nation ON customer(c_nationkey)",
+    "CREATE INDEX idx_partsupp_part ON partsupp(ps_partkey)",
+    "CREATE INDEX idx_partsupp_supp ON partsupp(ps_suppkey)",
+    "CREATE INDEX idx_orders_cust ON orders(o_custkey)",
+    "CREATE INDEX idx_lineitem_order ON lineitem(l_orderkey)",
+    "CREATE INDEX idx_lineitem_part ON lineitem(l_partkey)",
+]
+
+#: Base row counts at scale factor 1/1000 of the official 1 GB scale.
+_BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10,
+    "customer": 150,
+    "part": 200,
+    "partsupp": 400,
+    "orders": 450,
+    "lineitem": 1800,
+}
+
+
+def row_counts(scale: float = 1.0) -> Dict[str, int]:
+    """Row counts per table for the given (already laptop-sized) scale factor."""
+    return {
+        table: max(int(count * scale), 1) if table not in ("region", "nation") else count
+        for table, count in _BASE_ROWS.items()
+    }
+
+
+def generate_data(scale: float = 1.0, seed: int = 7) -> Dict[str, List[Dict[str, object]]]:
+    """Generate deterministic TPC-H-like rows for every table."""
+    rng = random.Random(seed)
+    counts = row_counts(scale)
+    regions = [
+        {"r_regionkey": i, "r_name": f"REGION_{i}"} for i in range(counts["region"])
+    ]
+    nations = [
+        {"n_nationkey": i, "n_name": f"NATION_{i}", "n_regionkey": i % counts["region"]}
+        for i in range(counts["nation"])
+    ]
+    suppliers = [
+        {
+            "s_suppkey": i + 1,
+            "s_name": f"Supplier#{i + 1}",
+            "s_nationkey": rng.randrange(counts["nation"]),
+            "s_acctbal": round(rng.uniform(-999.0, 9999.0), 2),
+        }
+        for i in range(counts["supplier"])
+    ]
+    customers = [
+        {
+            "c_custkey": i + 1,
+            "c_name": f"Customer#{i + 1}",
+            "c_nationkey": rng.randrange(counts["nation"]),
+            "c_acctbal": round(rng.uniform(-999.0, 9999.0), 2),
+            "c_mktsegment": rng.randrange(5),
+        }
+        for i in range(counts["customer"])
+    ]
+    parts = [
+        {
+            "p_partkey": i + 1,
+            "p_name": f"Part#{i + 1}",
+            "p_size": rng.randrange(1, 51),
+            "p_retailprice": round(900 + (i % 200) + rng.random(), 2),
+            "p_brand": rng.randrange(1, 6),
+            "p_type": rng.randrange(1, 26),
+        }
+        for i in range(counts["part"])
+    ]
+    partsupps = [
+        {
+            "ps_partkey": rng.randrange(1, counts["part"] + 1),
+            "ps_suppkey": rng.randrange(1, counts["supplier"] + 1),
+            "ps_availqty": rng.randrange(1, 10000),
+            "ps_supplycost": round(rng.uniform(1.0, 1000.0), 2),
+        }
+        for _ in range(counts["partsupp"])
+    ]
+    orders = [
+        {
+            "o_orderkey": i + 1,
+            "o_custkey": rng.randrange(1, counts["customer"] + 1),
+            "o_orderstatus": rng.randrange(3),
+            "o_totalprice": round(rng.uniform(1000.0, 400000.0), 2),
+            "o_orderdate": rng.randrange(8036, 10592),  # 1992-01-01 .. 1998-12-31 in days
+            "o_orderpriority": rng.randrange(1, 6),
+        }
+        for i in range(counts["orders"])
+    ]
+    lineitems = [
+        {
+            "l_orderkey": rng.randrange(1, counts["orders"] + 1),
+            "l_partkey": rng.randrange(1, counts["part"] + 1),
+            "l_suppkey": rng.randrange(1, counts["supplier"] + 1),
+            "l_linenumber": (i % 7) + 1,
+            "l_quantity": float(rng.randrange(1, 51)),
+            "l_extendedprice": round(rng.uniform(900.0, 100000.0), 2),
+            "l_discount": round(rng.uniform(0.0, 0.1), 2),
+            "l_tax": round(rng.uniform(0.0, 0.08), 2),
+            "l_returnflag": rng.randrange(3),
+            "l_linestatus": rng.randrange(2),
+            "l_shipdate": rng.randrange(8036, 10592),
+            "l_commitdate": rng.randrange(8036, 10592),
+            "l_receiptdate": rng.randrange(8036, 10592),
+            "l_shipmode": rng.randrange(7),
+        }
+        for i in range(counts["lineitem"])
+    ]
+    return {
+        "region": regions,
+        "nation": nations,
+        "supplier": suppliers,
+        "customer": customers,
+        "part": parts,
+        "partsupp": partsupps,
+        "orders": orders,
+        "lineitem": lineitems,
+    }
+
+
+def load_into(dialect, scale: float = 1.0, seed: int = 7, with_indexes: bool = True) -> None:
+    """Create the TPC-H schema and load generated data into a SQL dialect."""
+    for statement in SCHEMA_STATEMENTS:
+        dialect.execute(statement)
+    data = generate_data(scale=scale, seed=seed)
+    for table, rows in data.items():
+        if not rows:
+            continue
+        columns = list(rows[0].keys())
+        chunks = [rows[i : i + 200] for i in range(0, len(rows), 200)]
+        for chunk in chunks:
+            values = ", ".join(
+                "(" + ", ".join(_sql_literal(row[column]) for column in columns) + ")"
+                for row in chunk
+            )
+            dialect.execute(f"INSERT INTO {table} ({', '.join(columns)}) VALUES {values}")
+    if with_indexes:
+        for statement in INDEX_STATEMENTS:
+            dialect.execute(statement)
+    dialect.analyze_tables()
+
+
+def _sql_literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+#: The 22 TPC-H queries, simplified to the supported SQL subset.
+QUERIES: Dict[int, str] = {
+    1: (
+        "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, "
+        "SUM(l_extendedprice) AS sum_base_price, AVG(l_discount) AS avg_disc, COUNT(*) AS count_order "
+        "FROM lineitem WHERE l_shipdate <= 10471 GROUP BY l_returnflag, l_linestatus "
+        "ORDER BY l_returnflag, l_linestatus"
+    ),
+    2: (
+        "SELECT s_acctbal, s_name, n_name, p_partkey FROM part, supplier, partsupp, nation, region "
+        "WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND p_size = 15 "
+        "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey AND r_regionkey = 3 "
+        "AND ps_supplycost < 500 ORDER BY s_acctbal DESC LIMIT 100"
+    ),
+    3: (
+        "SELECT l_orderkey, SUM(l_extendedprice) AS revenue, o_orderdate FROM customer, orders, lineitem "
+        "WHERE c_mktsegment = 1 AND c_custkey = o_custkey AND l_orderkey = o_orderkey "
+        "AND o_orderdate < 9204 AND l_shipdate > 9204 GROUP BY l_orderkey, o_orderdate "
+        "ORDER BY revenue DESC LIMIT 10"
+    ),
+    4: (
+        "SELECT o_orderpriority, COUNT(*) AS order_count FROM orders "
+        "WHERE o_orderdate >= 9131 AND o_orderdate < 9223 AND o_orderkey IN "
+        "(SELECT l_orderkey FROM lineitem WHERE l_commitdate < l_receiptdate) "
+        "GROUP BY o_orderpriority ORDER BY o_orderpriority"
+    ),
+    5: (
+        "SELECT n_name, SUM(l_extendedprice) AS revenue FROM customer, orders, lineitem, supplier, nation, region "
+        "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey "
+        "AND c_nationkey = s_nationkey AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+        "AND r_regionkey = 2 AND o_orderdate >= 8766 AND o_orderdate < 9131 "
+        "GROUP BY n_name ORDER BY revenue DESC"
+    ),
+    6: (
+        "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+        "WHERE l_shipdate >= 8766 AND l_shipdate < 9131 AND l_discount BETWEEN 0.05 AND 0.07 "
+        "AND l_quantity < 24"
+    ),
+    7: (
+        "SELECT n_name, SUM(l_extendedprice) AS revenue FROM supplier, lineitem, orders, customer, nation "
+        "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND c_custkey = o_custkey "
+        "AND s_nationkey = n_nationkey AND l_shipdate BETWEEN 9131 AND 9862 "
+        "GROUP BY n_name ORDER BY n_name"
+    ),
+    8: (
+        "SELECT o_orderdate, SUM(l_extendedprice) AS mkt_share FROM part, supplier, lineitem, orders, customer, nation, region "
+        "WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey AND l_orderkey = o_orderkey "
+        "AND o_custkey = c_custkey AND c_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+        "AND r_regionkey = 1 AND p_type = 12 GROUP BY o_orderdate ORDER BY o_orderdate"
+    ),
+    9: (
+        "SELECT n_name, SUM(l_extendedprice - l_discount) AS sum_profit FROM part, supplier, lineitem, partsupp, nation "
+        "WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey "
+        "AND p_partkey = l_partkey AND s_nationkey = n_nationkey AND p_brand = 3 "
+        "GROUP BY n_name ORDER BY n_name"
+    ),
+    10: (
+        "SELECT c_custkey, c_name, SUM(l_extendedprice) AS revenue, c_acctbal FROM customer, orders, lineitem, nation "
+        "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND o_orderdate >= 8857 "
+        "AND o_orderdate < 8948 AND l_returnflag = 2 AND c_nationkey = n_nationkey "
+        "GROUP BY c_custkey, c_name, c_acctbal ORDER BY revenue DESC LIMIT 20"
+    ),
+    11: (
+        "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value FROM partsupp, supplier, nation "
+        "WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_nationkey = 7 "
+        "GROUP BY ps_partkey HAVING SUM(ps_supplycost * ps_availqty) > "
+        "(SELECT SUM(ps_supplycost * ps_availqty) * 0.0001 FROM partsupp, supplier, nation "
+        "WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_nationkey = 7) "
+        "ORDER BY value DESC"
+    ),
+    12: (
+        "SELECT l_shipmode, COUNT(*) AS high_line_count FROM orders, lineitem "
+        "WHERE o_orderkey = l_orderkey AND l_shipmode IN (3, 5) AND l_commitdate < l_receiptdate "
+        "AND l_shipdate < l_commitdate AND l_receiptdate >= 8766 AND l_receiptdate < 9131 "
+        "GROUP BY l_shipmode ORDER BY l_shipmode"
+    ),
+    13: (
+        "SELECT c_count, COUNT(*) AS custdist FROM (SELECT c_custkey AS c_key, COUNT(o_orderkey) AS c_count "
+        "FROM customer LEFT JOIN orders ON c_custkey = o_custkey GROUP BY c_custkey) AS c_orders "
+        "GROUP BY c_count ORDER BY custdist DESC, c_count DESC"
+    ),
+    14: (
+        "SELECT SUM(l_extendedprice * l_discount) AS promo_revenue FROM lineitem, part "
+        "WHERE l_partkey = p_partkey AND l_shipdate >= 9374 AND l_shipdate < 9404"
+    ),
+    15: (
+        "SELECT s_suppkey, s_name, total_revenue FROM supplier, "
+        "(SELECT l_suppkey AS supplier_no, SUM(l_extendedprice) AS total_revenue FROM lineitem "
+        "WHERE l_shipdate >= 9496 AND l_shipdate < 9587 GROUP BY l_suppkey) AS revenue "
+        "WHERE s_suppkey = supplier_no AND total_revenue > 100000 ORDER BY s_suppkey"
+    ),
+    16: (
+        "SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) AS supplier_cnt FROM partsupp, part "
+        "WHERE p_partkey = ps_partkey AND p_brand <> 4 AND p_size IN (9, 14, 19, 23, 36, 45, 49, 3) "
+        "GROUP BY p_brand, p_type, p_size ORDER BY supplier_cnt DESC"
+    ),
+    17: (
+        "SELECT AVG(l_extendedprice) AS avg_yearly FROM lineitem, part "
+        "WHERE p_partkey = l_partkey AND p_brand = 2 AND l_quantity < "
+        "(SELECT AVG(l_quantity) * 0.2 FROM lineitem)"
+    ),
+    18: (
+        "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, SUM(l_quantity) AS total_qty "
+        "FROM customer, orders, lineitem WHERE o_orderkey IN "
+        "(SELECT l_orderkey FROM lineitem GROUP BY l_orderkey HAVING SUM(l_quantity) > 150) "
+        "AND c_custkey = o_custkey AND o_orderkey = l_orderkey "
+        "GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice "
+        "ORDER BY o_totalprice DESC LIMIT 100"
+    ),
+    19: (
+        "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem, part "
+        "WHERE p_partkey = l_partkey AND p_brand = 1 AND l_quantity BETWEEN 1 AND 11 "
+        "AND p_size BETWEEN 1 AND 5 AND l_shipmode IN (0, 1)"
+    ),
+    20: (
+        "SELECT s_name FROM supplier, nation WHERE s_suppkey IN "
+        "(SELECT ps_suppkey FROM partsupp WHERE ps_partkey IN "
+        "(SELECT p_partkey FROM part WHERE p_size > 40) AND ps_availqty > 100) "
+        "AND s_nationkey = n_nationkey AND n_nationkey = 3 ORDER BY s_name"
+    ),
+    21: (
+        "SELECT s_name, COUNT(*) AS numwait FROM supplier, lineitem, orders, nation "
+        "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND o_orderstatus = 2 "
+        "AND l_receiptdate > l_commitdate AND s_nationkey = n_nationkey AND n_nationkey = 20 "
+        "GROUP BY s_name ORDER BY numwait DESC, s_name LIMIT 100"
+    ),
+    22: (
+        "SELECT c_nationkey, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal FROM customer "
+        "WHERE c_acctbal > (SELECT AVG(c_acctbal) FROM customer WHERE c_acctbal > 0) "
+        "AND c_custkey NOT IN (SELECT o_custkey FROM orders) "
+        "GROUP BY c_nationkey ORDER BY c_nationkey"
+    ),
+}
+
+#: MongoDB rewrites of queries 1, 3 and 4, against a single embedded collection.
+MONGODB_PIPELINES: Dict[int, Tuple[str, List[Dict[str, object]]]] = {
+    1: (
+        "orders",
+        [
+            {"$unwind": "$lineitems"},
+            {"$match": {"lineitems.l_shipdate": {"$lte": 10471}}},
+            {
+                "$group": {
+                    "_id": "$lineitems.l_returnflag",
+                    "sum_qty": {"$sum": "$lineitems.l_quantity"},
+                    "count_order": {"$count": 1},
+                }
+            },
+            {"$sort": {"_id": 1}},
+        ],
+    ),
+    3: (
+        "orders",
+        [
+            {"$match": {"customer.c_mktsegment": 1, "o_orderdate": {"$lt": 9204}}},
+            {"$unwind": "$lineitems"},
+            {"$match": {"lineitems.l_shipdate": {"$gt": 9204}}},
+            {
+                "$group": {
+                    "_id": "$o_orderkey",
+                    "revenue": {"$sum": "$lineitems.l_extendedprice"},
+                }
+            },
+            {"$sort": {"revenue": -1}},
+            {"$limit": 10},
+        ],
+    ),
+    4: (
+        "orders",
+        [
+            {"$match": {"o_orderdate": {"$gte": 9131, "$lt": 9223}}},
+            {"$group": {"_id": "$o_orderpriority", "order_count": {"$count": 1}}},
+            {"$sort": {"_id": 1}},
+        ],
+    ),
+}
+
+#: Neo4j rewrites (nodes = rows, relationships = foreign keys) of queries
+#: 1-14 and 16-19, expressed in the supported Cypher subset.
+NEO4J_QUERIES: Dict[int, str] = {
+    1: "MATCH (l:Lineitem) WHERE l.l_shipdate <= 10471 RETURN sum(l.l_quantity), count(*)",
+    2: "MATCH (s:Supplier)-[r:SUPPLIES]->(p:Part) WHERE p.p_size = 15 RETURN s.s_name, p.p_partkey ORDER BY s.s_acctbal DESC LIMIT 100",
+    3: "MATCH (o:Orders)-[r:CONTAINS]->(l:Lineitem) WHERE o.o_orderdate < 9204 AND l.l_shipdate > 9204 RETURN o.o_orderkey, sum(l.l_extendedprice)",
+    4: "MATCH (o:Orders)-[r:CONTAINS]->(l:Lineitem) WHERE o.o_orderdate >= 9131 AND o.o_orderdate < 9223 RETURN o.o_orderpriority, count(*)",
+    5: "MATCH (c:Customer)-[r:PLACED]->(o:Orders) WHERE o.o_orderdate >= 8766 AND o.o_orderdate < 9131 RETURN c.c_nationkey, count(*)",
+    6: "MATCH (l:Lineitem) WHERE l.l_shipdate >= 8766 AND l.l_shipdate < 9131 AND l.l_quantity < 24 RETURN sum(l.l_extendedprice)",
+    7: "MATCH (s:Supplier)-[r:SHIPPED]->(l:Lineitem) WHERE l.l_shipdate >= 9131 AND l.l_shipdate <= 9862 RETURN s.s_nationkey, sum(l.l_extendedprice)",
+    8: "MATCH (o:Orders)-[r:CONTAINS]->(l:Lineitem) WHERE l.l_partkey < 100 RETURN o.o_orderdate, sum(l.l_extendedprice)",
+    9: "MATCH (s:Supplier)-[r:SHIPPED]->(l:Lineitem) WHERE l.l_partkey < 60 RETURN s.s_nationkey, sum(l.l_extendedprice)",
+    10: "MATCH (c:Customer)-[r:PLACED]->(o:Orders) WHERE o.o_orderdate >= 8857 AND o.o_orderdate < 8948 RETURN c.c_custkey, sum(o.o_totalprice) ORDER BY c.c_custkey LIMIT 20",
+    11: "MATCH (s:Supplier)-[r:SUPPLIES]->(p:Part) WHERE s.s_nationkey = 7 RETURN p.p_partkey, sum(r.ps_supplycost)",
+    12: "MATCH (o:Orders)-[r:CONTAINS]->(l:Lineitem) WHERE l.l_shipmode <= 5 RETURN l.l_shipmode, count(*)",
+    13: "MATCH (c:Customer)-[r:PLACED]->(o:Orders) RETURN c.c_custkey, count(o.o_orderkey)",
+    14: "MATCH (l:Lineitem)-[r:OF_PART]->(p:Part) WHERE l.l_shipdate >= 9374 AND l.l_shipdate < 9404 RETURN sum(l.l_extendedprice)",
+    16: "MATCH (s:Supplier)-[r:SUPPLIES]->(p:Part) WHERE p.p_brand <> 4 RETURN p.p_brand, count(s.s_suppkey)",
+    17: "MATCH (l:Lineitem)-[r:OF_PART]->(p:Part) WHERE p.p_brand = 2 RETURN avg(l.l_extendedprice)",
+    18: "MATCH (c:Customer)-[r:PLACED]->(o:Orders) WHERE o.o_totalprice > 150000 RETURN c.c_name, sum(o.o_totalprice) ORDER BY c.c_name LIMIT 100",
+    19: "MATCH (l:Lineitem)-[r:OF_PART]->(p:Part) WHERE p.p_brand = 1 AND l.l_quantity <= 11 RETURN sum(l.l_extendedprice)",
+}
+
+
+def load_mongodb(dialect, scale: float = 1.0, seed: int = 7) -> None:
+    """Load the embedded-document TPC-H model into the MongoDB dialect."""
+    data = generate_data(scale=scale, seed=seed)
+    customers = {row["c_custkey"]: row for row in data["customer"]}
+    lineitems_by_order: Dict[int, List[Dict[str, object]]] = {}
+    for lineitem in data["lineitem"]:
+        lineitems_by_order.setdefault(lineitem["l_orderkey"], []).append(lineitem)
+    documents = []
+    for order in data["orders"]:
+        documents.append(
+            {
+                **order,
+                "customer": customers.get(order["o_custkey"], {}),
+                "lineitems": lineitems_by_order.get(order["o_orderkey"], []),
+            }
+        )
+    dialect.insert_many("orders", documents)
+    dialect.create_index("orders", "o_orderdate")
+
+
+def load_neo4j(dialect, scale: float = 1.0, seed: int = 7) -> None:
+    """Load the graph TPC-H model (rows → nodes, FKs → relationships) into Neo4j."""
+    data = generate_data(scale=scale, seed=seed)
+    store = dialect.store
+    customers = {}
+    for row in data["customer"]:
+        customers[row["c_custkey"]] = store.create_node(["Customer"], row).node_id
+    orders = {}
+    for row in data["orders"]:
+        orders[row["o_orderkey"]] = store.create_node(["Orders"], row).node_id
+        if row["o_custkey"] in customers:
+            store.create_relationship(customers[row["o_custkey"]], "PLACED", orders[row["o_orderkey"]])
+    parts = {}
+    for row in data["part"]:
+        parts[row["p_partkey"]] = store.create_node(["Part"], row).node_id
+    suppliers = {}
+    for row in data["supplier"]:
+        suppliers[row["s_suppkey"]] = store.create_node(["Supplier"], row).node_id
+    for row in data["partsupp"]:
+        if row["ps_suppkey"] in suppliers and row["ps_partkey"] in parts:
+            store.create_relationship(
+                suppliers[row["ps_suppkey"]], "SUPPLIES", parts[row["ps_partkey"]], row
+            )
+    for row in data["lineitem"][: max(int(400 * scale), 50)]:
+        lineitem_node = store.create_node(["Lineitem"], row).node_id
+        if row["l_orderkey"] in orders:
+            store.create_relationship(orders[row["l_orderkey"]], "CONTAINS", lineitem_node)
+        if row["l_partkey"] in parts:
+            store.create_relationship(lineitem_node, "OF_PART", parts[row["l_partkey"]])
+        if row["l_suppkey"] in suppliers:
+            store.create_relationship(suppliers[row["l_suppkey"]], "SHIPPED", lineitem_node)
+    store.create_index("Customer", "c_custkey")
+    store.create_index("Orders", "o_orderdate")

@@ -1,0 +1,59 @@
+"""A WDBench-style basic-graph-pattern workload for the Neo4j dialect (Table VII).
+
+WDBench consists of Wikidata basic graph patterns; here we generate a
+Wikidata-like property graph (items connected by ``P31``/``P279``/... style
+relationships) plus a set of single-edge and node-lookup patterns expressed
+in the supported Cypher subset.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+PROPERTIES = ("P31", "P279", "P50", "P106", "P131")
+
+
+def load_wdbench(dialect, entities: int = 400, edges: int = 1200, seed: int = 23) -> None:
+    """Load a Wikidata-like graph into the Neo4j dialect."""
+    rng = random.Random(seed)
+    store = dialect.store
+    nodes = []
+    for i in range(entities):
+        nodes.append(
+            store.create_node(
+                ["Item"],
+                {"qid": f"Q{i}", "label": f"entity {i}", "popularity": rng.randrange(1000)},
+            ).node_id
+        )
+    for _ in range(edges):
+        start = rng.choice(nodes)
+        end = rng.choice(nodes)
+        store.create_relationship(start, rng.choice(PROPERTIES), end, {"rank": rng.random()})
+    store.create_index("Item", "qid")
+
+
+def generate_patterns(count: int = 40, seed: int = 29) -> List[str]:
+    """Generate WDBench-style basic graph patterns as Cypher queries."""
+    rng = random.Random(seed)
+    patterns: List[str] = []
+    for index in range(count):
+        roll = rng.random()
+        predicate = rng.choice(PROPERTIES)
+        if roll < 0.5:
+            # Single-edge pattern with a filter on the subject.
+            patterns.append(
+                f"MATCH (s:Item)-[r:{predicate}]->(o:Item) "
+                f"WHERE s.popularity > {rng.randrange(500)} RETURN s.qid, o.qid"
+            )
+        elif roll < 0.8:
+            # Edge pattern with aggregation (counting objects per subject).
+            patterns.append(
+                f"MATCH (s:Item)-[r:{predicate}]->(o:Item) RETURN s.qid, count(o.qid)"
+            )
+        else:
+            # Node lookup by property.
+            patterns.append(
+                f"MATCH (s:Item) WHERE s.qid = 'Q{rng.randrange(400)}' RETURN s.label"
+            )
+    return patterns

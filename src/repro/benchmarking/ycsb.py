@@ -1,0 +1,65 @@
+"""A YCSB-style workload generator for the MongoDB dialect (Table VII)."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+
+def load_ycsb(dialect, records: int = 500, seed: int = 11) -> None:
+    """Load the YCSB ``usertable`` into the MongoDB dialect."""
+    rng = random.Random(seed)
+    documents = [
+        {
+            "_id": f"user{i}",
+            **{f"field{f}": rng.randrange(0, 1000) for f in range(10)},
+        }
+        for i in range(records)
+    ]
+    dialect.insert_many("usertable", documents)
+    dialect.create_index("usertable", "_id")
+
+
+def workload_a(operations: int = 50, records: int = 500, seed: int = 13) -> List[Dict]:
+    """Generate YCSB workload A (50% reads, 50% updates) as find commands.
+
+    Updates are modelled as point reads of the document to be updated, which
+    is what their query plans look like (an IXSCAN + FETCH).
+    """
+    rng = random.Random(seed)
+    commands = []
+    for _ in range(operations):
+        key = f"user{rng.randrange(records)}"
+        commands.append({"collection": "usertable", "criteria": {"_id": key}})
+    return commands
+
+
+def workload_scan(operations: int = 20, records: int = 500, seed: int = 17) -> List[Dict]:
+    """Generate YCSB workload E-style short scans (range reads)."""
+    rng = random.Random(seed)
+    commands = []
+    for _ in range(operations):
+        start = rng.randrange(records)
+        commands.append(
+            {
+                "collection": "usertable",
+                "criteria": {"field0": {"$gte": start % 1000}},
+                "limit": rng.randrange(5, 50),
+            }
+        )
+    return commands
+
+
+def explain_workload(dialect, commands: List[Dict]) -> List[str]:
+    """Return the explain JSON for every command of a workload."""
+    outputs = []
+    for command in commands:
+        document = dialect.explain_find(
+            command["collection"],
+            command.get("criteria"),
+            limit=command.get("limit"),
+        )
+        import json
+
+        outputs.append(json.dumps(document, default=str))
+    return outputs

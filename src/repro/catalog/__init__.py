@@ -1,0 +1,22 @@
+"""Catalog substrate: schemas, statistics, and database instances."""
+
+from repro.catalog.schema import Column, DataType, Index, TableSchema
+from repro.catalog.statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    collect_column_statistics,
+    collect_table_statistics,
+)
+from repro.catalog.database import Database
+
+__all__ = [
+    "Column",
+    "DataType",
+    "Index",
+    "TableSchema",
+    "ColumnStatistics",
+    "TableStatistics",
+    "collect_column_statistics",
+    "collect_table_statistics",
+    "Database",
+]

@@ -1,0 +1,251 @@
+"""The relational database instance: schemas, heap tables, indexes, statistics.
+
+A :class:`Database` is the storage-and-catalog substrate shared by the
+simulated relational DBMSs.  Each dialect owns its own ``Database`` instance,
+so mutations issued against one simulated DBMS do not affect another — exactly
+as with separate real installations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.catalog.schema import Column, DataType, Index, TableSchema
+from repro.catalog.statistics import TableStatistics, collect_table_statistics
+from repro.errors import CatalogError
+from repro.storage.index import OrderedIndex
+from repro.storage.table import HeapTable, Row
+
+
+class Database:
+    """An in-memory database: tables, indexes, and optimizer statistics."""
+
+    def __init__(self, name: str = "main") -> None:
+        self.name = name
+        self._tables: Dict[str, HeapTable] = {}
+        self._indexes: Dict[str, OrderedIndex] = {}
+        self._statistics: Dict[str, TableStatistics] = {}
+
+    # -- DDL ------------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema, if_not_exists: bool = False) -> None:
+        """Create a table; primary-key columns get an implicit unique index."""
+        key = schema.name.lower()
+        if key in self._tables:
+            if if_not_exists:
+                return
+            raise CatalogError(f"table {schema.name!r} already exists")
+        self._tables[key] = HeapTable(schema)
+        primary_columns = schema.primary_key_columns()
+        if primary_columns:
+            definition = Index(
+                name=f"{schema.name}_pkey",
+                table_name=schema.name,
+                columns=primary_columns,
+                unique=True,
+                primary=True,
+            )
+            self._indexes[definition.name.lower()] = OrderedIndex(definition)
+        self._statistics[key] = TableStatistics(table=schema.name)
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        """Drop a table together with its indexes and statistics."""
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+        self._statistics.pop(key, None)
+        for index_name in [
+            index_name
+            for index_name, index in self._indexes.items()
+            if index.definition.table_name.lower() == key
+        ]:
+            del self._indexes[index_name]
+
+    def create_index(
+        self,
+        name: str,
+        table_name: str,
+        columns: Sequence[str],
+        unique: bool = False,
+    ) -> Index:
+        """Create a secondary index and populate it from existing rows."""
+        if name.lower() in self._indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        table = self.table(table_name)
+        for column in columns:
+            if not table.schema.has_column(column):
+                raise CatalogError(
+                    f"cannot index unknown column {column!r} of table {table_name!r}"
+                )
+        definition = Index(name=name, table_name=table.schema.name, columns=list(columns), unique=unique)
+        ordered = OrderedIndex(definition)
+        for row_id, row in table.scan():
+            ordered.insert(tuple(row[column] for column in definition.columns), row_id)
+        self._indexes[name.lower()] = ordered
+        return definition
+
+    def drop_index(self, name: str) -> None:
+        """Drop a secondary index."""
+        if name.lower() not in self._indexes:
+            raise CatalogError(f"index {name!r} does not exist")
+        del self._indexes[name.lower()]
+
+    # -- access -----------------------------------------------------------------------
+
+    def table(self, name: str) -> HeapTable:
+        """Return the heap table named *name*."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"table {name!r} does not exist") from exc
+
+    def has_table(self, name: str) -> bool:
+        """Return whether a table named *name* exists."""
+        return name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        """Return the names of all tables."""
+        return [table.schema.name for table in self._tables.values()]
+
+    def schema(self, name: str) -> TableSchema:
+        """Return the schema of the table named *name*."""
+        return self.table(name).schema
+
+    def indexes_for(self, table_name: str) -> List[OrderedIndex]:
+        """Return every index defined on *table_name*."""
+        return [
+            index
+            for index in self._indexes.values()
+            if index.definition.table_name.lower() == table_name.lower()
+        ]
+
+    def index(self, name: str) -> OrderedIndex:
+        """Return the index named *name*."""
+        try:
+            return self._indexes[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"index {name!r} does not exist") from exc
+
+    def index_names(self) -> List[str]:
+        """Return the names of all indexes."""
+        return [index.definition.name for index in self._indexes.values()]
+
+    # -- DML -------------------------------------------------------------------------
+
+    def insert_rows(self, table_name: str, rows: Iterable[Row]) -> int:
+        """Insert rows into *table_name*, maintaining its indexes."""
+        table = self.table(table_name)
+        indexes = self.indexes_for(table_name)
+        inserted = 0
+        for row in rows:
+            row_id = table.insert(row)
+            stored = table.get(row_id)
+            for index in indexes:
+                key = tuple(stored[column] for column in index.definition.columns)
+                index.insert(key, row_id)
+            inserted += 1
+        return inserted
+
+    def update_rows(self, table_name: str, row_ids: Sequence[int], changes_per_row: Sequence[Row]) -> int:
+        """Apply per-row changes, maintaining indexes."""
+        table = self.table(table_name)
+        indexes = self.indexes_for(table_name)
+        for row_id, changes in zip(row_ids, changes_per_row):
+            before = dict(table.get(row_id))
+            table.update(row_id, changes)
+            after = table.get(row_id)
+            for index in indexes:
+                columns = index.definition.columns
+                old_key = tuple(before[column] for column in columns)
+                new_key = tuple(after[column] for column in columns)
+                if old_key != new_key:
+                    index.remove(old_key, row_id)
+                    index.insert(new_key, row_id)
+        return len(row_ids)
+
+    def delete_rows(self, table_name: str, row_ids: Sequence[int]) -> int:
+        """Delete rows by id, maintaining indexes."""
+        table = self.table(table_name)
+        indexes = self.indexes_for(table_name)
+        for row_id in row_ids:
+            row = dict(table.get(row_id))
+            for index in indexes:
+                key = tuple(row[column] for column in index.definition.columns)
+                index.remove(key, row_id)
+            table.delete(row_id)
+        return len(row_ids)
+
+    # -- statistics ---------------------------------------------------------------------
+
+    def analyze(self, table_name: Optional[str] = None) -> None:
+        """Collect statistics for one table, or for every table."""
+        names = [table_name] if table_name else self.table_names()
+        for name in names:
+            table = self.table(name)
+            numeric_columns = [
+                column.name
+                for column in table.schema.columns
+                if column.data_type.is_numeric
+            ]
+            self._statistics[name.lower()] = collect_table_statistics(
+                table.schema.name,
+                table.rows(),
+                numeric_columns,
+                table.schema.column_names(),
+            )
+
+    def statistics(self, table_name: str) -> TableStatistics:
+        """Return the most recently collected statistics for *table_name*.
+
+        Statistics may be stale (as in real systems); callers that need fresh
+        numbers should call :meth:`analyze` first.
+        """
+        key = table_name.lower()
+        if key not in self._statistics:
+            raise CatalogError(f"no statistics for table {table_name!r}")
+        stats = self._statistics[key]
+        if stats.row_count == 0 and self.table(table_name).row_count > 0:
+            # Real systems auto-analyze small/new tables lazily; emulate that.
+            self.analyze(table_name)
+            stats = self._statistics[key]
+        return stats
+
+    def copy_schema_to(self, other: "Database") -> None:
+        """Recreate this database's tables and indexes (no rows) in *other*."""
+        for table in self._tables.values():
+            other.create_table(
+                TableSchema(
+                    name=table.schema.name,
+                    columns=[
+                        Column(
+                            name=column.name,
+                            data_type=column.data_type,
+                            nullable=column.nullable,
+                            primary_key=column.primary_key,
+                            unique=column.unique,
+                            default=column.default,
+                        )
+                        for column in table.schema.columns
+                    ],
+                )
+            )
+        for index in self._indexes.values():
+            if not index.definition.primary:
+                other.create_index(
+                    index.definition.name,
+                    index.definition.table_name,
+                    index.definition.columns,
+                    index.definition.unique,
+                )
+
+    def clone(self) -> "Database":
+        """Return a deep copy of the database (schema, rows, indexes)."""
+        replica = Database(self.name)
+        self.copy_schema_to(replica)
+        for table in self._tables.values():
+            replica.insert_rows(table.schema.name, [dict(row) for row in table.rows()])
+        replica.analyze()
+        return replica

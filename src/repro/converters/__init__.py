@@ -1,0 +1,33 @@
+"""Converters from DBMS-specific serialized query plans to the unified representation."""
+
+from repro.converters.base import (
+    PlanConverter,
+    available_converters,
+    converter_for,
+    register_converter,
+)
+from repro.converters.influxdb import InfluxDBConverter
+from repro.converters.mongodb import MongoDBConverter
+from repro.converters.mysql import MySQLConverter
+from repro.converters.neo4j import Neo4jConverter
+from repro.converters.postgresql import PostgreSQLConverter
+from repro.converters.sparksql import SparkSQLConverter
+from repro.converters.sqlite import SQLiteConverter
+from repro.converters.sqlserver import SQLServerConverter
+from repro.converters.tidb import TiDBConverter
+
+__all__ = [
+    "PlanConverter",
+    "converter_for",
+    "available_converters",
+    "register_converter",
+    "PostgreSQLConverter",
+    "MySQLConverter",
+    "TiDBConverter",
+    "SQLiteConverter",
+    "SQLServerConverter",
+    "SparkSQLConverter",
+    "MongoDBConverter",
+    "Neo4jConverter",
+    "InfluxDBConverter",
+]

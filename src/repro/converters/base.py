@@ -1,0 +1,99 @@
+"""Converter base class and registry.
+
+A *converter* parses a DBMS-specific serialized query plan (the raw text or
+JSON that ``EXPLAIN`` returned) into the unified representation.  The paper
+implemented five such converters of roughly 200 lines each; this package
+provides one for every studied DBMS.  Converters rely on the
+:class:`~repro.core.naming.NameRegistry` populated from the case-study
+catalogues, so an unknown operation or property never fails the conversion —
+it falls back to a generic category, which is what keeps applications
+forward-compatible (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.core.categories import OperationCategory, PropertyCategory
+from repro.core.model import Operation, PlanNode, Property, UnifiedPlan
+from repro.core.naming import NameRegistry, default_registry
+from repro.errors import ConversionError
+
+
+class PlanConverter:
+    """Base class of the per-DBMS converters."""
+
+    #: Lower-case DBMS name this converter handles.
+    dbms: str = "abstract"
+    #: Native formats this converter can parse.
+    formats: tuple = ("text",)
+
+    def __init__(self, registry: Optional[NameRegistry] = None) -> None:
+        self.registry = registry or default_registry()
+
+    # -- API -----------------------------------------------------------------------
+
+    def convert(self, serialized: str, format: Optional[str] = None) -> UnifiedPlan:
+        """Convert a serialized plan into a :class:`UnifiedPlan`."""
+        chosen = (format or self.formats[0]).lower()
+        if chosen not in self.formats:
+            raise ConversionError(
+                self.dbms, f"format {chosen!r} not supported; available: {self.formats}"
+            )
+        plan = self._parse(serialized, chosen)
+        plan.source_dbms = self.dbms
+        return plan
+
+    def _parse(self, serialized: str, format: str) -> UnifiedPlan:
+        raise NotImplementedError
+
+    # -- helpers --------------------------------------------------------------------
+
+    def operation(self, native_name: str) -> Operation:
+        """Map a native operation name to a unified operation."""
+        category, unified = self.registry.resolve_operation(self.dbms, native_name)
+        return Operation(category, unified)
+
+    def make_node(self, native_name: str) -> PlanNode:
+        """Create a plan node for a native operation name."""
+        return PlanNode(self.operation(native_name))
+
+    def property(self, native_name: str, value: object) -> Property:
+        """Map a native property name/value to a unified property."""
+        category, unified = self.registry.resolve_property(self.dbms, native_name)
+        return Property(category, unified, _coerce_value(value))
+
+
+def _coerce_value(value: object) -> object:
+    """Coerce arbitrary parsed values into the grammar's value domain."""
+    if value is None or isinstance(value, (bool, int, float)):
+        return value
+    text = str(value)
+    try:
+        if text.strip() and text.strip().lstrip("-").replace(".", "", 1).isdigit():
+            return float(text) if "." in text else int(text)
+    except ValueError:
+        pass
+    return text
+
+
+_CONVERTERS: Dict[str, Type[PlanConverter]] = {}
+
+
+def register_converter(converter_class: Type[PlanConverter]) -> Type[PlanConverter]:
+    """Class decorator registering a converter for its DBMS."""
+    _CONVERTERS[converter_class.dbms] = converter_class
+    return converter_class
+
+
+def converter_for(dbms: str, registry: Optional[NameRegistry] = None) -> PlanConverter:
+    """Instantiate the converter for *dbms*."""
+    try:
+        return _CONVERTERS[dbms.lower()](registry)
+    except KeyError as exc:
+        raise ConversionError(dbms, f"no converter registered; available: {sorted(_CONVERTERS)}") from exc
+
+
+def available_converters() -> List[str]:
+    """Return the DBMS names that have registered converters."""
+    return sorted(_CONVERTERS)

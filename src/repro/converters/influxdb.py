@@ -1,0 +1,34 @@
+"""Converter for InfluxDB ``EXPLAIN`` output (text format).
+
+InfluxDB plans contain no operations — only plan-associated properties — so
+the resulting unified plan has no tree, exactly the case the grammar's
+optional ``tree`` production exists for.
+"""
+
+from __future__ import annotations
+
+from repro.converters.base import PlanConverter, register_converter
+from repro.core.model import UnifiedPlan
+from repro.errors import ConversionError
+
+
+@register_converter
+class InfluxDBConverter(PlanConverter):
+    """Parses InfluxDB's property-list query plans."""
+
+    dbms = "influxdb"
+    formats = ("text",)
+
+    def _parse(self, serialized: str, format: str) -> UnifiedPlan:
+        plan = UnifiedPlan()
+        for line in serialized.splitlines():
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("QUERY PLAN", "---")):
+                continue
+            if ":" not in stripped:
+                continue
+            key, _, value = stripped.partition(":")
+            plan.properties.append(self.property(key.strip(), value.strip()))
+        if not plan.properties:
+            raise ConversionError(self.dbms, "no plan properties found")
+        return plan

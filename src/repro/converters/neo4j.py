@@ -1,0 +1,93 @@
+"""Converter for Neo4j execution plans (JSON and textual table formats)."""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List
+
+from repro.converters.base import PlanConverter, register_converter
+from repro.core.model import PlanNode, UnifiedPlan
+from repro.errors import ConversionError
+
+_TABLE_ROW = re.compile(r"^\|\s*\+(?P<operator>[A-Za-z()@ ]+?)\s*\|\s*(?P<details>.*?)\s*\|\s*(?P<rows>\d+)\s*\|")
+_SUMMARY = re.compile(
+    r"Total database accesses:\s*(?P<accesses>\d+),\s*total allocated memory:\s*(?P<memory>\d+)"
+)
+
+
+@register_converter
+class Neo4jConverter(PlanConverter):
+    """Parses Neo4j plan output into the unified representation."""
+
+    dbms = "neo4j"
+    formats = ("json", "text")
+
+    def _parse(self, serialized: str, format: str) -> UnifiedPlan:
+        if format == "json":
+            return self._parse_json(serialized)
+        return self._parse_text(serialized)
+
+    def _chain(self, operators: List[Dict[str, Any]]) -> PlanNode:
+        """Neo4j prints the plan root-first; rebuild the chain as a tree."""
+        root: PlanNode = None
+        current: PlanNode = None
+        for operator in operators:
+            node = self.make_node(str(operator.get("Operator", "Unknown")))
+            for key, value in operator.items():
+                if key == "Operator":
+                    continue
+                node.properties.append(self.property(key, value))
+            if root is None:
+                root = node
+            else:
+                current.children.append(node)
+            current = node
+        return root
+
+    def _parse_json(self, serialized: str) -> UnifiedPlan:
+        try:
+            document = json.loads(serialized)
+        except json.JSONDecodeError as exc:
+            raise ConversionError(self.dbms, f"invalid plan JSON: {exc}") from exc
+        operators = document.get("plan", [])
+        if not operators:
+            raise ConversionError(self.dbms, "plan document has no operators")
+        plan = UnifiedPlan()
+        plan.root = self._chain(operators)
+        for key, value in document.get("summary", {}).items():
+            plan.properties.append(self.property(key, value))
+        return plan
+
+    def _parse_text(self, serialized: str) -> UnifiedPlan:
+        operators: List[Dict[str, Any]] = []
+        plan = UnifiedPlan()
+        for line in serialized.splitlines():
+            row = _TABLE_ROW.match(line.strip())
+            if row:
+                operators.append(
+                    {
+                        "Operator": row.group("operator").strip(),
+                        "Details": row.group("details").strip(),
+                        "EstimatedRows": int(row.group("rows")),
+                    }
+                )
+                continue
+            summary = _SUMMARY.search(line)
+            if summary:
+                plan.properties.append(
+                    self.property("Total database accesses", int(summary.group("accesses")))
+                )
+                plan.properties.append(
+                    self.property("Total allocated memory", int(summary.group("memory")))
+                )
+            elif line.startswith("Planner "):
+                plan.properties.append(self.property("Planner", line.split(" ", 1)[1]))
+            elif line.startswith("Runtime version "):
+                plan.properties.append(
+                    self.property("Runtime version", line.split("Runtime version ", 1)[1])
+                )
+        if not operators:
+            raise ConversionError(self.dbms, "no operators found in plan table")
+        plan.root = self._chain(operators)
+        return plan

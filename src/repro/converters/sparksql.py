@@ -1,0 +1,68 @@
+"""Converter for SparkSQL textual physical plans (``== Physical Plan ==``)."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.converters.base import PlanConverter, register_converter
+from repro.core.model import PlanNode, UnifiedPlan
+from repro.errors import ConversionError
+
+_LINE = re.compile(r"^(?P<indent>\s*)(?:\+- )?(?:\*\(\d+\)\s+)?(?P<name>\S.*)$")
+
+
+@register_converter
+class SparkSQLConverter(PlanConverter):
+    """Parses the textual ``EXPLAIN`` output of SparkSQL."""
+
+    dbms = "sparksql"
+    formats = ("text",)
+
+    def _parse(self, serialized: str, format: str) -> UnifiedPlan:
+        plan = UnifiedPlan()
+        stack: List[Tuple[int, PlanNode]] = []
+        for raw_line in serialized.splitlines():
+            if not raw_line.strip() or raw_line.strip().startswith("=="):
+                continue
+            match = _LINE.match(raw_line)
+            if not match:
+                continue
+            depth = len(match.group("indent"))
+            full_name = match.group("name").strip()
+            operator = self._operator_name(full_name)
+            node = self.make_node(operator)
+            details = full_name[len(operator) :].strip()
+            if details:
+                node.properties.append(self.property("details", details))
+            while stack and stack[-1][0] >= depth:
+                stack.pop()
+            if stack:
+                stack[-1][1].children.append(node)
+            elif plan.root is None:
+                plan.root = node
+            stack.append((depth, node))
+        if plan.root is None:
+            raise ConversionError(self.dbms, "no physical plan found")
+        return plan
+
+    def _operator_name(self, text: str) -> str:
+        """Extract the operator name from a plan line.
+
+        ``HashAggregate(keys=[...], functions=[...])`` → ``HashAggregate``;
+        ``Exchange hashpartitioning(c0, 200)`` → ``Exchange``;
+        ``Scan ExistingRDD lineitem`` → ``Scan ExistingRDD``.
+        """
+        name = text.split("(")[0].strip()
+        first_word = name.split(" ")[0]
+        if first_word in {"Exchange", "Sort", "Filter", "Project", "Union", "Subquery"}:
+            return first_word
+        if name.startswith("Scan"):
+            return "Scan ExistingRDD"
+        if name.startswith("BroadcastHashJoin"):
+            return "BroadcastHashJoin"
+        if name.startswith("SortMergeJoin"):
+            return "SortMergeJoin"
+        if name.startswith("TakeOrderedAndProject"):
+            return "TakeOrderedAndProject"
+        return name

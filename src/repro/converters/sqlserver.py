@@ -1,0 +1,127 @@
+"""Converter for SQL Server showplan output (XML, text, and tabular formats)."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+from xml.etree import ElementTree
+
+from repro.converters.base import PlanConverter, register_converter
+from repro.core.model import PlanNode, UnifiedPlan
+from repro.errors import ConversionError
+
+_TEXT_LINE = re.compile(r"^(?P<indent>\s*)(?:\|--)?(?P<name>[A-Za-z ]+)(?:\((?P<details>.*)\))?\s*$")
+
+
+@register_converter
+class SQLServerConverter(PlanConverter):
+    """Parses SQL Server SHOWPLAN XML and SHOWPLAN_TEXT-style output."""
+
+    dbms = "sqlserver"
+    formats = ("xml", "text", "table")
+
+    def _parse(self, serialized: str, format: str) -> UnifiedPlan:
+        if format == "xml":
+            return self._parse_xml(serialized)
+        if format == "table":
+            return self._parse_table(serialized)
+        return self._parse_text(serialized)
+
+    # ------------------------------------------------------------------ XML
+
+    def _parse_xml(self, serialized: str) -> UnifiedPlan:
+        try:
+            root = ElementTree.fromstring(serialized)
+        except ElementTree.ParseError as exc:
+            raise ConversionError(self.dbms, f"invalid showplan XML: {exc}") from exc
+        rel_ops = [
+            element for element in root.iter() if element.tag.split("}")[-1] == "RelOp"
+        ]
+        plan = UnifiedPlan()
+        top_level = self._top_level_relops(root)
+        if not top_level:
+            raise ConversionError(self.dbms, "no RelOp elements found")
+        plan.root = self._node_from_element(top_level[0])
+        return plan
+
+    def _top_level_relops(self, root) -> List:
+        result = []
+
+        def visit(element, inside_relop: bool) -> None:
+            tag = element.tag.split("}")[-1]
+            if tag == "RelOp":
+                if not inside_relop:
+                    result.append(element)
+                inside_relop = True
+            for child in element:
+                visit(child, inside_relop)
+
+        visit(root, False)
+        return result
+
+    def _node_from_element(self, element) -> PlanNode:
+        node = self.make_node(element.get("PhysicalOp", "Unknown"))
+        for key, value in element.attrib.items():
+            if key == "PhysicalOp":
+                continue
+            node.properties.append(self.property(key, value))
+        for child in element:
+            if child.tag.split("}")[-1] == "RelOp":
+                node.children.append(self._node_from_element(child))
+        return node
+
+    # ------------------------------------------------------------------ text
+
+    def _parse_text(self, serialized: str) -> UnifiedPlan:
+        plan = UnifiedPlan()
+        stack: List[Tuple[int, PlanNode]] = []
+        for raw_line in serialized.splitlines():
+            if not raw_line.strip():
+                continue
+            stripped = raw_line.lstrip()
+            depth = len(raw_line) - len(stripped)
+            name = stripped[3:] if stripped.startswith("|--") else stripped
+            operator = name.split("(")[0].strip()
+            details = name[len(operator) :].strip().strip("()")
+            node = self.make_node(operator)
+            if details:
+                node.properties.append(self.property("Details", details))
+            while stack and stack[-1][0] >= depth:
+                stack.pop()
+            if stack:
+                stack[-1][1].children.append(node)
+            elif plan.root is None:
+                plan.root = node
+            stack.append((depth, node))
+        if plan.root is None:
+            raise ConversionError(self.dbms, "no plan found in showplan text")
+        return plan
+
+    # ------------------------------------------------------------------ table
+
+    def _parse_table(self, serialized: str) -> UnifiedPlan:
+        lines = [line for line in serialized.splitlines() if line.strip().startswith("|")]
+        if not lines:
+            raise ConversionError(self.dbms, "no showplan rows found")
+        header = [cell.strip() for cell in lines[0].strip().strip("|").split("|")]
+        nodes = {}
+        plan = UnifiedPlan()
+        for line in lines[1:]:
+            cells = [cell.strip() for cell in line.strip().strip("|").split("|")]
+            if len(cells) != len(header):
+                continue
+            row = dict(zip(header, cells))
+            node = self.make_node(row.get("PhysicalOp", "Unknown"))
+            for key in ("LogicalOp", "EstimateRows", "TotalSubtreeCost"):
+                if row.get(key):
+                    node.properties.append(self.property(key, row[key]))
+            node_id = row.get("NodeId", "")
+            parent_id = row.get("Parent", "")
+            nodes[node_id] = node
+            if parent_id and parent_id in nodes:
+                nodes[parent_id].children.append(node)
+            elif plan.root is None:
+                plan.root = node
+        if plan.root is None:
+            raise ConversionError(self.dbms, "no plan rows parsed")
+        return plan

@@ -1,0 +1,87 @@
+"""UPlan — the unified query plan representation (the paper's contribution).
+
+The :mod:`repro.core` package implements the unified query plan representation
+proposed in Section IV of *"Towards a Unified Query Plan Representation"*:
+
+* :mod:`repro.core.categories` — the seven operation categories and the four
+  property categories identified by the exploratory case study,
+* :mod:`repro.core.model` — the plan data model (operations, properties,
+  nodes, plans),
+* :mod:`repro.core.builder` — a fluent construction API,
+* :mod:`repro.core.grammar` — the canonical EBNF text form (Listing 2),
+* :mod:`repro.core.formats` — JSON / XML / YAML / text / table serializers,
+* :mod:`repro.core.naming` — the unified naming convention and the mapping
+  registry from DBMS-specific names,
+* :mod:`repro.core.compare` — fingerprints, category histograms, tree edit
+  distance, and plan diffing,
+* :mod:`repro.core.validate` — structural validation.
+"""
+
+from repro.core.categories import (
+    OPERATION_CATEGORY_ORDER,
+    PROPERTY_CATEGORY_ORDER,
+    OperationCategory,
+    PropertyCategory,
+)
+from repro.core.model import (
+    Operation,
+    PlanNode,
+    Property,
+    PropertyValue,
+    UnifiedPlan,
+)
+from repro.core.builder import PlanBuilder, node
+from repro.core.naming import (
+    DEFAULT_REGISTRY,
+    NameRegistry,
+    UNIFIED_OPERATIONS,
+    UNIFIED_PROPERTIES,
+    clean_identifier,
+    default_registry,
+)
+from repro.core.compare import (
+    PlanDiff,
+    average_category_histogram,
+    category_histogram,
+    diff_plans,
+    plan_similarity,
+    producer_count,
+    structural_fingerprint,
+    structural_signature,
+    tree_edit_distance,
+)
+from repro.core.validate import is_valid_plan, validate_plan
+from repro.core import formats, grammar
+
+__all__ = [
+    "OperationCategory",
+    "PropertyCategory",
+    "OPERATION_CATEGORY_ORDER",
+    "PROPERTY_CATEGORY_ORDER",
+    "Operation",
+    "Property",
+    "PropertyValue",
+    "PlanNode",
+    "UnifiedPlan",
+    "PlanBuilder",
+    "node",
+    "NameRegistry",
+    "DEFAULT_REGISTRY",
+    "default_registry",
+    "UNIFIED_OPERATIONS",
+    "UNIFIED_PROPERTIES",
+    "clean_identifier",
+    "structural_fingerprint",
+    "structural_signature",
+    "category_histogram",
+    "average_category_histogram",
+    "producer_count",
+    "tree_edit_distance",
+    "plan_similarity",
+    "diff_plans",
+    "PlanDiff",
+    "validate_plan",
+    "is_valid_plan",
+    "formats",
+    "grammar",
+]

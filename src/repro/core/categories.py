@@ -1,0 +1,131 @@
+"""Operation and property categories of the unified query plan representation.
+
+The exploratory case study (Section III of the paper) identifies that query
+plan representations across nine DBMSs share three conceptual components:
+*operations*, *properties*, and *formats*.  Operations fall into seven
+categories grounded in relational algebra, and properties fall into four
+categories.  These enumerations are the backbone of the unified representation
+defined in Section IV (Listing 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class OperationCategory(enum.Enum):
+    """The seven operation categories identified by the case study.
+
+    ========== =====================================================
+    Category   Meaning (relational-algebra correspondence)
+    ========== =====================================================
+    PRODUCER   Retrieves data from storage or returns constants (σ).
+    COMBINATOR Changes permutation/combination of tuples (∪, ∩, −).
+    JOIN       Generates new tuples by recombining attributes (⋈, ×).
+    FOLDER     Derives new tuples from a set of tuples (γ).
+    PROJECTOR  Removes attributes from all tuples (Π).
+    EXECUTOR   Makes no change to tuples/attributes (DBMS-internal).
+    CONSUMER   Has no output; modifies stored data or system state.
+    ========== =====================================================
+    """
+
+    PRODUCER = "Producer"
+    COMBINATOR = "Combinator"
+    JOIN = "Join"
+    FOLDER = "Folder"
+    PROJECTOR = "Projector"
+    EXECUTOR = "Executor"
+    CONSUMER = "Consumer"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def algebra(self) -> str:
+        """The relational-algebra operators realized by this category."""
+        return _ALGEBRA[self]
+
+    @classmethod
+    def from_name(cls, name: str) -> "OperationCategory":
+        """Resolve a category from its canonical (case-insensitive) name."""
+        cleaned = name.strip().lower()
+        for member in cls:
+            if member.value.lower() == cleaned:
+                return member
+        raise ValueError(f"unknown operation category: {name!r}")
+
+
+class PropertyCategory(enum.Enum):
+    """The four property categories identified by the case study.
+
+    ============= ======================================================
+    Category      Meaning
+    ============= ======================================================
+    CARDINALITY   Numeric estimates of data sizes returned by operations.
+    COST          Numeric estimates of resource consumption.
+    CONFIGURATION Operation parameters (predicates, keys, options).
+    STATUS        Runtime status metrics determined by the environment.
+    ============= ======================================================
+    """
+
+    CARDINALITY = "Cardinality"
+    COST = "Cost"
+    CONFIGURATION = "Configuration"
+    STATUS = "Status"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @classmethod
+    def from_name(cls, name: str) -> "PropertyCategory":
+        """Resolve a category from its canonical (case-insensitive) name."""
+        cleaned = name.strip().lower()
+        for member in cls:
+            if member.value.lower() == cleaned:
+                return member
+        raise ValueError(f"unknown property category: {name!r}")
+
+
+_ALGEBRA = {
+    OperationCategory.PRODUCER: "σ",
+    OperationCategory.COMBINATOR: "∪, ∩, −",
+    OperationCategory.JOIN: "⋈, ×",
+    OperationCategory.FOLDER: "γ",
+    OperationCategory.PROJECTOR: "Π",
+    OperationCategory.EXECUTOR: "",
+    OperationCategory.CONSUMER: "",
+}
+
+#: Canonical ordering used by Table II / Table VI of the paper.
+OPERATION_CATEGORY_ORDER = (
+    OperationCategory.PRODUCER,
+    OperationCategory.COMBINATOR,
+    OperationCategory.JOIN,
+    OperationCategory.FOLDER,
+    OperationCategory.PROJECTOR,
+    OperationCategory.EXECUTOR,
+    OperationCategory.CONSUMER,
+)
+
+#: Canonical ordering used by the right part of Table II.
+PROPERTY_CATEGORY_ORDER = (
+    PropertyCategory.CARDINALITY,
+    PropertyCategory.COST,
+    PropertyCategory.CONFIGURATION,
+    PropertyCategory.STATUS,
+)
+
+
+def operation_category(name: Optional[str]) -> Optional[OperationCategory]:
+    """Lenient lookup used by converters: returns ``None`` for ``None``."""
+    if name is None:
+        return None
+    return OperationCategory.from_name(name)
+
+
+def property_category(name: Optional[str]) -> Optional[PropertyCategory]:
+    """Lenient lookup used by converters: returns ``None`` for ``None``."""
+    if name is None:
+        return None
+    return PropertyCategory.from_name(name)

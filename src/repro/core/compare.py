@@ -1,0 +1,255 @@
+"""Comparison utilities over unified query plans.
+
+These utilities back two of the paper's applications:
+
+* **QPG** needs to decide whether a query plan is *structurally new*; that
+  requires a fingerprint which ignores unstable information such as estimated
+  costs, runtime timings, and auto-generated identifiers (Section V-A.1).
+* **Benchmarking** (Section V-A.3) compares plans across DBMSs using
+  per-category operation counts and, as envisioned in the discussion, tree
+  similarity metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.categories import (
+    OPERATION_CATEGORY_ORDER,
+    OperationCategory,
+    PropertyCategory,
+)
+from repro.core.model import PlanNode, Property, UnifiedPlan
+
+#: Property categories considered *unstable* for fingerprinting purposes:
+#: estimates and runtime metrics change run-to-run without the plan's
+#: structure changing.
+UNSTABLE_PROPERTY_CATEGORIES = (
+    PropertyCategory.CARDINALITY,
+    PropertyCategory.COST,
+    PropertyCategory.STATUS,
+)
+
+#: Identifier suffixes such as ``_5`` in TiDB's ``TableFullScan_5`` are
+#: unstable across runs; QPG's original TiDB parser failed to remove them,
+#: which is the implementation bug the paper reports finding.
+_UNSTABLE_SUFFIX = re.compile(r"[ _#]\d+$")
+
+
+def strip_unstable_suffix(identifier: str) -> str:
+    """Remove trailing auto-generated numeric identifiers from a name."""
+    return _UNSTABLE_SUFFIX.sub("", identifier)
+
+
+def _stable_properties(properties: Sequence[Property]) -> List[Tuple[str, str, str]]:
+    stable = []
+    for prop in properties:
+        if prop.category in UNSTABLE_PROPERTY_CATEGORIES:
+            continue
+        stable.append((prop.category.value, prop.identifier, str(prop.value)))
+    return sorted(stable)
+
+
+def _fingerprint_node(node: PlanNode, include_configuration: bool) -> str:
+    name = strip_unstable_suffix(node.operation.identifier)
+    parts = [f"{node.operation.category.value}->{name}"]
+    if include_configuration:
+        for category, identifier, value in _stable_properties(node.properties):
+            parts.append(f"{category}->{identifier}={value}")
+    children = ",".join(
+        _fingerprint_node(child, include_configuration) for child in node.children
+    )
+    return "(" + "|".join(parts) + "[" + children + "])"
+
+
+def structural_fingerprint(
+    plan: UnifiedPlan, include_configuration: bool = False
+) -> str:
+    """Return a stable fingerprint of the plan's structure.
+
+    Parameters
+    ----------
+    plan:
+        The unified plan to fingerprint.
+    include_configuration:
+        When true, Configuration properties (predicates, keys) contribute to
+        the fingerprint; Cardinality, Cost and Status properties never do.
+        QPG uses ``include_configuration=False`` so that plans differing only
+        in constants are considered equivalent.
+    """
+    if plan.root is None:
+        body = "<no-tree>"
+    else:
+        body = _fingerprint_node(plan.root, include_configuration)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def structural_signature(plan: UnifiedPlan) -> str:
+    """Return the readable (non-hashed) structural form used for debugging."""
+    if plan.root is None:
+        return "<no-tree>"
+    return _fingerprint_node(plan.root, include_configuration=False)
+
+
+# ---------------------------------------------------------------------------
+# Category histograms (Tables VI and VII)
+# ---------------------------------------------------------------------------
+
+
+def category_histogram(plan: UnifiedPlan) -> Dict[OperationCategory, int]:
+    """Count the plan's operations per category."""
+    return plan.count_categories()
+
+
+def average_category_histogram(
+    plans: Sequence[UnifiedPlan],
+) -> Dict[OperationCategory, float]:
+    """Average per-category operation counts over *plans* (Table VI metric)."""
+    totals = {category: 0 for category in OPERATION_CATEGORY_ORDER}
+    for plan in plans:
+        for category, count in plan.count_categories().items():
+            totals[category] += count
+    denominator = max(len(plans), 1)
+    return {category: totals[category] / denominator for category in totals}
+
+
+def producer_count(plan: UnifiedPlan) -> int:
+    """Count Producer operations — the Figure 4 metric."""
+    return plan.count_categories()[OperationCategory.PRODUCER]
+
+
+# ---------------------------------------------------------------------------
+# Tree edit distance
+# ---------------------------------------------------------------------------
+
+
+def _node_label(node: PlanNode) -> str:
+    return (
+        node.operation.category.value
+        + "->"
+        + strip_unstable_suffix(node.operation.identifier)
+    )
+
+
+def tree_edit_distance(left: Optional[PlanNode], right: Optional[PlanNode]) -> int:
+    """Compute a simple ordered tree edit distance between two plan trees.
+
+    The distance counts node relabelings, insertions, and deletions.  The
+    implementation is a recursive forest-edit-distance with memoisation over
+    node identity, sufficient for the plan sizes produced by DBMSs (tens of
+    nodes).  ``None`` stands for an empty tree.
+    """
+    memo: Dict[Tuple[int, int], int] = {}
+
+    def node_size(node: Optional[PlanNode]) -> int:
+        return 0 if node is None else node.size()
+
+    def forest_distance(
+        left_forest: Tuple[PlanNode, ...], right_forest: Tuple[PlanNode, ...]
+    ) -> int:
+        key = (
+            tuple(id(node) for node in left_forest),
+            tuple(id(node) for node in right_forest),
+        )
+        if key in memo:
+            return memo[key]
+        if not left_forest and not right_forest:
+            result = 0
+        elif not left_forest:
+            result = sum(node.size() for node in right_forest)
+        elif not right_forest:
+            result = sum(node.size() for node in left_forest)
+        else:
+            first_left, *rest_left = left_forest
+            first_right, *rest_right = right_forest
+            # Option 1: match the two first trees against each other.
+            relabel = 0 if _node_label(first_left) == _node_label(first_right) else 1
+            match_cost = (
+                relabel
+                + forest_distance(tuple(first_left.children), tuple(first_right.children))
+                + forest_distance(tuple(rest_left), tuple(rest_right))
+            )
+            # Option 2: delete the first left tree's root.
+            delete_cost = 1 + forest_distance(
+                tuple(first_left.children) + tuple(rest_left), right_forest
+            )
+            # Option 3: insert the first right tree's root.
+            insert_cost = 1 + forest_distance(
+                left_forest, tuple(first_right.children) + tuple(rest_right)
+            )
+            result = min(match_cost, delete_cost, insert_cost)
+        memo[key] = result
+        return result
+
+    if left is None and right is None:
+        return 0
+    if left is None:
+        return node_size(right)
+    if right is None:
+        return node_size(left)
+    return forest_distance((left,), (right,))
+
+
+def plan_similarity(left: UnifiedPlan, right: UnifiedPlan) -> float:
+    """Return a [0, 1] similarity score based on tree edit distance."""
+    distance = tree_edit_distance(left.root, right.root)
+    size = max(left.node_count() + right.node_count(), 1)
+    return max(0.0, 1.0 - distance / size)
+
+
+# ---------------------------------------------------------------------------
+# Plan diffing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlanDiff:
+    """A summary of the differences between two unified plans."""
+
+    only_in_left: List[str] = field(default_factory=list)
+    only_in_right: List[str] = field(default_factory=list)
+    category_delta: Dict[OperationCategory, int] = field(default_factory=dict)
+    edit_distance: int = 0
+
+    @property
+    def identical_structure(self) -> bool:
+        """Whether both plans have the same operations and tree shape."""
+        return self.edit_distance == 0
+
+
+def diff_plans(left: UnifiedPlan, right: UnifiedPlan) -> PlanDiff:
+    """Diff two plans by operation multiset, category counts, and structure."""
+    left_ops = sorted(_node_label(node) for node in left.nodes())
+    right_ops = sorted(_node_label(node) for node in right.nodes())
+
+    left_multiset: Dict[str, int] = {}
+    for name in left_ops:
+        left_multiset[name] = left_multiset.get(name, 0) + 1
+    right_multiset: Dict[str, int] = {}
+    for name in right_ops:
+        right_multiset[name] = right_multiset.get(name, 0) + 1
+
+    only_left: List[str] = []
+    only_right: List[str] = []
+    for name in sorted(set(left_multiset) | set(right_multiset)):
+        delta = left_multiset.get(name, 0) - right_multiset.get(name, 0)
+        if delta > 0:
+            only_left.extend([name] * delta)
+        elif delta < 0:
+            only_right.extend([name] * (-delta))
+
+    left_categories = left.count_categories()
+    right_categories = right.count_categories()
+    category_delta = {
+        category: left_categories[category] - right_categories[category]
+        for category in OPERATION_CATEGORY_ORDER
+    }
+    return PlanDiff(
+        only_in_left=only_left,
+        only_in_right=only_right,
+        category_delta=category_delta,
+        edit_distance=tree_edit_distance(left.root, right.root),
+    )

@@ -1,0 +1,69 @@
+"""Tabular serialization of unified query plans.
+
+Table formats (Section III-E) encode each operation and its properties on one
+row and express the tree structure through an ``id`` / ``parent`` pair, much
+like MySQL's and TiDB's tabular ``EXPLAIN`` output.  The rendering is a plain
+ASCII table:
+
+.. code-block:: text
+
+    +----+--------+------------------------+---------------------------+
+    | id | parent | operation              | properties                |
+    +----+--------+------------------------+---------------------------+
+    |  1 |        | Folder->Aggregate      | Cardinality->rows: 100    |
+    |  2 |      1 | Producer->Full Table…  | Configuration->name: "t0" |
+    +----+--------+------------------------+---------------------------+
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.model import PlanNode, UnifiedPlan
+
+
+def _rows(plan: UnifiedPlan) -> List[Tuple[int, Optional[int], str, str]]:
+    rows: List[Tuple[int, Optional[int], str, str]] = []
+    counter = [0]
+
+    def visit(node: PlanNode, parent_id: Optional[int]) -> None:
+        counter[0] += 1
+        node_id = counter[0]
+        properties = "; ".join(
+            f"{p.category.value}->{p.identifier}: {p.value!r}" for p in node.properties
+        )
+        rows.append((node_id, parent_id, str(node.operation), properties))
+        for child in node.children:
+            visit(child, node_id)
+
+    if plan.root is not None:
+        visit(plan.root, None)
+    return rows
+
+
+def render(plan: UnifiedPlan) -> str:
+    """Render *plan* as an ASCII table; plan properties follow as a footer."""
+    rows = _rows(plan)
+    header = ("id", "parent", "operation", "properties")
+    table_rows = [
+        (str(node_id), "" if parent is None else str(parent), operation, properties)
+        for node_id, parent, operation, properties in rows
+    ]
+    widths = [
+        max([len(header[column])] + [len(row[column]) for row in table_rows] or [0])
+        for column in range(4)
+    ]
+
+    def line(char: str = "-") -> str:
+        return "+" + "+".join(char * (width + 2) for width in widths) + "+"
+
+    def format_row(values: Tuple[str, str, str, str]) -> str:
+        cells = [f" {value.ljust(widths[i])} " for i, value in enumerate(values)]
+        return "|" + "|".join(cells) + "|"
+
+    lines = [line(), format_row(header), line()]
+    lines.extend(format_row(row) for row in table_rows)
+    lines.append(line())
+    for prop in plan.properties:
+        lines.append(f"{prop.category.value}->{prop.identifier}: {prop.value!r}")
+    return "\n".join(lines)

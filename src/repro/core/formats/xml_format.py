@@ -1,0 +1,69 @@
+"""XML serialization of unified query plans.
+
+XML is one of the structured formats supported by PostgreSQL and SQL Server
+(Table III).  The document layout is::
+
+    <unifiedPlan sourceDbms="postgresql">
+      <planProperties>
+        <property category="Status" identifier="Planning Time">0.1</property>
+      </planProperties>
+      <node category="Producer" identifier="Full Table Scan">
+        <property category="Configuration" identifier="name object">t0</property>
+        <node .../>
+      </node>
+    </unifiedPlan>
+"""
+
+from __future__ import annotations
+
+from xml.etree import ElementTree
+from xml.dom import minidom
+
+from repro.core.model import PlanNode, Property, UnifiedPlan
+
+
+def _value_attributes(prop: Property) -> str:
+    if prop.value is None:
+        return "null"
+    if isinstance(prop.value, bool):
+        return "boolean"
+    if isinstance(prop.value, (int, float)):
+        return "number"
+    return "string"
+
+
+def _property_element(prop: Property) -> ElementTree.Element:
+    element = ElementTree.Element(
+        "property",
+        category=prop.category.value,
+        identifier=prop.identifier,
+        type=_value_attributes(prop),
+    )
+    if prop.value is not None:
+        element.text = str(prop.value).lower() if isinstance(prop.value, bool) else str(prop.value)
+    return element
+
+
+def _node_element(node: PlanNode) -> ElementTree.Element:
+    element = ElementTree.Element(
+        "node",
+        category=node.operation.category.value,
+        identifier=node.operation.identifier,
+    )
+    for prop in node.properties:
+        element.append(_property_element(prop))
+    for child in node.children:
+        element.append(_node_element(child))
+    return element
+
+
+def dumps(plan: UnifiedPlan) -> str:
+    """Serialize *plan* to a pretty-printed XML document."""
+    root = ElementTree.Element("unifiedPlan", sourceDbms=plan.source_dbms or "")
+    plan_properties = ElementTree.SubElement(root, "planProperties")
+    for prop in plan.properties:
+        plan_properties.append(_property_element(prop))
+    if plan.root is not None:
+        root.append(_node_element(plan.root))
+    raw = ElementTree.tostring(root, encoding="unicode")
+    return minidom.parseString(raw).toprettyxml(indent="  ").strip()

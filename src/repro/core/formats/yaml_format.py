@@ -1,0 +1,67 @@
+"""YAML serialization of unified query plans.
+
+Only PostgreSQL, of the studied DBMSs, exposes query plans as YAML
+(Table III).  To keep the library dependency-free the emitter implements the
+small YAML subset needed for plan documents (nested mappings, sequences and
+scalars); it does not implement a YAML parser.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.core.model import UnifiedPlan
+
+_INDENT = "  "
+
+
+def _scalar(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    needs_quotes = (
+        text == ""
+        or text.strip() != text
+        or any(ch in text for ch in ":#{}[],&*?|-<>=!%@`\"'\n")
+        or text.lower() in {"null", "true", "false", "yes", "no"}
+    )
+    if needs_quotes:
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+    return text
+
+
+def _emit(value: Any, depth: int, lines: List[str]) -> None:
+    prefix = _INDENT * depth
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if isinstance(item, (dict, list)) and item:
+                lines.append(f"{prefix}{key}:")
+                _emit(item, depth + 1, lines)
+            elif isinstance(item, (dict, list)):
+                lines.append(f"{prefix}{key}: " + ("{}" if isinstance(item, dict) else "[]"))
+            else:
+                lines.append(f"{prefix}{key}: {_scalar(item)}")
+        return
+    if isinstance(value, list):
+        for item in value:
+            if isinstance(item, (dict, list)) and item:
+                lines.append(f"{prefix}-")
+                _emit(item, depth + 1, lines)
+            elif isinstance(item, (dict, list)):
+                lines.append(f"{prefix}- " + ("{}" if isinstance(item, dict) else "[]"))
+            else:
+                lines.append(f"{prefix}- {_scalar(item)}")
+        return
+    lines.append(f"{prefix}{_scalar(value)}")
+
+
+def dumps(plan: UnifiedPlan) -> str:
+    """Serialize *plan* to a YAML document."""
+    lines: List[str] = []
+    _emit(plan.to_dict(), 0, lines)
+    return "\n".join(lines)

@@ -1,0 +1,351 @@
+"""The EBNF-defined canonical text form of the unified plan representation.
+
+Listing 2 of the paper defines the unified query plan representation with this
+grammar (EBNF):
+
+.. code-block:: text
+
+    plan       ::= ( tree )? properties
+    tree       ::= node ( '--children-->' '{' tree (',' tree)* '}' )?
+    node       ::= operation properties
+    operation  ::= 'Operation' ':' operation_category '->' operation_identifier
+    properties ::= ( property ( ',' property )* )?
+    property   ::= property_category '->' property_identifier ':' value
+    keyword    ::= letter ( letter | digit | '_' )*
+    value      ::= string | number | boolean | 'null'
+
+This module provides a faithful serializer (:func:`serialize`) and parser
+(:func:`parse`) for that grammar.  Because the grammar's ``keyword`` production
+does not admit spaces, identifiers containing spaces (the unified naming
+convention uses e.g. ``Full Table Scan``) are encoded with underscores on
+serialization and decoded back to spaces on parsing.  The encoding is lossless
+for unified names, which never contain literal underscores.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.categories import OperationCategory, PropertyCategory
+from repro.core.model import (
+    Operation,
+    PlanNode,
+    Property,
+    PropertyValue,
+    UnifiedPlan,
+)
+from repro.errors import GrammarError
+
+_OPERATION_CATEGORIES = {member.value for member in OperationCategory}
+_PROPERTY_CATEGORIES = {member.value for member in PropertyCategory}
+
+_CHILDREN_ARROW = "--children-->"
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def _encode_keyword(identifier: str) -> str:
+    """Encode an identifier into a grammar-conformant keyword."""
+    return identifier.replace(" ", "_")
+
+
+def _decode_keyword(keyword: str) -> str:
+    """Decode a grammar keyword back into the unified spaced form."""
+    return keyword.replace("_", " ")
+
+
+def _encode_value(value: PropertyValue) -> str:
+    """Render a property value per the ``value`` production."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _serialize_properties(properties: List[Property]) -> str:
+    rendered = [
+        f"{prop.category.value}->{_encode_keyword(prop.identifier)}: {_encode_value(prop.value)}"
+        for prop in properties
+    ]
+    return ", ".join(rendered)
+
+
+def _serialize_node(node: PlanNode) -> str:
+    parts = [
+        f"Operation: {node.operation.category.value}->"
+        f"{_encode_keyword(node.operation.identifier)}"
+    ]
+    if node.properties:
+        parts.append(_serialize_properties(node.properties))
+    text = " ".join(parts)
+    if node.children:
+        children = ", ".join(_serialize_node(child) for child in node.children)
+        text = f"{text} {_CHILDREN_ARROW} {{ {children} }}"
+    return text
+
+
+def serialize(plan: UnifiedPlan) -> str:
+    """Serialize *plan* into the canonical grammar text form."""
+    pieces = []
+    if plan.root is not None:
+        pieces.append(_serialize_node(plan.root))
+    if plan.properties:
+        pieces.append(_serialize_properties(plan.properties))
+    return " ".join(pieces)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+class _Token:
+    """A lexical token of the grammar text form."""
+
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind}, {self.text!r}, {self.position})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if text.startswith(_CHILDREN_ARROW, index):
+            tokens.append(_Token("ARROW_CHILDREN", _CHILDREN_ARROW, index))
+            index += len(_CHILDREN_ARROW)
+            continue
+        if text.startswith("->", index):
+            tokens.append(_Token("ARROW", "->", index))
+            index += 2
+            continue
+        if char in "{},:":
+            kinds = {"{": "LBRACE", "}": "RBRACE", ",": "COMMA", ":": "COLON"}
+            tokens.append(_Token(kinds[char], char, index))
+            index += 1
+            continue
+        if char == '"':
+            end = index + 1
+            value_chars: List[str] = []
+            while end < length:
+                if text[end] == "\\" and end + 1 < length:
+                    value_chars.append(text[end + 1])
+                    end += 2
+                    continue
+                if text[end] == '"':
+                    break
+                value_chars.append(text[end])
+                end += 1
+            if end >= length:
+                raise GrammarError(f"unterminated string at position {index}")
+            tokens.append(_Token("STRING", "".join(value_chars), index))
+            index = end + 1
+            continue
+        if char == "-" or char.isdigit():
+            end = index + 1
+            while end < length and (text[end].isdigit() or text[end] in ".eE+-"):
+                end += 1
+            tokens.append(_Token("NUMBER", text[index:end], index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            tokens.append(_Token("WORD", text[index:end], index))
+            index = end
+            continue
+        raise GrammarError(f"unexpected character {char!r} at position {index}")
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for the grammar text form."""
+
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token utilities ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[_Token]:
+        position = self._index + offset
+        if position < len(self._tokens):
+            return self._tokens[position]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise GrammarError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise GrammarError(
+                f"expected {kind} but found {token.kind} ({token.text!r}) "
+                f"at position {token.position}"
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # -- productions ----------------------------------------------------------
+
+    def parse_plan(self) -> UnifiedPlan:
+        plan = UnifiedPlan()
+        token = self._peek()
+        if token is not None and token.kind == "WORD" and token.text == "Operation":
+            plan.root = self._parse_tree()
+        plan.properties = self._parse_properties(allow_leading_comma=True)
+        if not self.at_end():
+            token = self._peek()
+            raise GrammarError(
+                f"trailing input at position {token.position}: {token.text!r}"
+            )
+        return plan
+
+    def _parse_tree(self) -> PlanNode:
+        node = self._parse_node()
+        token = self._peek()
+        if token is not None and token.kind == "ARROW_CHILDREN":
+            self._next()
+            self._expect("LBRACE")
+            node.children.append(self._parse_tree())
+            while self._peek() is not None and self._peek().kind == "COMMA":
+                # A comma may either separate sibling trees or (outside a brace)
+                # separate properties; inside the braces it is always a sibling.
+                self._next()
+                node.children.append(self._parse_tree())
+            self._expect("RBRACE")
+        return node
+
+    def _parse_node(self) -> PlanNode:
+        keyword = self._expect("WORD")
+        if keyword.text != "Operation":
+            raise GrammarError(
+                f"expected 'Operation' at position {keyword.position}, "
+                f"found {keyword.text!r}"
+            )
+        self._expect("COLON")
+        category_token = self._expect("WORD")
+        if category_token.text not in _OPERATION_CATEGORIES:
+            raise GrammarError(
+                f"unknown operation category {category_token.text!r} "
+                f"at position {category_token.position}"
+            )
+        self._expect("ARROW")
+        identifier_token = self._expect("WORD")
+        operation = Operation(
+            OperationCategory.from_name(category_token.text),
+            _decode_keyword(identifier_token.text),
+        )
+        node = PlanNode(operation)
+        node.properties = self._parse_properties(allow_leading_comma=False)
+        return node
+
+    def _looking_at_property(self) -> bool:
+        token = self._peek()
+        arrow = self._peek(1)
+        return (
+            token is not None
+            and token.kind == "WORD"
+            and token.text in _PROPERTY_CATEGORIES
+            and arrow is not None
+            and arrow.kind == "ARROW"
+        )
+
+    def _parse_properties(self, allow_leading_comma: bool) -> List[Property]:
+        properties: List[Property] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "COMMA":
+                follow = self._peek(1)
+                is_property_next = (
+                    follow is not None
+                    and follow.kind == "WORD"
+                    and follow.text in _PROPERTY_CATEGORIES
+                    and self._peek(2) is not None
+                    and self._peek(2).kind == "ARROW"
+                )
+                if (properties or allow_leading_comma) and is_property_next:
+                    self._next()
+                    continue
+                break
+            if not self._looking_at_property():
+                break
+            properties.append(self._parse_property())
+        return properties
+
+    def _parse_property(self) -> Property:
+        category_token = self._expect("WORD")
+        self._expect("ARROW")
+        identifier_token = self._expect("WORD")
+        self._expect("COLON")
+        value = self._parse_value()
+        return Property(
+            PropertyCategory.from_name(category_token.text),
+            _decode_keyword(identifier_token.text),
+            value,
+        )
+
+    def _parse_value(self) -> PropertyValue:
+        token = self._next()
+        if token.kind == "STRING":
+            return token.text
+        if token.kind == "NUMBER":
+            text = token.text
+            try:
+                if any(ch in text for ch in ".eE") and not text.lstrip("-").isdigit():
+                    return float(text)
+                return int(text)
+            except ValueError as exc:
+                raise GrammarError(f"invalid number {text!r}") from exc
+        if token.kind == "WORD":
+            lowered = token.text.lower()
+            if lowered == "true":
+                return True
+            if lowered == "false":
+                return False
+            if lowered == "null":
+                return None
+        raise GrammarError(
+            f"expected a value at position {token.position}, found {token.text!r}"
+        )
+
+
+def parse(text: str) -> UnifiedPlan:
+    """Parse a plan from the canonical grammar text form."""
+    tokens = _tokenize(text)
+    return _Parser(tokens).parse_plan()
+
+
+def roundtrip(plan: UnifiedPlan) -> UnifiedPlan:
+    """Serialize then re-parse *plan*; useful for validation and testing."""
+    restored = parse(serialize(plan))
+    restored.source_dbms = plan.source_dbms
+    restored.query = plan.query
+    return restored

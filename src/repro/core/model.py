@@ -1,0 +1,411 @@
+"""Data model of the unified query plan representation (UPlan).
+
+The model follows the EBNF grammar of Listing 2 in the paper:
+
+.. code-block:: text
+
+    plan       ::= ( tree )? properties
+    tree       ::= node ( '--children-->' '{' tree (',' tree)* '}' )?
+    node       ::= operation properties
+    operation  ::= 'Operation' ':' operation_category '->' operation_identifier
+    properties ::= ( property ( ',' property )* )?
+    property   ::= property_category '->' property_identifier ':' value
+
+A :class:`UnifiedPlan` therefore consists of an optional tree of
+:class:`PlanNode` objects — each holding one :class:`Operation` and zero or
+more :class:`Property` objects — plus a list of plan-associated properties.
+Values are restricted to strings, numbers, booleans and ``null`` exactly as the
+grammar specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.categories import (
+    OPERATION_CATEGORY_ORDER,
+    PROPERTY_CATEGORY_ORDER,
+    OperationCategory,
+    PropertyCategory,
+)
+from repro.errors import PlanValidationError
+
+#: The value domain permitted by the grammar (``value`` production).
+PropertyValue = Any  # str | int | float | bool | None
+
+_IDENTIFIER_ALLOWED = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_ "
+)
+
+
+def is_valid_keyword(identifier: str) -> bool:
+    """Return whether *identifier* conforms to the ``keyword`` production.
+
+    The grammar defines ``keyword ::= letter (letter | digit | '_')*``.  The
+    unified naming convention additionally allows single spaces between words
+    (e.g. ``Full Table Scan``), which we treat as part of the keyword for
+    readability; serializers normalise them when a strict keyword is required.
+    """
+    if not identifier:
+        return False
+    if not identifier[0].isalpha():
+        return False
+    return all(ch in _IDENTIFIER_ALLOWED for ch in identifier)
+
+
+def is_valid_value(value: PropertyValue) -> bool:
+    """Return whether *value* is within the grammar's value domain."""
+    return value is None or isinstance(value, (str, int, float, bool))
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A concrete step executed by a DBMS, in unified naming.
+
+    Parameters
+    ----------
+    category:
+        One of the seven :class:`OperationCategory` members.
+    identifier:
+        The unified operation name, e.g. ``"Full Table Scan"``.
+    """
+
+    category: OperationCategory
+    identifier: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.category, OperationCategory):
+            raise PlanValidationError(
+                f"operation category must be an OperationCategory, got {self.category!r}"
+            )
+        if not is_valid_keyword(self.identifier):
+            raise PlanValidationError(
+                f"invalid operation identifier: {self.identifier!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.category.value}->{self.identifier}"
+
+    def to_dict(self) -> Dict[str, str]:
+        """Return a JSON-compatible dictionary form."""
+        return {"category": self.category.value, "identifier": self.identifier}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Operation":
+        """Reconstruct an operation from :meth:`to_dict` output."""
+        return cls(
+            category=OperationCategory.from_name(data["category"]),
+            identifier=data["identifier"],
+        )
+
+
+@dataclass(frozen=True)
+class Property:
+    """A property associated with an operation or with the plan as a whole.
+
+    Parameters
+    ----------
+    category:
+        One of the four :class:`PropertyCategory` members.
+    identifier:
+        The unified property name, e.g. ``"Estimated Rows"``.
+    value:
+        A string, number, boolean, or ``None``.
+    """
+
+    category: PropertyCategory
+    identifier: str
+    value: PropertyValue = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.category, PropertyCategory):
+            raise PlanValidationError(
+                f"property category must be a PropertyCategory, got {self.category!r}"
+            )
+        if not is_valid_keyword(self.identifier):
+            raise PlanValidationError(
+                f"invalid property identifier: {self.identifier!r}"
+            )
+        if not is_valid_value(self.value):
+            raise PlanValidationError(
+                f"invalid property value for {self.identifier!r}: {self.value!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.category.value}->{self.identifier}: {self.value!r}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-compatible dictionary form."""
+        return {
+            "category": self.category.value,
+            "identifier": self.identifier,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Property":
+        """Reconstruct a property from :meth:`to_dict` output."""
+        return cls(
+            category=PropertyCategory.from_name(data["category"]),
+            identifier=data["identifier"],
+            value=data.get("value"),
+        )
+
+
+@dataclass
+class PlanNode:
+    """A node of the unified plan tree: one operation plus its properties."""
+
+    operation: Operation
+    properties: List[Property] = field(default_factory=list)
+    children: List["PlanNode"] = field(default_factory=list)
+
+    # -- construction helpers -------------------------------------------------
+
+    def add_property(
+        self,
+        category: PropertyCategory,
+        identifier: str,
+        value: PropertyValue = None,
+    ) -> "PlanNode":
+        """Append a property and return ``self`` for chaining."""
+        self.properties.append(Property(category, identifier, value))
+        return self
+
+    def add_child(self, child: "PlanNode") -> "PlanNode":
+        """Append a child node and return ``self`` for chaining."""
+        self.children.append(child)
+        return self
+
+    # -- queries ---------------------------------------------------------------
+
+    def property_value(self, identifier: str, default: PropertyValue = None) -> PropertyValue:
+        """Return the value of the first property named *identifier*."""
+        for prop in self.properties:
+            if prop.identifier == identifier:
+                return prop.value
+        return default
+
+    def properties_in(self, category: PropertyCategory) -> List[Property]:
+        """Return the node's properties belonging to *category*."""
+        return [p for p in self.properties if p.category is category]
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """Yield this node and all descendants in pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def walk_postorder(self) -> Iterator["PlanNode"]:
+        """Yield all descendants and this node in post-order."""
+        for child in self.children:
+            yield from child.walk_postorder()
+        yield self
+
+    def depth(self) -> int:
+        """Return the height of the subtree rooted at this node (leaf = 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def size(self) -> int:
+        """Return the number of nodes in the subtree rooted at this node."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def find(self, predicate: Callable[["PlanNode"], bool]) -> List["PlanNode"]:
+        """Return all nodes in the subtree satisfying *predicate*."""
+        return [node for node in self.walk() if predicate(node)]
+
+    def find_operations(self, identifier: str) -> List["PlanNode"]:
+        """Return all nodes whose operation identifier equals *identifier*."""
+        return self.find(lambda node: node.operation.identifier == identifier)
+
+    def count_categories(self) -> Dict[OperationCategory, int]:
+        """Count operations per category in the subtree (Table VI metric)."""
+        counts = {category: 0 for category in OPERATION_CATEGORY_ORDER}
+        for node in self.walk():
+            counts[node.operation.category] += 1
+        return counts
+
+    # -- serialization helpers --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-compatible dictionary form of the subtree."""
+        return {
+            "operation": self.operation.to_dict(),
+            "properties": [prop.to_dict() for prop in self.properties],
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PlanNode":
+        """Reconstruct a subtree from :meth:`to_dict` output."""
+        return cls(
+            operation=Operation.from_dict(data["operation"]),
+            properties=[Property.from_dict(p) for p in data.get("properties", [])],
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+    def copy(self) -> "PlanNode":
+        """Return a deep copy of the subtree."""
+        return PlanNode(
+            operation=self.operation,
+            properties=list(self.properties),
+            children=[child.copy() for child in self.children],
+        )
+
+    def __str__(self) -> str:
+        return f"PlanNode({self.operation}, {len(self.properties)} props, {len(self.children)} children)"
+
+
+@dataclass
+class UnifiedPlan:
+    """A complete unified query plan: an optional tree plus plan properties.
+
+    The paper's grammar permits a plan without a tree — InfluxDB, for example,
+    exposes only a list of plan-associated properties — hence ``root`` may be
+    ``None``.
+    """
+
+    root: Optional[PlanNode] = None
+    properties: List[Property] = field(default_factory=list)
+    #: Name of the DBMS the plan was converted from ("" if hand-built).
+    source_dbms: str = ""
+    #: The query the plan belongs to, when known.
+    query: str = ""
+
+    # -- construction helpers -------------------------------------------------
+
+    def add_property(
+        self,
+        category: PropertyCategory,
+        identifier: str,
+        value: PropertyValue = None,
+    ) -> "UnifiedPlan":
+        """Append a plan-associated property and return ``self``."""
+        self.properties.append(Property(category, identifier, value))
+        return self
+
+    # -- queries ---------------------------------------------------------------
+
+    def nodes(self) -> List[PlanNode]:
+        """Return every node of the tree in pre-order (empty if no tree)."""
+        if self.root is None:
+            return []
+        return list(self.root.walk())
+
+    def operations(self) -> List[Operation]:
+        """Return every operation in the tree in pre-order."""
+        return [node.operation for node in self.nodes()]
+
+    def node_count(self) -> int:
+        """Return the number of operations in the plan (0 for tree-less plans)."""
+        return 0 if self.root is None else self.root.size()
+
+    def depth(self) -> int:
+        """Return the height of the plan tree (0 for tree-less plans)."""
+        return 0 if self.root is None else self.root.depth()
+
+    def count_categories(self) -> Dict[OperationCategory, int]:
+        """Count operations per category — the Table VI / VII metric."""
+        if self.root is None:
+            return {category: 0 for category in OPERATION_CATEGORY_ORDER}
+        return self.root.count_categories()
+
+    def count_property_categories(self) -> Dict[PropertyCategory, int]:
+        """Count properties per category across the plan and all nodes."""
+        counts = {category: 0 for category in PROPERTY_CATEGORY_ORDER}
+        for prop in self.all_properties():
+            counts[prop.category] += 1
+        return counts
+
+    def all_properties(self) -> List[Property]:
+        """Return plan-associated plus every operation-associated property."""
+        collected = list(self.properties)
+        for node in self.nodes():
+            collected.extend(node.properties)
+        return collected
+
+    def plan_property_value(
+        self, identifier: str, default: PropertyValue = None
+    ) -> PropertyValue:
+        """Return the value of the first plan-associated property *identifier*."""
+        for prop in self.properties:
+            if prop.identifier == identifier:
+                return prop.value
+        return default
+
+    def find_operations(self, identifier: str) -> List[PlanNode]:
+        """Return all nodes whose unified operation name equals *identifier*."""
+        if self.root is None:
+            return []
+        return self.root.find_operations(identifier)
+
+    def operations_in(self, category: OperationCategory) -> List[PlanNode]:
+        """Return all nodes whose operation belongs to *category*."""
+        if self.root is None:
+            return []
+        return self.root.find(lambda node: node.operation.category is category)
+
+    def leaf_nodes(self) -> List[PlanNode]:
+        """Return the leaves of the plan tree (typically Producer operations)."""
+        if self.root is None:
+            return []
+        return self.root.find(lambda node: not node.children)
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-compatible dictionary form of the whole plan."""
+        return {
+            "source_dbms": self.source_dbms,
+            "query": self.query,
+            "properties": [prop.to_dict() for prop in self.properties],
+            "tree": None if self.root is None else self.root.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "UnifiedPlan":
+        """Reconstruct a plan from :meth:`to_dict` output."""
+        tree = data.get("tree")
+        return cls(
+            root=None if tree is None else PlanNode.from_dict(tree),
+            properties=[Property.from_dict(p) for p in data.get("properties", [])],
+            source_dbms=data.get("source_dbms", ""),
+            query=data.get("query", ""),
+        )
+
+    def copy(self) -> "UnifiedPlan":
+        """Return a deep copy of the plan."""
+        return UnifiedPlan(
+            root=None if self.root is None else self.root.copy(),
+            properties=list(self.properties),
+            source_dbms=self.source_dbms,
+            query=self.query,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"UnifiedPlan(source={self.source_dbms or 'n/a'}, "
+            f"operations={self.node_count()}, plan_properties={len(self.properties)})"
+        )
+
+
+def iter_operation_identifiers(plan: UnifiedPlan) -> Iterator[Tuple[str, str]]:
+    """Yield ``(category_name, identifier)`` pairs for every operation in *plan*."""
+    for operation in plan.operations():
+        yield operation.category.value, operation.identifier
+
+
+def merge_property_lists(
+    *lists: Iterable[Property],
+) -> List[Property]:
+    """Merge property lists, keeping the first occurrence of each identifier."""
+    seen: Dict[Tuple[PropertyCategory, str], Property] = {}
+    for properties in lists:
+        for prop in properties:
+            key = (prop.category, prop.identifier)
+            if key not in seen:
+                seen[key] = prop
+    return list(seen.values())

@@ -1,0 +1,80 @@
+"""Validation of unified query plans against the design's constraints.
+
+The unified representation is *complete*, *general*, and *extensible*
+(Section IV-B), but a plan instance still has to satisfy structural rules:
+identifiers must be grammar keywords, values must be in the grammar's value
+domain, categories must be the studied ones, and the tree must really be a
+tree (no shared or cyclic nodes).  :func:`validate_plan` checks all of this
+and either raises :class:`~repro.errors.PlanValidationError` or returns a
+list of human-readable findings when ``raise_on_error=False``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.core.categories import OperationCategory, PropertyCategory
+from repro.core.model import PlanNode, UnifiedPlan, is_valid_keyword, is_valid_value
+from repro.errors import PlanValidationError
+
+
+def _validate_node(node: PlanNode, seen: Set[int], findings: List[str], path: str) -> None:
+    if id(node) in seen:
+        findings.append(f"{path}: node appears more than once in the tree (not a tree)")
+        return
+    seen.add(id(node))
+
+    if not isinstance(node.operation.category, OperationCategory):
+        findings.append(f"{path}: invalid operation category {node.operation.category!r}")
+    if not is_valid_keyword(node.operation.identifier):
+        findings.append(f"{path}: invalid operation identifier {node.operation.identifier!r}")
+
+    for index, prop in enumerate(node.properties):
+        prop_path = f"{path}.properties[{index}]"
+        if not isinstance(prop.category, PropertyCategory):
+            findings.append(f"{prop_path}: invalid property category {prop.category!r}")
+        if not is_valid_keyword(prop.identifier):
+            findings.append(f"{prop_path}: invalid property identifier {prop.identifier!r}")
+        if not is_valid_value(prop.value):
+            findings.append(f"{prop_path}: invalid property value {prop.value!r}")
+
+    for index, child in enumerate(node.children):
+        _validate_node(child, seen, findings, f"{path}.children[{index}]")
+
+
+def validate_plan(plan: UnifiedPlan, raise_on_error: bool = True) -> List[str]:
+    """Validate *plan*; return findings (empty when valid).
+
+    Parameters
+    ----------
+    plan:
+        The plan to validate.
+    raise_on_error:
+        When true (default) a :class:`PlanValidationError` is raised if any
+        finding is produced; otherwise the findings are returned.
+    """
+    findings: List[str] = []
+
+    for index, prop in enumerate(plan.properties):
+        path = f"plan.properties[{index}]"
+        if not isinstance(prop.category, PropertyCategory):
+            findings.append(f"{path}: invalid property category {prop.category!r}")
+        if not is_valid_keyword(prop.identifier):
+            findings.append(f"{path}: invalid property identifier {prop.identifier!r}")
+        if not is_valid_value(prop.value):
+            findings.append(f"{path}: invalid property value {prop.value!r}")
+
+    if plan.root is not None:
+        _validate_node(plan.root, set(), findings, "plan.tree")
+
+    if plan.root is None and not plan.properties:
+        findings.append("plan has neither a tree nor plan-associated properties")
+
+    if findings and raise_on_error:
+        raise PlanValidationError("; ".join(findings))
+    return findings
+
+
+def is_valid_plan(plan: UnifiedPlan) -> bool:
+    """Return whether *plan* passes :func:`validate_plan`."""
+    return not validate_plan(plan, raise_on_error=False)

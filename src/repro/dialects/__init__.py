@@ -1,0 +1,71 @@
+"""The nine simulated DBMSs of the case study (Table I)."""
+
+from typing import Dict, List, Type
+
+from repro.dialects.base import (
+    ExplainOutput,
+    RawPlan,
+    RawPlanNode,
+    RelationalDialect,
+    SimulatedDBMS,
+)
+from repro.dialects.influxdb import InfluxDBDialect
+from repro.dialects.mongodb import MongoDBDialect
+from repro.dialects.mysql import MySQLDialect
+from repro.dialects.neo4j import Neo4jDialect
+from repro.dialects.postgresql import PostgreSQLDialect
+from repro.dialects.sparksql import SparkSQLDialect
+from repro.dialects.sqlite import SQLiteDialect
+from repro.dialects.sqlserver import SQLServerDialect
+from repro.dialects.tidb import TiDBDialect
+
+#: All simulated DBMSs keyed by their lower-case name.
+DIALECTS: Dict[str, Type[SimulatedDBMS]] = {
+    "influxdb": InfluxDBDialect,
+    "mongodb": MongoDBDialect,
+    "mysql": MySQLDialect,
+    "neo4j": Neo4jDialect,
+    "postgresql": PostgreSQLDialect,
+    "sqlserver": SQLServerDialect,
+    "sqlite": SQLiteDialect,
+    "sparksql": SparkSQLDialect,
+    "tidb": TiDBDialect,
+}
+
+#: The SQL-speaking dialects built on the shared relational substrate.
+RELATIONAL_DIALECTS = ("mysql", "postgresql", "sqlite", "sqlserver", "sparksql", "tidb")
+
+
+def create_dialect(name: str) -> SimulatedDBMS:
+    """Instantiate the simulated DBMS called *name*."""
+    try:
+        return DIALECTS[name.lower()]()
+    except KeyError as exc:
+        raise KeyError(f"unknown DBMS {name!r}; available: {sorted(DIALECTS)}") from exc
+
+
+def available_dialects() -> List[str]:
+    """Return the names of every simulated DBMS."""
+    return sorted(DIALECTS)
+
+
+__all__ = [
+    "SimulatedDBMS",
+    "RelationalDialect",
+    "RawPlan",
+    "RawPlanNode",
+    "ExplainOutput",
+    "DIALECTS",
+    "RELATIONAL_DIALECTS",
+    "create_dialect",
+    "available_dialects",
+    "InfluxDBDialect",
+    "MongoDBDialect",
+    "MySQLDialect",
+    "Neo4jDialect",
+    "PostgreSQLDialect",
+    "SparkSQLDialect",
+    "SQLiteDialect",
+    "SQLServerDialect",
+    "TiDBDialect",
+]

@@ -1,0 +1,290 @@
+"""Base classes for the simulated DBMSs.
+
+Each simulated DBMS (a *dialect*) owns its own database instance, planner and
+executor, and exposes the two entry points the paper's applications need:
+
+``execute(statement)``
+    Run a statement and return its result rows.
+
+``explain(statement, format=..., analyze=...)``
+    Return a *serialized query plan* in one of the DBMS's native formats
+    (Table III of the paper lists which formats each DBMS officially offers).
+
+Internally, relational dialects plan queries with the shared optimizer and
+then *shape* the dialect-neutral physical plan into a :class:`RawPlanNode`
+tree carrying DBMS-specific operator names and properties, which is finally
+serialized into the requested native format.  The UPlan converters
+(:mod:`repro.converters`) parse those native strings back — they never see the
+physical plan, exactly as a converter for a real DBMS only sees ``EXPLAIN``
+output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.catalog.database import Database
+from repro.engine.executor import Executor, Row
+from repro.errors import DialectError, UnsupportedFormatError
+from repro.optimizer.cost import CostModel
+from repro.optimizer.physical import PhysicalNode
+from repro.optimizer.planner import Planner, PlannerOptions
+from repro.sqlparser import ast_nodes as ast
+from repro.sqlparser.parser import parse_one, parse_sql
+
+
+@dataclass
+class RawPlanNode:
+    """One node of a DBMS-native plan tree (before serialization)."""
+
+    name: str
+    properties: Dict[str, Any] = field(default_factory=dict)
+    children: List["RawPlanNode"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["RawPlanNode"]:
+        """Yield this node and its descendants in pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def size(self) -> int:
+        """Return the number of nodes in the subtree."""
+        return 1 + sum(child.size() for child in self.children)
+
+
+@dataclass
+class RawPlan:
+    """A DBMS-native plan: a tree plus plan-level properties."""
+
+    root: Optional[RawPlanNode] = None
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExplainOutput:
+    """The result of an ``explain`` call."""
+
+    dbms: str
+    format: str
+    text: str
+    query: str = ""
+
+
+class SimulatedDBMS:
+    """Common interface of every simulated DBMS."""
+
+    #: Lower-case identifier, e.g. ``"postgresql"``.
+    name: str = "abstract"
+    #: Version string mirroring Table I of the paper.
+    version: str = "0.0"
+    #: Data model, one of relational / document / graph / time-series.
+    data_model: str = "relational"
+    #: Officially supported serialized plan formats (Table III).
+    plan_formats: Sequence[str] = ()
+    #: The format used when none is requested.
+    default_format: str = "text"
+
+    def execute(self, statement: str) -> List[Row]:
+        """Execute a statement and return result rows."""
+        raise NotImplementedError
+
+    def explain(
+        self, statement: str, format: Optional[str] = None, analyze: bool = False
+    ) -> ExplainOutput:
+        """Return the serialized query plan for *statement*."""
+        raise NotImplementedError
+
+    def supported_formats(self) -> List[str]:
+        """Return the native serialized plan formats this DBMS offers."""
+        return list(self.plan_formats)
+
+    def _check_format(self, format_name: Optional[str]) -> str:
+        chosen = (format_name or self.default_format).lower()
+        if chosen not in {name.lower() for name in self.plan_formats}:
+            raise UnsupportedFormatError(
+                self.name,
+                f"format {chosen!r} is not supported; available: {sorted(self.plan_formats)}",
+            )
+        return chosen
+
+
+class RelationalDialect(SimulatedDBMS):
+    """Base class of the six simulated relational / SQL-speaking DBMSs."""
+
+    #: Counter seed for per-plan operator identifiers (e.g. TiDB's ``_5``).
+    identifier_seed: int = 3
+
+    def __init__(self) -> None:
+        self.database = Database(self.name)
+        self.planner = Planner(
+            self.database, cost_model=self.cost_model(), options=self.planner_options()
+        )
+        self.executor = Executor(self.database, self.planner)
+        self._statements_executed = 0
+
+    # -- per-dialect configuration ------------------------------------------------
+
+    def planner_options(self) -> PlannerOptions:
+        """Planner options for this dialect (overridden by subclasses)."""
+        return PlannerOptions()
+
+    def cost_model(self) -> CostModel:
+        """Cost model for this dialect (overridden by subclasses)."""
+        return CostModel()
+
+    def shape_plan(self, physical: PhysicalNode, analyze: bool = False) -> RawPlan:
+        """Translate a physical plan into this DBMS's native plan tree."""
+        raise NotImplementedError
+
+    def serialize_plan(self, plan: RawPlan, format_name: str) -> str:
+        """Serialize a native plan tree into the requested native format."""
+        raise NotImplementedError
+
+    # -- statement execution --------------------------------------------------------
+
+    def execute(self, statement: str) -> List[Row]:
+        """Parse, plan, and execute one or more SQL statements."""
+        results: List[Row] = []
+        for parsed in parse_sql(statement):
+            if isinstance(parsed, ast.Explain):
+                output = self.explain(
+                    statement, format=parsed.format, analyze=parsed.analyze
+                )
+                return [{"QUERY PLAN": output.text}]
+            plan = self.planner.plan_statement(parsed)
+            results = self.executor.execute(plan)
+            self._statements_executed += 1
+            if isinstance(parsed, (ast.Insert, ast.Delete, ast.Update, ast.CreateIndex)):
+                # Keep optimizer statistics reasonably fresh, as autovacuum /
+                # auto-analyze would in the real systems.
+                self._maybe_analyze(parsed)
+        return results
+
+    def _maybe_analyze(self, statement: ast.Statement) -> None:
+        table_name = getattr(statement, "table", None)
+        if table_name and self.database.has_table(table_name):
+            self.database.analyze(table_name)
+
+    def explain(
+        self, statement: str, format: Optional[str] = None, analyze: bool = False
+    ) -> ExplainOutput:
+        """Plan (and optionally execute) a statement, returning its native plan."""
+        chosen = self._check_format(format)
+        parsed = parse_one(statement)
+        if isinstance(parsed, ast.Explain):
+            analyze = analyze or parsed.analyze
+            if parsed.format:
+                chosen = self._check_format(parsed.format)
+            parsed = parsed.statement
+        physical = self.planner.plan_statement(parsed)
+        if analyze:
+            self.executor.execute(physical, analyze=True)
+        raw = self.shape_plan(physical, analyze=analyze)
+        text = self.serialize_plan(raw, chosen)
+        return ExplainOutput(dbms=self.name, format=chosen, text=text, query=statement)
+
+    def reset(self) -> None:
+        """Drop every table, returning the DBMS to a pristine state."""
+        for table_name in list(self.database.table_names()):
+            self.database.drop_table(table_name)
+
+    def analyze_tables(self) -> None:
+        """Refresh optimizer statistics for every table."""
+        self.database.analyze()
+
+
+# ---------------------------------------------------------------------------
+# Shared serialization helpers
+# ---------------------------------------------------------------------------
+
+
+def render_indented_text(
+    plan: RawPlan,
+    node_renderer: Callable[[RawPlanNode], str],
+    property_renderer: Callable[[RawPlanNode], List[str]],
+    indent: str = "  ",
+    child_prefix: str = "->",
+) -> str:
+    """Render a raw plan as indented text (PostgreSQL-style)."""
+    lines: List[str] = []
+
+    def visit(node: RawPlanNode, depth: int) -> None:
+        prefix = indent * depth
+        arrow = f"{child_prefix}" if depth > 0 else ""
+        lines.append(f"{prefix}{arrow}{node_renderer(node)}")
+        for extra in property_renderer(node):
+            lines.append(f"{prefix}{' ' * max(len(child_prefix), 2)}{extra}")
+        for child in node.children:
+            visit(child, depth + 1)
+
+    if plan.root is not None:
+        visit(plan.root, 0)
+    for key, value in plan.properties.items():
+        lines.append(f"{key}: {value}")
+    return "\n".join(lines)
+
+
+def render_json_plan(plan: RawPlan, node_key: str = "Node Type") -> str:
+    """Render a raw plan as a generic JSON document."""
+
+    def node_to_dict(node: RawPlanNode) -> Dict[str, Any]:
+        data: Dict[str, Any] = {node_key: node.name}
+        data.update(node.properties)
+        if node.children:
+            data["Plans"] = [node_to_dict(child) for child in node.children]
+        return data
+
+    document: Dict[str, Any] = {}
+    if plan.root is not None:
+        document["Plan"] = node_to_dict(plan.root)
+    document.update(plan.properties)
+    return json.dumps([document], indent=2)
+
+
+def render_table_plan(
+    plan: RawPlan,
+    columns: Sequence[str],
+    row_builder: Callable[[RawPlanNode, int, Optional[int], int], List[str]],
+) -> str:
+    """Render a raw plan as an ASCII table (MySQL / TiDB style).
+
+    ``row_builder`` receives ``(node, node_id, parent_id, depth)`` and returns
+    one cell value per column.
+    """
+    rows: List[List[str]] = []
+    counter = [0]
+
+    def visit(node: RawPlanNode, parent_id: Optional[int], depth: int) -> None:
+        counter[0] += 1
+        node_id = counter[0]
+        rows.append([str(cell) for cell in row_builder(node, node_id, parent_id, depth)])
+        for child in node.children:
+            visit(child, node_id, depth + 1)
+
+    if plan.root is not None:
+        visit(plan.root, None, 0)
+
+    widths = [
+        max([len(column)] + [len(row[i]) for row in rows]) if rows else len(column)
+        for i, column in enumerate(columns)
+    ]
+
+    def separator() -> str:
+        return "+" + "+".join("-" * (width + 2) for width in widths) + "+"
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "|" + "|".join(f" {cell.ljust(widths[i])} " for i, cell in enumerate(cells)) + "|"
+
+    lines = [separator(), format_row(list(columns)), separator()]
+    lines.extend(format_row(row) for row in rows)
+    lines.append(separator())
+    for key, value in plan.properties.items():
+        lines.append(f"{key}: {value}")
+    return "\n".join(lines)
+
+
+def format_number(value: float, decimals: int = 2) -> str:
+    """Format a cost/row number the way EXPLAIN outputs usually do."""
+    return f"{value:.{decimals}f}"

@@ -1,0 +1,100 @@
+"""Simulated InfluxDB dialect.
+
+InfluxDB is the time-series DBMS of the study and the outlier in Table II: its
+``EXPLAIN`` output contains *no operations at all*, only a list of
+plan-associated properties (expression, number of shards, series, files,
+blocks, and block size).  The unified representation handles this case with a
+tree-less plan consisting solely of plan-associated properties.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dialects.base import ExplainOutput, SimulatedDBMS
+from repro.errors import DialectError
+from repro.storage.timeseries_store import Point, TimeSeriesStore
+
+_SELECT_PATTERN = re.compile(
+    r"SELECT\s+(?P<fields>.+?)\s+FROM\s+\"?(?P<measurement>\w+)\"?"
+    r"(?:\s+WHERE\s+(?P<where>.+?))?(?:\s+GROUP\s+BY\s+(?P<group>.+?))?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+class InfluxDBDialect(SimulatedDBMS):
+    """The simulated InfluxDB 2.7.0 instance."""
+
+    name = "influxdb"
+    version = "2.7.0"
+    data_model = "time-series"
+    plan_formats = ("text",)
+    default_format = "text"
+
+    def __init__(self) -> None:
+        self.store = TimeSeriesStore()
+
+    # ------------------------------------------------------------------ data API
+
+    def write_points(self, measurement: str, points: List[Point]) -> int:
+        """Write points into a measurement."""
+        return self.store.write(measurement, points)
+
+    # ------------------------------------------------------------------ queries
+
+    def _parse(self, statement: str) -> Dict[str, Any]:
+        text = statement.strip().rstrip(";")
+        if text.upper().startswith("EXPLAIN"):
+            text = text[len("EXPLAIN") :].strip()
+        match = _SELECT_PATTERN.match(" ".join(text.split()))
+        if not match:
+            raise DialectError(self.name, f"unsupported InfluxQL statement: {statement!r}")
+        return {
+            "fields": [field.strip() for field in match.group("fields").split(",")],
+            "measurement": match.group("measurement"),
+            "where": match.group("where"),
+            "group": match.group("group"),
+        }
+
+    def execute(self, statement: str) -> List[Dict[str, Any]]:
+        """Execute an InfluxQL SELECT over the store."""
+        query = self._parse(statement)
+        points = self.store.points(query["measurement"])
+        rows: List[Dict[str, Any]] = []
+        for point in points:
+            row: Dict[str, Any] = {"time": point.timestamp}
+            row.update(point.tags)
+            row.update(point.fields)
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------ explain
+
+    def explain_properties(self, statement: str) -> Dict[str, Any]:
+        """Compute the plan-associated properties for a query."""
+        query = self._parse(statement)
+        measurement = query["measurement"]
+        fields = ", ".join(query["fields"])
+        return {
+            "EXPRESSION": fields,
+            "NUMBER OF SHARDS": self.store.shard_count(measurement),
+            "NUMBER OF SERIES": self.store.series_count(measurement),
+            "CACHED VALUES": 0,
+            "NUMBER OF FILES": max(self.store.shard_count(measurement), 1),
+            "NUMBER OF BLOCKS": self.store.block_count(measurement),
+            "SIZE OF BLOCKS": self.store.block_count(measurement) * 4096,
+        }
+
+    def explain(
+        self, statement: str, format: Optional[str] = None, analyze: bool = False
+    ) -> ExplainOutput:
+        chosen = self._check_format(format)
+        properties = self.explain_properties(statement)
+        lines = ["QUERY PLAN", "----------"]
+        for key, value in properties.items():
+            lines.append(f"{key}: {value}")
+        return ExplainOutput(
+            dbms=self.name, format=chosen, text="\n".join(lines), query=statement
+        )

@@ -1,0 +1,17 @@
+"""Execution engine substrate: expression evaluation and the plan executor."""
+
+from repro.engine.expressions import (
+    EvaluationContext,
+    evaluate,
+    evaluate_predicate,
+    resolve_column,
+)
+from repro.engine.executor import Executor
+
+__all__ = [
+    "EvaluationContext",
+    "evaluate",
+    "evaluate_predicate",
+    "resolve_column",
+    "Executor",
+]

@@ -1,0 +1,413 @@
+"""Scalar expression evaluation with SQL three-valued logic.
+
+Rows flowing through the engine are dictionaries.  Columns produced by scans
+are keyed ``"alias.column"``; columns produced by projections and aggregates
+are keyed by their output name.  :func:`evaluate` resolves a
+:class:`~repro.sqlparser.ast_nodes.ColumnRef` accordingly.
+
+SQL's three-valued logic is honoured: comparisons involving ``NULL`` yield
+``None`` (unknown), and ``AND`` / ``OR`` / ``NOT`` follow Kleene logic.  The
+TLP test oracle depends on this behaviour to partition queries by
+``p`` / ``NOT p`` / ``p IS NULL``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.sqlparser import ast_nodes as ast
+
+Row = Dict[str, object]
+
+#: Signature of the hook used to evaluate subqueries appearing in expressions.
+SubqueryExecutor = Callable[[ast.SelectStatement, Row], List[Row]]
+
+
+class EvaluationContext:
+    """Carries the current row and the subquery-execution hook."""
+
+    def __init__(
+        self,
+        row: Optional[Row] = None,
+        subquery_executor: Optional[SubqueryExecutor] = None,
+    ) -> None:
+        self.row = row or {}
+        self.subquery_executor = subquery_executor
+
+    def with_row(self, row: Row) -> "EvaluationContext":
+        """Return a context bound to *row* but sharing the subquery hook."""
+        return EvaluationContext(row=row, subquery_executor=self.subquery_executor)
+
+
+def resolve_column(row: Row, reference: ast.ColumnRef) -> object:
+    """Resolve a column reference against a row dictionary."""
+    if reference.table:
+        qualified = f"{reference.table}.{reference.column}"
+        if qualified in row:
+            return row[qualified]
+        lowered = qualified.lower()
+        for key, value in row.items():
+            if key.lower() == lowered:
+                return value
+        raise ExecutionError(f"unknown column {qualified!r}")
+    if reference.column in row:
+        return row[reference.column]
+    suffix = "." + reference.column.lower()
+    matches = [key for key in row if key.lower().endswith(suffix)]
+    if len(matches) == 1:
+        return row[matches[0]]
+    if len(matches) > 1:
+        # Ambiguous unqualified reference: prefer the first match in row order,
+        # mirroring the permissive behaviour of several of the studied DBMSs.
+        return row[matches[0]]
+    lowered_column = reference.column.lower()
+    for key, value in row.items():
+        if key.lower() == lowered_column:
+            return value
+    raise ExecutionError(f"unknown column {reference.column!r}")
+
+
+def _compare(operator: str, left: object, right: object) -> Optional[bool]:
+    if left is None or right is None:
+        return None
+    try:
+        if operator == "=":
+            return left == right
+        if operator == "<>":
+            return left != right
+        if isinstance(left, bool):
+            left = int(left)
+        if isinstance(right, bool):
+            right = int(right)
+        if isinstance(left, (int, float)) != isinstance(right, (int, float)):
+            left, right = str(left), str(right)
+        if operator == "<":
+            return left < right
+        if operator == "<=":
+            return left <= right
+        if operator == ">":
+            return left > right
+        if operator == ">=":
+            return left >= right
+    except TypeError:
+        return None
+    raise ExecutionError(f"unknown comparison operator {operator!r}")
+
+
+def _arithmetic(operator: str, left: object, right: object) -> object:
+    if left is None or right is None:
+        return None
+    if operator == "||":
+        return str(left) + str(right)
+    if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+        raise ExecutionError(
+            f"arithmetic {operator!r} requires numeric operands, got {left!r}, {right!r}"
+        )
+    if operator == "+":
+        return left + right
+    if operator == "-":
+        return left - right
+    if operator == "*":
+        return left * right
+    if operator == "/":
+        if right == 0:
+            return None
+        result = left / right
+        return result
+    if operator == "%":
+        if right == 0:
+            return None
+        return left % right
+    raise ExecutionError(f"unknown arithmetic operator {operator!r}")
+
+
+def _logical_and(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def _logical_or(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def _to_bool(value: object) -> Optional[bool]:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    return bool(value)
+
+
+def _like(value: object, pattern: object) -> Optional[bool]:
+    if value is None or pattern is None:
+        return None
+    regex = "^" + re.escape(str(pattern)).replace("%", ".*").replace("_", ".") + "$"
+    return re.match(regex, str(value), flags=re.DOTALL) is not None
+
+
+_SCALAR_FUNCTIONS: Dict[str, Callable[..., object]] = {}
+
+
+def scalar_function(name: str) -> Callable[[Callable[..., object]], Callable[..., object]]:
+    """Register a scalar function implementation under *name*."""
+
+    def decorator(function: Callable[..., object]) -> Callable[..., object]:
+        _SCALAR_FUNCTIONS[name.upper()] = function
+        return function
+
+    return decorator
+
+
+@scalar_function("GREATEST")
+def _fn_greatest(*arguments: object) -> object:
+    values = [value for value in arguments if value is not None]
+    return max(values) if values else None
+
+
+@scalar_function("LEAST")
+def _fn_least(*arguments: object) -> object:
+    values = [value for value in arguments if value is not None]
+    return min(values) if values else None
+
+
+@scalar_function("ABS")
+def _fn_abs(value: object = None) -> object:
+    return None if value is None else abs(value)
+
+
+@scalar_function("COALESCE")
+def _fn_coalesce(*arguments: object) -> object:
+    for value in arguments:
+        if value is not None:
+            return value
+    return None
+
+
+@scalar_function("NULLIF")
+def _fn_nullif(left: object = None, right: object = None) -> object:
+    return None if left == right else left
+
+
+@scalar_function("LENGTH")
+def _fn_length(value: object = None) -> object:
+    return None if value is None else len(str(value))
+
+
+@scalar_function("UPPER")
+def _fn_upper(value: object = None) -> object:
+    return None if value is None else str(value).upper()
+
+
+@scalar_function("LOWER")
+def _fn_lower(value: object = None) -> object:
+    return None if value is None else str(value).lower()
+
+
+@scalar_function("ROUND")
+def _fn_round(value: object = None, digits: object = 0) -> object:
+    if value is None:
+        return None
+    return round(value, int(digits or 0))
+
+
+@scalar_function("MOD")
+def _fn_mod(left: object = None, right: object = None) -> object:
+    if left is None or right is None or right == 0:
+        return None
+    return left % right
+
+
+@scalar_function("SUBSTRING")
+def _fn_substring(value: object = None, start: object = 1, length: object = None) -> object:
+    if value is None:
+        return None
+    text = str(value)
+    begin = max(int(start or 1) - 1, 0)
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + int(length)]
+
+
+AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+def evaluate(expression: ast.Expression, context: EvaluationContext) -> object:
+    """Evaluate *expression* against the row in *context*."""
+    if isinstance(expression, ast.Literal):
+        return expression.value
+    if isinstance(expression, ast.ColumnRef):
+        return resolve_column(context.row, expression)
+    if isinstance(expression, ast.Star):
+        raise ExecutionError("'*' cannot be evaluated as a scalar expression")
+    if isinstance(expression, ast.Parameter):
+        raise ExecutionError("positional parameters are not bound")
+    if isinstance(expression, ast.BinaryOp):
+        operator = expression.operator.upper()
+        if operator == "AND":
+            return _logical_and(
+                _to_bool(evaluate(expression.left, context)),
+                _to_bool(evaluate(expression.right, context)),
+            )
+        if operator == "OR":
+            return _logical_or(
+                _to_bool(evaluate(expression.left, context)),
+                _to_bool(evaluate(expression.right, context)),
+            )
+        left = evaluate(expression.left, context)
+        right = evaluate(expression.right, context)
+        if operator in {"=", "<>", "<", "<=", ">", ">="}:
+            return _compare(operator, left, right)
+        return _arithmetic(operator, left, right)
+    if isinstance(expression, ast.UnaryOp):
+        operand = evaluate(expression.operand, context)
+        if expression.operator.upper() == "NOT":
+            value = _to_bool(operand)
+            return None if value is None else not value
+        if operand is None:
+            return None
+        return -operand if expression.operator == "-" else +operand
+    if isinstance(expression, ast.FunctionCall):
+        name = expression.name.upper()
+        if name in AGGREGATE_FUNCTIONS:
+            # Aggregates are computed by the aggregation operator, which stores
+            # the result in the row under the printed expression text.
+            from repro.sqlparser.printer import print_expression
+
+            key = print_expression(expression)
+            if key in context.row:
+                return context.row[key]
+            raise ExecutionError(f"aggregate {key!r} used outside an aggregation")
+        implementation = _SCALAR_FUNCTIONS.get(name)
+        if implementation is None:
+            raise ExecutionError(f"unknown function {expression.name!r}")
+        arguments = [evaluate(argument, context) for argument in expression.arguments]
+        return implementation(*arguments)
+    if isinstance(expression, ast.InList):
+        value = evaluate(expression.expression, context)
+        if value is None:
+            return None
+        saw_null = False
+        for item in expression.items:
+            candidate = evaluate(item, context)
+            if candidate is None:
+                saw_null = True
+                continue
+            comparison = _compare("=", value, candidate)
+            if comparison:
+                return not expression.negated
+        if saw_null:
+            return None
+        return expression.negated
+    if isinstance(expression, ast.InSubquery):
+        return _evaluate_in_subquery(expression, context)
+    if isinstance(expression, ast.Between):
+        value = evaluate(expression.expression, context)
+        low = evaluate(expression.low, context)
+        high = evaluate(expression.high, context)
+        lower_ok = _compare(">=", value, low)
+        upper_ok = _compare("<=", value, high)
+        result = _logical_and(lower_ok, upper_ok)
+        if result is None:
+            return None
+        return (not result) if expression.negated else result
+    if isinstance(expression, ast.Like):
+        result = _like(
+            evaluate(expression.expression, context),
+            evaluate(expression.pattern, context),
+        )
+        if result is None:
+            return None
+        return (not result) if expression.negated else result
+    if isinstance(expression, ast.IsNull):
+        is_null = evaluate(expression.expression, context) is None
+        return (not is_null) if expression.negated else is_null
+    if isinstance(expression, ast.Case):
+        if expression.operand is not None:
+            operand = evaluate(expression.operand, context)
+            for when in expression.whens:
+                if _compare("=", operand, evaluate(when.condition, context)):
+                    return evaluate(when.result, context)
+        else:
+            for when in expression.whens:
+                if _to_bool(evaluate(when.condition, context)):
+                    return evaluate(when.result, context)
+        if expression.else_result is not None:
+            return evaluate(expression.else_result, context)
+        return None
+    if isinstance(expression, ast.Cast):
+        return _cast(evaluate(expression.expression, context), expression.target_type)
+    if isinstance(expression, ast.ScalarSubquery):
+        rows = _run_subquery(expression.query, context)
+        if not rows:
+            return None
+        first = rows[0]
+        return next(iter(first.values())) if first else None
+    if isinstance(expression, ast.Exists):
+        rows = _run_subquery(expression.query, context)
+        result = bool(rows)
+        return (not result) if expression.negated else result
+    raise ExecutionError(f"cannot evaluate expression of type {type(expression).__name__}")
+
+
+def _cast(value: object, target_type: str) -> object:
+    if value is None:
+        return None
+    upper = target_type.upper()
+    try:
+        if upper in {"INT", "INTEGER", "BIGINT"}:
+            return int(float(value))
+        if upper in {"FLOAT", "REAL", "DOUBLE", "DOUBLE PRECISION", "DECIMAL", "NUMERIC"}:
+            return float(value)
+        if upper in {"TEXT", "VARCHAR", "CHAR"}:
+            return str(value)
+        if upper in {"BOOL", "BOOLEAN"}:
+            return bool(value)
+    except (TypeError, ValueError):
+        return None
+    return value
+
+
+def _run_subquery(query: ast.SelectStatement, context: EvaluationContext) -> List[Row]:
+    if context.subquery_executor is None:
+        raise ExecutionError("subquery evaluation requires a subquery executor")
+    return context.subquery_executor(query, context.row)
+
+
+def _evaluate_in_subquery(
+    expression: ast.InSubquery, context: EvaluationContext
+) -> Optional[bool]:
+    value = evaluate(expression.expression, context)
+    rows = _run_subquery(expression.subquery, context)
+    if value is None:
+        return None if rows else expression.negated
+    saw_null = False
+    for row in rows:
+        candidate = next(iter(row.values())) if row else None
+        if candidate is None:
+            saw_null = True
+            continue
+        if _compare("=", value, candidate):
+            return not expression.negated
+    if saw_null:
+        return None
+    return expression.negated
+
+
+def evaluate_predicate(
+    expression: Optional[ast.Expression], context: EvaluationContext
+) -> Optional[bool]:
+    """Evaluate a predicate, returning ``True`` / ``False`` / ``None``."""
+    if expression is None:
+        return True
+    return _to_bool(evaluate(expression, context))

@@ -1,0 +1,29 @@
+"""Query optimizer substrate: physical plans, costs, cardinality, planning."""
+
+from repro.optimizer.cardinality import estimate_selectivity, estimate_join_selectivity
+from repro.optimizer.cost import CostModel
+from repro.optimizer.physical import (
+    CostEstimate,
+    JOIN_KINDS,
+    OpKind,
+    PRODUCER_KINDS,
+    PhysicalNode,
+    RuntimeStats,
+    make_node,
+)
+from repro.optimizer.planner import Planner, PlannerOptions
+
+__all__ = [
+    "estimate_selectivity",
+    "estimate_join_selectivity",
+    "CostModel",
+    "CostEstimate",
+    "OpKind",
+    "PhysicalNode",
+    "RuntimeStats",
+    "make_node",
+    "PRODUCER_KINDS",
+    "JOIN_KINDS",
+    "Planner",
+    "PlannerOptions",
+]

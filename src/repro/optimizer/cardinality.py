@@ -1,0 +1,191 @@
+"""Cardinality (selectivity) estimation.
+
+The estimator mirrors the classic System-R style estimates used by the studied
+DBMSs: per-column statistics supply equality and range selectivities, AND
+combines multiplicatively (attribute value independence), OR combines with the
+inclusion–exclusion formula, and joins use ``1 / max(ndv(left), ndv(right))``.
+
+CERT (Section V-A.1) relies on these estimates behaving monotonically: a query
+that is strictly more restrictive must not have a *larger* estimated
+cardinality.  The fault-injection layer of :mod:`repro.testing.bugs` breaks
+this property deliberately to emulate real cardinality-estimation bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.catalog.statistics import ColumnStatistics
+from repro.sqlparser import ast_nodes as ast
+
+#: Default selectivities, matching common textbook/DBMS magic numbers.
+DEFAULT_EQUALITY = 0.005
+DEFAULT_RANGE = 1.0 / 3.0
+DEFAULT_LIKE = 0.1
+DEFAULT_PREFIX_LIKE = 0.05
+DEFAULT_UNKNOWN = 0.33
+DEFAULT_IN_ITEM = 0.01
+
+#: Callable that resolves a column reference to its statistics (or ``None``).
+StatisticsResolver = Callable[[ast.ColumnRef], Optional[ColumnStatistics]]
+
+
+def _literal_number(expression: ast.Expression) -> Optional[float]:
+    if isinstance(expression, ast.Literal) and isinstance(expression.value, (int, float)):
+        return float(expression.value)
+    if isinstance(expression, ast.UnaryOp) and expression.operator == "-":
+        inner = _literal_number(expression.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def _column_and_constant(
+    expression: ast.BinaryOp,
+) -> Optional[tuple]:
+    """Return ``(column_ref, constant, operator)`` for col-op-const predicates."""
+    operator = expression.operator
+    if isinstance(expression.left, ast.ColumnRef):
+        constant = _literal_number(expression.right)
+        if constant is not None or isinstance(expression.right, ast.Literal):
+            return expression.left, expression.right, operator
+    if isinstance(expression.right, ast.ColumnRef):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(operator, operator)
+        constant = _literal_number(expression.left)
+        if constant is not None or isinstance(expression.left, ast.Literal):
+            return expression.right, expression.left, flipped
+    return None
+
+
+def _is_join_predicate(expression: ast.BinaryOp) -> bool:
+    return (
+        expression.operator == "="
+        and isinstance(expression.left, ast.ColumnRef)
+        and isinstance(expression.right, ast.ColumnRef)
+    )
+
+
+def estimate_selectivity(
+    expression: Optional[ast.Expression],
+    resolver: StatisticsResolver,
+) -> float:
+    """Estimate the fraction of rows satisfying *expression*."""
+    if expression is None:
+        return 1.0
+
+    if isinstance(expression, ast.BinaryOp):
+        operator = expression.operator.upper()
+        if operator == "AND":
+            return estimate_selectivity(expression.left, resolver) * estimate_selectivity(
+                expression.right, resolver
+            )
+        if operator == "OR":
+            left = estimate_selectivity(expression.left, resolver)
+            right = estimate_selectivity(expression.right, resolver)
+            return min(left + right - left * right, 1.0)
+        if _is_join_predicate(expression):
+            left_stats = resolver(expression.left)
+            right_stats = resolver(expression.right)
+            left_ndv = left_stats.distinct_values if left_stats else 0
+            right_ndv = right_stats.distinct_values if right_stats else 0
+            ndv = max(left_ndv, right_ndv, 1)
+            return 1.0 / ndv
+        column_constant = _column_and_constant(expression)
+        if column_constant is not None:
+            column, constant_expr, operator_text = column_constant
+            statistics = resolver(column)
+            constant = _literal_number(constant_expr)
+            if operator_text == "=":
+                if statistics is not None:
+                    return statistics.equality_selectivity()
+                return DEFAULT_EQUALITY
+            if operator_text == "<>":
+                if statistics is not None:
+                    return max(1.0 - statistics.equality_selectivity(), 0.0)
+                return 1.0 - DEFAULT_EQUALITY
+            if operator_text in {"<", "<="} and statistics is not None and constant is not None:
+                return statistics.range_selectivity(low=None, high=constant)
+            if operator_text in {">", ">="} and statistics is not None and constant is not None:
+                return statistics.range_selectivity(low=constant, high=None)
+            return DEFAULT_RANGE
+        return DEFAULT_UNKNOWN
+
+    if isinstance(expression, ast.UnaryOp) and expression.operator.upper() == "NOT":
+        return max(1.0 - estimate_selectivity(expression.operand, resolver), 0.0)
+
+    if isinstance(expression, ast.Between):
+        if isinstance(expression.expression, ast.ColumnRef):
+            statistics = resolver(expression.expression)
+            low = _literal_number(expression.low) if expression.low else None
+            high = _literal_number(expression.high) if expression.high else None
+            if statistics is not None and (low is not None or high is not None):
+                selectivity = statistics.range_selectivity(low=low, high=high)
+            else:
+                selectivity = DEFAULT_RANGE / 2
+        else:
+            selectivity = DEFAULT_RANGE / 2
+        return (1.0 - selectivity) if expression.negated else selectivity
+
+    if isinstance(expression, ast.InList):
+        if isinstance(expression.expression, ast.ColumnRef):
+            statistics = resolver(expression.expression)
+            per_item = (
+                statistics.equality_selectivity() if statistics else DEFAULT_IN_ITEM
+            )
+        else:
+            per_item = DEFAULT_IN_ITEM
+        selectivity = min(per_item * max(len(expression.items), 1), 1.0)
+        return (1.0 - selectivity) if expression.negated else selectivity
+
+    if isinstance(expression, ast.InSubquery):
+        return 0.5 if not expression.negated else 0.5
+
+    if isinstance(expression, ast.Like):
+        pattern = (
+            expression.pattern.value
+            if isinstance(expression.pattern, ast.Literal)
+            else None
+        )
+        if isinstance(pattern, str) and not pattern.startswith("%"):
+            selectivity = DEFAULT_PREFIX_LIKE
+        else:
+            selectivity = DEFAULT_LIKE
+        return (1.0 - selectivity) if expression.negated else selectivity
+
+    if isinstance(expression, ast.IsNull):
+        if isinstance(expression.expression, ast.ColumnRef):
+            statistics = resolver(expression.expression)
+            null_fraction = statistics.null_fraction if statistics else 0.01
+        else:
+            null_fraction = 0.01
+        return (1.0 - null_fraction) if expression.negated else max(null_fraction, 1e-6)
+
+    if isinstance(expression, ast.Exists):
+        return 0.5
+
+    if isinstance(expression, ast.Literal):
+        if expression.value is None:
+            return 0.0
+        return 1.0 if bool(expression.value) else 0.0
+
+    return DEFAULT_UNKNOWN
+
+
+def estimate_join_selectivity(
+    condition: Optional[ast.Expression], resolver: StatisticsResolver
+) -> float:
+    """Estimate the selectivity of a join condition (1.0 for cross joins)."""
+    if condition is None:
+        return 1.0
+    return estimate_selectivity(condition, resolver)
+
+
+def estimate_distinct_groups(
+    group_columns: int, input_rows: float, resolver_ndv: Optional[float] = None
+) -> float:
+    """Estimate the number of groups produced by an aggregation."""
+    if group_columns == 0:
+        return 1.0
+    if resolver_ndv is not None and resolver_ndv > 0:
+        return min(resolver_ndv, input_rows)
+    # Square-root heuristic used when no NDV statistics are available.
+    return max(min(input_rows, input_rows ** 0.5 * group_columns), 1.0)

@@ -1,0 +1,1090 @@
+"""The cost-based query planner.
+
+The planner turns parsed statements into :class:`~repro.optimizer.physical.PhysicalNode`
+trees.  Its structure follows the classic pipeline described in Section II of
+the paper: queries are parsed into logical steps, converted to physical
+operations, and a physical plan is selected using a cost model.
+
+Main features:
+
+* predicate pushdown of single-table conjuncts onto scans,
+* access-path selection (sequential scan vs index scan vs index-only scan)
+  driven by per-column statistics,
+* join ordering via dynamic programming over the join graph (greedy fallback
+  above a size threshold), with hash / merge / nested-loop algorithm choice,
+* hash or sorted aggregation, DISTINCT, set operations, ORDER BY / LIMIT,
+* subqueries in FROM (planned recursively) and subqueries in predicates
+  (planned as attached subplans, mirroring how PostgreSQL displays them),
+* DML and DDL plans for the Consumer-category operations.
+
+Planner behaviour is configurable through :class:`PlannerOptions`; the
+simulated dialects use different option sets, which yields the structurally
+different — yet conceptually equivalent — plans the case study observed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.database import Database
+from repro.catalog.statistics import ColumnStatistics
+from repro.errors import PlanningError
+from repro.optimizer.cardinality import (
+    estimate_distinct_groups,
+    estimate_join_selectivity,
+    estimate_selectivity,
+)
+from repro.optimizer.cost import CostModel
+from repro.optimizer.physical import CostEstimate, OpKind, PhysicalNode, make_node
+from repro.sqlparser import ast_nodes as ast
+from repro.sqlparser.printer import print_expression
+
+
+@dataclass
+class PlannerOptions:
+    """Tunable planner behaviour (per simulated DBMS)."""
+
+    enable_hash_join: bool = True
+    enable_merge_join: bool = True
+    enable_nested_loop_join: bool = True
+    enable_index_scan: bool = True
+    enable_index_only_scan: bool = True
+    #: Predicate selectivity below which an index scan is preferred.
+    index_selectivity_threshold: float = 0.25
+    #: Maximum number of relations planned with exhaustive dynamic programming.
+    dp_threshold: int = 8
+    #: Prefer hashed aggregation over sorted aggregation.
+    prefer_hash_aggregate: bool = True
+    #: Tables larger than this may be scanned in parallel (dialect shaping).
+    parallel_threshold_rows: int = 100_000
+    #: Emit a TopN node when ORDER BY and LIMIT are both present.
+    enable_top_n: bool = True
+
+
+@dataclass
+class _Relation:
+    """One base relation (or derived table) participating in a SELECT core."""
+
+    alias: str
+    table_name: Optional[str] = None
+    subquery: Optional[ast.SelectStatement] = None
+    predicates: List[ast.Expression] = field(default_factory=list)
+
+
+@dataclass
+class _JoinEdge:
+    """A join predicate connecting two relations."""
+
+    left_alias: str
+    right_alias: str
+    condition: ast.Expression
+    join_type: str = "INNER"
+
+
+class Planner:
+    """Plans statements for one :class:`~repro.catalog.database.Database`."""
+
+    def __init__(
+        self,
+        database: Database,
+        cost_model: Optional[CostModel] = None,
+        options: Optional[PlannerOptions] = None,
+    ) -> None:
+        self.database = database
+        self.cost_model = cost_model or CostModel()
+        self.options = options or PlannerOptions()
+
+    # ------------------------------------------------------------------ entry points
+
+    def plan_statement(self, statement: ast.Statement) -> PhysicalNode:
+        """Plan any supported statement."""
+        if isinstance(statement, ast.Explain):
+            return self.plan_statement(statement.statement)
+        if isinstance(statement, ast.SelectStatement):
+            return self.plan_select(statement)
+        if isinstance(statement, ast.Insert):
+            return self._plan_insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._plan_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._plan_delete(statement)
+        if isinstance(statement, ast.CreateTable):
+            return make_node(OpKind.CREATE_TABLE, table=statement.name, statement=statement)
+        if isinstance(statement, ast.CreateIndex):
+            return make_node(
+                OpKind.CREATE_INDEX,
+                table=statement.table,
+                index=statement.name,
+                statement=statement,
+            )
+        if isinstance(statement, ast.DropTable):
+            return make_node(OpKind.DROP_TABLE, table=statement.name, statement=statement)
+        raise PlanningError(f"cannot plan statement of type {type(statement).__name__}")
+
+    def plan_select(self, statement: ast.SelectStatement) -> PhysicalNode:
+        """Plan a SELECT statement including set operations and ORDER/LIMIT."""
+        body = statement.body
+        if isinstance(body, ast.SetOperation):
+            plan = self._plan_set_operation(body)
+        else:
+            plan = self._plan_core(body)
+
+        if statement.order_by:
+            if statement.limit is not None and self.options.enable_top_n:
+                plan = self._add_sort(plan, statement.order_by, top_n=True, limit=statement.limit)
+            else:
+                plan = self._add_sort(plan, statement.order_by, top_n=False, limit=None)
+        if statement.limit is not None and not (
+            statement.order_by and self.options.enable_top_n
+        ):
+            plan = self._add_limit(plan, statement.limit, statement.offset)
+        elif statement.offset is not None and statement.limit is None:
+            plan = self._add_limit(plan, None, statement.offset)
+        return plan
+
+    # ------------------------------------------------------------------ set operations
+
+    def _plan_set_operation(self, operation: ast.SetOperation) -> PhysicalNode:
+        left = (
+            self._plan_set_operation(operation.left)
+            if isinstance(operation.left, ast.SetOperation)
+            else self._plan_core(operation.left)
+        )
+        right = (
+            self._plan_set_operation(operation.right)
+            if isinstance(operation.right, ast.SetOperation)
+            else self._plan_core(operation.right)
+        )
+        total_rows = left.estimated_rows + right.estimated_rows
+        cost = CostEstimate(
+            startup=left.cost.startup + right.cost.startup,
+            total=left.cost.total + right.cost.total,
+        )
+        operator = operation.operator.upper()
+        if operator == "UNION ALL":
+            node = make_node(
+                OpKind.APPEND,
+                children=[left, right],
+                estimated_rows=total_rows,
+                startup_cost=cost.startup,
+                total_cost=cost.total,
+                set_operator="UNION ALL",
+            )
+            return node
+        append = make_node(
+            OpKind.APPEND,
+            children=[left, right],
+            estimated_rows=total_rows,
+            startup_cost=cost.startup,
+            total_cost=cost.total,
+            set_operator=operator,
+        )
+        if operator == "UNION":
+            groups = max(total_rows * 0.9, 1.0)
+            aggregate_cost = self.cost_model.aggregate(total_rows, groups, hashed=True)
+            return make_node(
+                OpKind.HASH_AGGREGATE,
+                children=[append],
+                estimated_rows=groups,
+                startup_cost=cost.total + aggregate_cost.startup,
+                total_cost=cost.total + aggregate_cost.total,
+                group_keys=[],
+                aggregates=[],
+                strategy="hash",
+                deduplicate=True,
+                set_operator="UNION",
+            )
+        kind = OpKind.INTERSECT if operator == "INTERSECT" else OpKind.EXCEPT
+        result_rows = (
+            min(left.estimated_rows, right.estimated_rows)
+            if kind is OpKind.INTERSECT
+            else max(left.estimated_rows - right.estimated_rows, 1.0)
+        )
+        return make_node(
+            kind,
+            children=[left, right],
+            estimated_rows=result_rows,
+            startup_cost=cost.startup,
+            total_cost=cost.total + total_rows * self.cost_model.cpu_operator_cost,
+            set_operator=operator,
+        )
+
+    # ------------------------------------------------------------------ SELECT core
+
+    def _plan_core(self, core: ast.SelectCore) -> PhysicalNode:
+        if core.from_clause is None:
+            return self._plan_constant_select(core)
+
+        relations, edges, outer_joins, residual = self._collect_relations(core)
+
+        # Classify WHERE conjuncts.
+        where_conjuncts = ast.split_conjuncts(core.where)
+        join_conjuncts: List[ast.Expression] = []
+        complex_conjuncts: List[ast.Expression] = list(residual)
+        alias_names = {relation.alias for relation in relations}
+        for conjunct in where_conjuncts:
+            aliases = self._referenced_aliases(conjunct, alias_names)
+            if self._contains_subquery(conjunct):
+                complex_conjuncts.append(conjunct)
+            elif len(aliases) == 1 and not outer_joins:
+                # With outer joins, pushing a predicate below the join would
+                # change null-extension semantics, so it stays above the join.
+                alias = next(iter(aliases))
+                self._relation_by_alias(relations, alias).predicates.append(conjunct)
+            elif len(aliases) == 2 and isinstance(conjunct, ast.BinaryOp):
+                left_alias, right_alias = sorted(aliases)
+                join_conjuncts.append(conjunct)
+                edges.append(_JoinEdge(left_alias, right_alias, conjunct))
+            else:
+                complex_conjuncts.append(conjunct)
+
+        # Plan access paths and join order.
+        needed_columns = self._compute_needed_columns(core, relations, edges)
+        if outer_joins:
+            plan = self._plan_syntactic_joins(
+                core.from_clause, relations, alias_names, needed_columns
+            )
+        else:
+            plan = self._plan_join_order(relations, edges, needed_columns)
+
+        # Residual predicates that could not be pushed down.
+        if complex_conjuncts:
+            plan = self._add_filter(plan, ast.conjoin(complex_conjuncts))
+
+        # Aggregation.
+        aggregates = self._collect_aggregates(core)
+        if core.group_by or aggregates:
+            plan = self._add_aggregate(plan, core, aggregates)
+            if core.having is not None:
+                plan = self._add_filter(plan, core.having, is_having=True)
+        elif core.having is not None:
+            plan = self._add_filter(plan, core.having, is_having=True)
+
+        # Projection.
+        plan = self._add_projection(plan, core)
+
+        if core.distinct:
+            plan = self._add_distinct(plan)
+        return plan
+
+    def _plan_constant_select(self, core: ast.SelectCore) -> PhysicalNode:
+        items = [
+            (item.expression, item.alias or print_expression(item.expression))
+            for item in core.items
+        ]
+        node = make_node(
+            OpKind.RESULT,
+            estimated_rows=1.0,
+            total_cost=self.cost_model.cpu_tuple_cost,
+            items=items,
+            where=core.where,
+        )
+        return node
+
+    # ------------------------------------------------------------------ FROM analysis
+
+    def _collect_relations(
+        self, core: ast.SelectCore
+    ) -> Tuple[List[_Relation], List[_JoinEdge], bool, List[ast.Expression]]:
+        relations: List[_Relation] = []
+        edges: List[_JoinEdge] = []
+        residual: List[ast.Expression] = []
+        has_outer = False
+
+        def visit(table_expression: ast.TableExpression) -> None:
+            nonlocal has_outer
+            if isinstance(table_expression, ast.TableRef):
+                relations.append(
+                    _Relation(alias=table_expression.effective_name, table_name=table_expression.name)
+                )
+                return
+            if isinstance(table_expression, ast.SubqueryRef):
+                relations.append(
+                    _Relation(alias=table_expression.alias, subquery=table_expression.query)
+                )
+                return
+            if isinstance(table_expression, ast.Join):
+                visit(table_expression.left)
+                visit(table_expression.right)
+                if table_expression.join_type in {"LEFT", "RIGHT", "FULL"}:
+                    has_outer = True
+                condition = table_expression.condition
+                if condition is None and table_expression.using_columns:
+                    condition = self._using_to_condition(table_expression)
+                if condition is not None:
+                    aliases = self._referenced_aliases(
+                        condition, {relation.alias for relation in relations}
+                    )
+                    if len(aliases) == 2:
+                        left_alias, right_alias = sorted(aliases)
+                        edges.append(
+                            _JoinEdge(left_alias, right_alias, condition, table_expression.join_type)
+                        )
+                    else:
+                        residual.append(condition)
+                return
+            raise PlanningError(
+                f"unsupported FROM item {type(table_expression).__name__}"
+            )
+
+        visit(core.from_clause)
+        return relations, edges, has_outer, residual
+
+    def _using_to_condition(self, join: ast.Join) -> Optional[ast.Expression]:
+        left_tables = ast.base_tables(join.left)
+        right_tables = ast.base_tables(join.right)
+        if not left_tables or not right_tables:
+            return None
+        conditions: List[ast.Expression] = []
+        for column in join.using_columns:
+            conditions.append(
+                ast.BinaryOp(
+                    "=",
+                    ast.ColumnRef(column=column, table=left_tables[-1].effective_name),
+                    ast.ColumnRef(column=column, table=right_tables[0].effective_name),
+                )
+            )
+        return ast.conjoin(conditions)
+
+    def _relation_by_alias(self, relations: Sequence[_Relation], alias: str) -> _Relation:
+        for relation in relations:
+            if relation.alias == alias:
+                return relation
+        raise PlanningError(f"unknown relation alias {alias!r}")
+
+    def _referenced_aliases(
+        self, expression: ast.Expression, alias_names: Set[str]
+    ) -> Set[str]:
+        aliases: Set[str] = set()
+        for reference in ast.referenced_columns(expression):
+            if reference.table and reference.table in alias_names:
+                aliases.add(reference.table)
+            elif reference.table is None:
+                owner = self._owning_alias(reference.column, alias_names)
+                if owner is not None:
+                    aliases.add(owner)
+        return aliases
+
+    def _owning_alias(self, column: str, alias_names: Set[str]) -> Optional[str]:
+        owners = []
+        for alias in alias_names:
+            table_name = alias
+            if self.database.has_table(table_name) and self.database.schema(table_name).has_column(column):
+                owners.append(alias)
+        if len(owners) == 1:
+            return owners[0]
+        return None
+
+    def _contains_subquery(self, expression: ast.Expression) -> bool:
+        return any(
+            isinstance(e, (ast.ScalarSubquery, ast.InSubquery, ast.Exists))
+            for e in ast.iter_expressions(expression)
+        )
+
+    # ------------------------------------------------------------------ statistics
+
+    def _statistics_resolver(self, relations: Sequence[_Relation]):
+        alias_to_table = {
+            relation.alias: relation.table_name
+            for relation in relations
+            if relation.table_name is not None
+        }
+
+        def resolver(reference: ast.ColumnRef) -> Optional[ColumnStatistics]:
+            candidates: List[str] = []
+            if reference.table and reference.table in alias_to_table:
+                candidates.append(alias_to_table[reference.table])
+            elif reference.table is None:
+                candidates.extend(alias_to_table.values())
+            for table_name in candidates:
+                if not self.database.has_table(table_name):
+                    continue
+                if not self.database.schema(table_name).has_column(reference.column):
+                    continue
+                statistics = self.database.statistics(table_name)
+                column_statistics = statistics.column(reference.column)
+                if column_statistics is not None:
+                    return column_statistics
+            return None
+
+        return resolver
+
+    # ------------------------------------------------------------------ access paths
+
+    def _plan_relation(
+        self, relation: _Relation, resolver, needed_columns: Optional[Set[str]] = None
+    ) -> PhysicalNode:
+        if relation.subquery is not None:
+            inner = self.plan_select(relation.subquery)
+            return make_node(
+                OpKind.SUBQUERY_SCAN,
+                children=[inner],
+                estimated_rows=inner.estimated_rows,
+                startup_cost=inner.cost.startup,
+                total_cost=inner.cost.total + inner.estimated_rows * self.cost_model.cpu_tuple_cost,
+                alias=relation.alias,
+                filter=ast.conjoin(relation.predicates),
+            )
+
+        table_name = relation.table_name
+        if table_name is None or not self.database.has_table(table_name):
+            raise PlanningError(f"unknown table {table_name!r}")
+        table = self.database.table(table_name)
+        statistics = self.database.statistics(table_name)
+        table_rows = max(float(statistics.row_count), 1.0)
+        width = table.schema.row_width()
+        predicate = ast.conjoin(relation.predicates)
+        selectivity = estimate_selectivity(predicate, resolver)
+        output_rows = max(table_rows * selectivity, 1.0) if predicate is not None else table_rows
+
+        best = self._seq_scan_node(relation, table_rows, output_rows, width, predicate)
+
+        if self.options.enable_index_scan:
+            index_plan = self._best_index_scan(
+                relation, table_rows, width, resolver, needed_columns or set()
+            )
+            if index_plan is not None and (
+                index_plan.cost.total < best.cost.total
+                or (
+                    predicate is not None
+                    and selectivity <= self.options.index_selectivity_threshold
+                    and index_plan.info.get("index_condition") is not None
+                )
+            ):
+                best = index_plan
+        return best
+
+    def _seq_scan_node(
+        self,
+        relation: _Relation,
+        table_rows: float,
+        output_rows: float,
+        width: int,
+        predicate: Optional[ast.Expression],
+    ) -> PhysicalNode:
+        cost = self.cost_model.seq_scan(table_rows, output_rows, width)
+        return make_node(
+            OpKind.SEQ_SCAN,
+            estimated_rows=output_rows,
+            startup_cost=cost.startup,
+            total_cost=cost.total,
+            width=width,
+            table=relation.table_name,
+            alias=relation.alias,
+            filter=predicate,
+            table_rows=table_rows,
+        )
+
+    def _best_index_scan(
+        self,
+        relation: _Relation,
+        table_rows: float,
+        width: int,
+        resolver,
+        needed_columns: Set[str],
+    ) -> Optional[PhysicalNode]:
+        table_name = relation.table_name
+        best: Optional[PhysicalNode] = None
+        for index in self.database.indexes_for(table_name):
+            leading = index.definition.leading_column().lower()
+            index_conjuncts: List[ast.Expression] = []
+            remaining: List[ast.Expression] = []
+            for conjunct in relation.predicates:
+                if self._predicate_targets_column(conjunct, relation.alias, leading):
+                    index_conjuncts.append(conjunct)
+                else:
+                    remaining.append(conjunct)
+            if not index_conjuncts and not self._index_covers_query(
+                index.definition.columns, needed_columns
+            ):
+                continue
+            index_condition = ast.conjoin(index_conjuncts)
+            index_selectivity = estimate_selectivity(index_condition, resolver)
+            matched_rows = max(table_rows * index_selectivity, 1.0)
+            remaining_predicate = ast.conjoin(remaining)
+            remaining_selectivity = estimate_selectivity(remaining_predicate, resolver)
+            output_rows = max(matched_rows * remaining_selectivity, 1.0)
+            covering = (
+                self.options.enable_index_only_scan
+                and self._index_covers_query(index.definition.columns, needed_columns)
+            )
+            cost = self.cost_model.index_scan(table_rows, matched_rows, width, covering)
+            kind = OpKind.INDEX_ONLY_SCAN if covering else OpKind.INDEX_SCAN
+            node = make_node(
+                kind,
+                estimated_rows=output_rows,
+                startup_cost=cost.startup,
+                total_cost=cost.total,
+                width=width,
+                table=table_name,
+                alias=relation.alias,
+                index=index.definition.name,
+                index_columns=list(index.definition.columns),
+                index_condition=index_condition,
+                filter=remaining_predicate,
+                table_rows=table_rows,
+            )
+            if best is None or node.cost.total < best.cost.total:
+                best = node
+        return best
+
+    def _predicate_targets_column(
+        self, predicate: ast.Expression, alias: str, column: str
+    ) -> bool:
+        references = ast.referenced_columns(predicate)
+        if not references:
+            return False
+        supported = isinstance(predicate, (ast.BinaryOp, ast.Between, ast.InList))
+        if not supported:
+            return False
+        if isinstance(predicate, ast.BinaryOp) and predicate.operator.upper() in {"AND", "OR"}:
+            return False
+        return all(
+            reference.column.lower() == column
+            and (reference.table is None or reference.table == alias)
+            for reference in references
+        )
+
+    def _index_covers_query(
+        self, index_columns: Sequence[str], needed_columns: Set[str]
+    ) -> bool:
+        if not needed_columns:
+            return False
+        indexed = {column.lower() for column in index_columns}
+        return {column.lower() for column in needed_columns}.issubset(indexed)
+
+    # ------------------------------------------------------------------ join ordering
+
+    def _plan_join_order(
+        self,
+        relations: List[_Relation],
+        edges: List[_JoinEdge],
+        needed: Optional[Dict[str, Set[str]]] = None,
+    ) -> PhysicalNode:
+        resolver = self._statistics_resolver(relations)
+        if needed is None:
+            needed = self._needed_columns_by_alias(relations)
+        base_plans: Dict[frozenset, PhysicalNode] = {}
+        for relation in relations:
+            base_plans[frozenset([relation.alias])] = self._plan_relation(
+                relation, resolver, needed.get(relation.alias, set())
+            )
+        if len(relations) == 1:
+            return next(iter(base_plans.values()))
+
+        if len(relations) <= self.options.dp_threshold:
+            return self._dynamic_programming_join(relations, edges, base_plans, resolver)
+        return self._greedy_join(relations, edges, base_plans, resolver)
+
+    def _needed_columns_by_alias(self, relations: List[_Relation]) -> Dict[str, Set[str]]:
+        # Fallback used for DML planning: only the pushed-down predicates are
+        # known, so index-only scans are only chosen when an index covers every
+        # column the relation's predicates touch.
+        needed: Dict[str, Set[str]] = {}
+        for relation in relations:
+            columns: Set[str] = set()
+            for predicate in relation.predicates:
+                for reference in ast.referenced_columns(predicate):
+                    columns.add(reference.column)
+            needed[relation.alias] = columns
+        return needed
+
+    def _compute_needed_columns(
+        self,
+        core: ast.SelectCore,
+        relations: List[_Relation],
+        edges: List[_JoinEdge],
+    ) -> Dict[str, Set[str]]:
+        """Every column each relation must provide to answer the query.
+
+        Used for index-only-scan selection: an index can only replace the heap
+        when it covers every referenced column of the relation.  A ``*`` select
+        item marks every column of every relation as needed.
+        """
+        alias_names = {relation.alias for relation in relations}
+        needed: Dict[str, Set[str]] = {relation.alias: set() for relation in relations}
+
+        def mark(expression: Optional[ast.Expression]) -> None:
+            if expression is None:
+                return
+            for node in ast.iter_expressions(expression):
+                if isinstance(node, ast.Star):
+                    for relation in relations:
+                        if relation.table_name and self.database.has_table(relation.table_name):
+                            needed[relation.alias].update(
+                                self.database.schema(relation.table_name).column_names()
+                            )
+                        else:
+                            needed[relation.alias].add("*")
+            for reference in ast.referenced_columns(expression):
+                if reference.table and reference.table in alias_names:
+                    needed[reference.table].add(reference.column)
+                elif reference.table is None:
+                    owner = self._owning_alias(reference.column, alias_names)
+                    if owner is not None:
+                        needed[owner].add(reference.column)
+
+        for item in core.items:
+            if isinstance(item.expression, ast.Star):
+                if item.expression.table and item.expression.table in alias_names:
+                    aliases = [item.expression.table]
+                else:
+                    aliases = list(alias_names)
+                for alias in aliases:
+                    relation = self._relation_by_alias(relations, alias)
+                    if relation.table_name and self.database.has_table(relation.table_name):
+                        needed[alias].update(
+                            self.database.schema(relation.table_name).column_names()
+                        )
+                    else:
+                        needed[alias].add("*")
+            else:
+                mark(item.expression)
+        mark(core.where)
+        for expression in core.group_by:
+            mark(expression)
+        mark(core.having)
+        for relation in relations:
+            for predicate in relation.predicates:
+                mark(predicate)
+        for edge in edges:
+            mark(edge.condition)
+        return needed
+
+    def _edges_between(
+        self, edges: List[_JoinEdge], left_aliases: frozenset, right_aliases: frozenset
+    ) -> List[_JoinEdge]:
+        connecting = []
+        for edge in edges:
+            if (
+                edge.left_alias in left_aliases
+                and edge.right_alias in right_aliases
+            ) or (
+                edge.left_alias in right_aliases and edge.right_alias in left_aliases
+            ):
+                connecting.append(edge)
+        return connecting
+
+    def _dynamic_programming_join(
+        self,
+        relations: List[_Relation],
+        edges: List[_JoinEdge],
+        base_plans: Dict[frozenset, PhysicalNode],
+        resolver,
+    ) -> PhysicalNode:
+        aliases = [relation.alias for relation in relations]
+        best: Dict[frozenset, PhysicalNode] = dict(base_plans)
+
+        for subset_size in range(2, len(aliases) + 1):
+            for subset in itertools.combinations(aliases, subset_size):
+                subset_key = frozenset(subset)
+                best_plan: Optional[PhysicalNode] = None
+                for split_size in range(1, subset_size):
+                    for left_part in itertools.combinations(subset, split_size):
+                        left_key = frozenset(left_part)
+                        right_key = subset_key - left_key
+                        if left_key not in best or right_key not in best:
+                            continue
+                        connecting = self._edges_between(edges, left_key, right_key)
+                        if not connecting and len(edges) > 0 and subset_size < len(aliases):
+                            # Avoid cartesian products until forced to.
+                            continue
+                        candidate = self._make_join(
+                            best[left_key], best[right_key], connecting, resolver
+                        )
+                        if best_plan is None or candidate.cost.total < best_plan.cost.total:
+                            best_plan = candidate
+                if best_plan is None:
+                    # Fall back to allowing a cartesian product.
+                    for split_size in range(1, subset_size):
+                        for left_part in itertools.combinations(subset, split_size):
+                            left_key = frozenset(left_part)
+                            right_key = subset_key - left_key
+                            if left_key not in best or right_key not in best:
+                                continue
+                            candidate = self._make_join(best[left_key], best[right_key], [], resolver)
+                            if best_plan is None or candidate.cost.total < best_plan.cost.total:
+                                best_plan = candidate
+                if best_plan is not None:
+                    best[subset_key] = best_plan
+
+        full_key = frozenset(aliases)
+        if full_key not in best:
+            raise PlanningError("join ordering failed to produce a complete plan")
+        return best[full_key]
+
+    def _greedy_join(
+        self,
+        relations: List[_Relation],
+        edges: List[_JoinEdge],
+        base_plans: Dict[frozenset, PhysicalNode],
+        resolver,
+    ) -> PhysicalNode:
+        remaining = dict(base_plans)
+        while len(remaining) > 1:
+            best_pair: Optional[Tuple[frozenset, frozenset]] = None
+            best_plan: Optional[PhysicalNode] = None
+            best_score: Optional[float] = None
+            for left_key, right_key in itertools.combinations(list(remaining), 2):
+                connecting = self._edges_between(edges, left_key, right_key)
+                candidate = self._make_join(
+                    remaining[left_key], remaining[right_key], connecting, resolver
+                )
+                penalty = 1.0 if connecting else 1000.0
+                score = candidate.cost.total * penalty
+                if best_score is None or score < best_score:
+                    best_plan = candidate
+                    best_pair = (left_key, right_key)
+                    best_score = score
+            assert best_pair is not None and best_plan is not None
+            left_key, right_key = best_pair
+            del remaining[left_key]
+            del remaining[right_key]
+            remaining[left_key | right_key] = best_plan
+        return next(iter(remaining.values()))
+
+    def _make_join(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        connecting: List[_JoinEdge],
+        resolver,
+        join_type: str = "INNER",
+    ) -> PhysicalNode:
+        condition = ast.conjoin([edge.condition for edge in connecting]) if connecting else None
+        selectivity = estimate_join_selectivity(condition, resolver)
+        output_rows = max(left.estimated_rows * right.estimated_rows * selectivity, 1.0)
+        width = left.width + right.width
+        equi_join = condition is not None and self._is_equi_join(condition)
+
+        candidates: List[PhysicalNode] = []
+        if self.options.enable_hash_join and equi_join:
+            cost = self.cost_model.hash_join(
+                left.cost, right.cost, left.estimated_rows, right.estimated_rows
+            )
+            candidates.append(
+                make_node(
+                    OpKind.HASH_JOIN,
+                    children=[left, right],
+                    estimated_rows=output_rows,
+                    startup_cost=cost.startup,
+                    total_cost=cost.total,
+                    width=width,
+                    condition=condition,
+                    join_type=join_type,
+                )
+            )
+        if self.options.enable_merge_join and equi_join:
+            cost = self.cost_model.merge_join(
+                left.cost, right.cost, left.estimated_rows, right.estimated_rows
+            )
+            candidates.append(
+                make_node(
+                    OpKind.MERGE_JOIN,
+                    children=[left, right],
+                    estimated_rows=output_rows,
+                    startup_cost=cost.startup,
+                    total_cost=cost.total,
+                    width=width,
+                    condition=condition,
+                    join_type=join_type,
+                )
+            )
+        if self.options.enable_nested_loop_join or not candidates:
+            cost = self.cost_model.nested_loop_join(
+                left.cost, right.cost, left.estimated_rows, right.estimated_rows
+            )
+            candidates.append(
+                make_node(
+                    OpKind.NESTED_LOOP_JOIN,
+                    children=[left, right],
+                    estimated_rows=output_rows,
+                    startup_cost=cost.startup,
+                    total_cost=cost.total,
+                    width=width,
+                    condition=condition,
+                    join_type=join_type,
+                )
+            )
+        return min(candidates, key=lambda node: node.cost.total)
+
+    def _is_equi_join(self, condition: ast.Expression) -> bool:
+        conjuncts = ast.split_conjuncts(condition)
+        return any(
+            isinstance(conjunct, ast.BinaryOp)
+            and conjunct.operator == "="
+            and isinstance(conjunct.left, ast.ColumnRef)
+            and isinstance(conjunct.right, ast.ColumnRef)
+            for conjunct in conjuncts
+        )
+
+    def _plan_syntactic_joins(
+        self,
+        from_clause: ast.TableExpression,
+        relations: List[_Relation],
+        alias_names: Set[str],
+        needed: Optional[Dict[str, Set[str]]] = None,
+    ) -> PhysicalNode:
+        """Plan joins in the order they are written (used when outer joins exist)."""
+        resolver = self._statistics_resolver(relations)
+        if needed is None:
+            needed = self._needed_columns_by_alias(relations)
+
+        def build(table_expression: ast.TableExpression) -> PhysicalNode:
+            if isinstance(table_expression, (ast.TableRef, ast.SubqueryRef)):
+                alias = table_expression.effective_name
+                relation = self._relation_by_alias(relations, alias)
+                return self._plan_relation(relation, resolver, needed.get(alias, set()))
+            if isinstance(table_expression, ast.Join):
+                left = build(table_expression.left)
+                right = build(table_expression.right)
+                condition = table_expression.condition
+                if condition is None and table_expression.using_columns:
+                    condition = self._using_to_condition(table_expression)
+                edge_list = (
+                    [_JoinEdge("", "", condition, table_expression.join_type)]
+                    if condition is not None
+                    else []
+                )
+                return self._make_join(
+                    left, right, edge_list, resolver, join_type=table_expression.join_type
+                )
+            raise PlanningError(
+                f"unsupported FROM item {type(table_expression).__name__}"
+            )
+
+        return build(from_clause)
+
+    # ------------------------------------------------------------------ upper operators
+
+    def _add_filter(
+        self, child: PhysicalNode, predicate: Optional[ast.Expression], is_having: bool = False
+    ) -> PhysicalNode:
+        if predicate is None:
+            return child
+        selectivity = 0.5 if self._contains_subquery(predicate) else 0.33
+        output_rows = max(child.estimated_rows * selectivity, 1.0)
+        subplans = self._plan_predicate_subqueries(predicate)
+        return make_node(
+            OpKind.FILTER,
+            children=[child],
+            estimated_rows=output_rows,
+            startup_cost=child.cost.startup,
+            total_cost=child.cost.total
+            + child.estimated_rows * self.cost_model.cpu_operator_cost,
+            width=child.width,
+            predicate=predicate,
+            is_having=is_having,
+            subplans=subplans,
+        )
+
+    def _plan_predicate_subqueries(
+        self, predicate: ast.Expression
+    ) -> List[PhysicalNode]:
+        subplans: List[PhysicalNode] = []
+        for expression in ast.iter_expressions(predicate):
+            query: Optional[ast.SelectStatement] = None
+            if isinstance(expression, ast.ScalarSubquery):
+                query = expression.query
+            elif isinstance(expression, ast.InSubquery):
+                query = expression.subquery
+            elif isinstance(expression, ast.Exists):
+                query = expression.query
+            if query is not None:
+                subplans.append(self.plan_select(query))
+        return subplans
+
+    def _collect_aggregates(self, core: ast.SelectCore) -> List[ast.FunctionCall]:
+        aggregates: List[ast.FunctionCall] = []
+        sources: List[Optional[ast.Expression]] = [item.expression for item in core.items]
+        sources.append(core.having)
+        for item in getattr(core, "order_hint", []):  # pragma: no cover - reserved
+            sources.append(item)
+        seen: Set[str] = set()
+        for source in sources:
+            if source is None:
+                continue
+            for expression in ast.iter_expressions(source):
+                if isinstance(expression, ast.FunctionCall) and expression.name.upper() in {
+                    "COUNT",
+                    "SUM",
+                    "AVG",
+                    "MIN",
+                    "MAX",
+                }:
+                    key = print_expression(expression)
+                    if key not in seen:
+                        seen.add(key)
+                        aggregates.append(expression)
+        return aggregates
+
+    def _add_aggregate(
+        self,
+        child: PhysicalNode,
+        core: ast.SelectCore,
+        aggregates: List[ast.FunctionCall],
+    ) -> PhysicalNode:
+        groups = estimate_distinct_groups(len(core.group_by), child.estimated_rows)
+        hashed = self.options.prefer_hash_aggregate and bool(core.group_by)
+        cost = self.cost_model.aggregate(child.estimated_rows, groups, hashed=hashed)
+        kind = OpKind.HASH_AGGREGATE if hashed else OpKind.SORT_AGGREGATE
+        if not core.group_by:
+            kind = OpKind.SORT_AGGREGATE
+        return make_node(
+            kind,
+            children=[child],
+            estimated_rows=groups,
+            startup_cost=child.cost.total + cost.startup,
+            total_cost=child.cost.total + cost.total,
+            width=child.width,
+            group_keys=list(core.group_by),
+            aggregates=aggregates,
+            strategy="hash" if kind is OpKind.HASH_AGGREGATE else "sorted",
+        )
+
+    def _add_projection(self, child: PhysicalNode, core: ast.SelectCore) -> PhysicalNode:
+        items: List[Tuple[ast.Expression, str]] = []
+        for item in core.items:
+            name = item.alias or print_expression(item.expression)
+            items.append((item.expression, name))
+        return make_node(
+            OpKind.PROJECT,
+            children=[child],
+            estimated_rows=child.estimated_rows,
+            startup_cost=child.cost.startup,
+            total_cost=child.cost.total
+            + child.estimated_rows * self.cost_model.cpu_tuple_cost,
+            width=child.width,
+            items=items,
+        )
+
+    def _add_distinct(self, child: PhysicalNode) -> PhysicalNode:
+        groups = max(child.estimated_rows * 0.9, 1.0)
+        cost = self.cost_model.aggregate(child.estimated_rows, groups, hashed=True)
+        return make_node(
+            OpKind.DISTINCT,
+            children=[child],
+            estimated_rows=groups,
+            startup_cost=child.cost.total + cost.startup,
+            total_cost=child.cost.total + cost.total,
+            width=child.width,
+        )
+
+    def _add_sort(
+        self,
+        child: PhysicalNode,
+        order_by: List[ast.OrderItem],
+        top_n: bool,
+        limit: Optional[ast.Expression],
+    ) -> PhysicalNode:
+        cost = self.cost_model.sort(child.estimated_rows)
+        keys = [(item.expression, item.descending) for item in order_by]
+        if top_n and limit is not None:
+            limit_value = limit.value if isinstance(limit, ast.Literal) else None
+            rows = (
+                min(float(limit_value), child.estimated_rows)
+                if isinstance(limit_value, (int, float))
+                else child.estimated_rows
+            )
+            return make_node(
+                OpKind.TOP_N,
+                children=[child],
+                estimated_rows=max(rows, 1.0),
+                startup_cost=child.cost.total + cost.startup,
+                total_cost=child.cost.total + cost.total,
+                width=child.width,
+                sort_keys=keys,
+                limit=limit,
+            )
+        return make_node(
+            OpKind.SORT,
+            children=[child],
+            estimated_rows=child.estimated_rows,
+            startup_cost=child.cost.total + cost.startup,
+            total_cost=child.cost.total + cost.total,
+            width=child.width,
+            sort_keys=keys,
+        )
+
+    def _add_limit(
+        self,
+        child: PhysicalNode,
+        limit: Optional[ast.Expression],
+        offset: Optional[ast.Expression],
+    ) -> PhysicalNode:
+        limit_value = limit.value if isinstance(limit, ast.Literal) else None
+        if isinstance(limit_value, (int, float)) and child.estimated_rows > 0:
+            fraction = min(float(limit_value) / child.estimated_rows, 1.0)
+            rows = min(float(limit_value), child.estimated_rows)
+        else:
+            fraction = 1.0
+            rows = child.estimated_rows
+        cost = self.cost_model.limit(child.cost.total, fraction)
+        return make_node(
+            OpKind.LIMIT,
+            children=[child],
+            estimated_rows=max(rows, 1.0),
+            startup_cost=child.cost.startup,
+            total_cost=child.cost.startup + cost.total,
+            width=child.width,
+            limit=limit,
+            offset=offset,
+        )
+
+    # ------------------------------------------------------------------ DML
+
+    def _plan_insert(self, statement: ast.Insert) -> PhysicalNode:
+        if statement.select is not None:
+            source = self.plan_select(statement.select)
+            rows = source.estimated_rows
+        else:
+            source = make_node(
+                OpKind.VALUES,
+                estimated_rows=float(len(statement.rows)),
+                total_cost=len(statement.rows) * self.cost_model.cpu_tuple_cost,
+                rows=statement.rows,
+                columns=list(statement.columns),
+            )
+            rows = float(len(statement.rows))
+        return make_node(
+            OpKind.INSERT,
+            children=[source],
+            estimated_rows=rows,
+            total_cost=source.cost.total + rows * self.cost_model.cpu_tuple_cost,
+            table=statement.table,
+            columns=list(statement.columns),
+            statement=statement,
+        )
+
+    def _plan_update(self, statement: ast.Update) -> PhysicalNode:
+        relation = _Relation(alias=statement.table, table_name=statement.table)
+        if statement.where is not None:
+            relation.predicates = ast.split_conjuncts(statement.where)
+        resolver = self._statistics_resolver([relation])
+        scan = self._plan_relation(relation, resolver)
+        return make_node(
+            OpKind.UPDATE,
+            children=[scan],
+            estimated_rows=scan.estimated_rows,
+            total_cost=scan.cost.total + scan.estimated_rows * self.cost_model.cpu_tuple_cost,
+            table=statement.table,
+            assignments=statement.assignments,
+            statement=statement,
+        )
+
+    def _plan_delete(self, statement: ast.Delete) -> PhysicalNode:
+        relation = _Relation(alias=statement.table, table_name=statement.table)
+        if statement.where is not None:
+            relation.predicates = ast.split_conjuncts(statement.where)
+        resolver = self._statistics_resolver([relation])
+        scan = self._plan_relation(relation, resolver)
+        return make_node(
+            OpKind.DELETE,
+            children=[scan],
+            estimated_rows=scan.estimated_rows,
+            total_cost=scan.cost.total + scan.estimated_rows * self.cost_model.cpu_tuple_cost,
+            table=statement.table,
+            statement=statement,
+        )

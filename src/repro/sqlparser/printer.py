@@ -1,0 +1,221 @@
+"""Rendering AST nodes back into SQL text.
+
+The printer is used by the testing applications (TLP builds partitioned
+queries by wrapping predicates) and by the dialects when echoing queries into
+plan properties.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sqlparser import ast_nodes as ast
+
+
+def _quote_string(value: str) -> str:
+    return "'" + value.replace("'", "''") + "'"
+
+
+def print_expression(expression: Optional[ast.Expression]) -> str:
+    """Render an expression as SQL text."""
+    if expression is None:
+        return ""
+    if isinstance(expression, ast.Literal):
+        if expression.value is None:
+            return "NULL"
+        if isinstance(expression.value, bool):
+            return "TRUE" if expression.value else "FALSE"
+        if isinstance(expression.value, str):
+            return _quote_string(expression.value)
+        return str(expression.value)
+    if isinstance(expression, ast.ColumnRef):
+        return f"{expression.table}.{expression.column}" if expression.table else expression.column
+    if isinstance(expression, ast.Star):
+        return f"{expression.table}.*" if expression.table else "*"
+    if isinstance(expression, ast.Parameter):
+        return expression.name
+    if isinstance(expression, ast.BinaryOp):
+        return (
+            f"({print_expression(expression.left)} {expression.operator} "
+            f"{print_expression(expression.right)})"
+        )
+    if isinstance(expression, ast.UnaryOp):
+        if expression.operator.upper() == "NOT":
+            return f"(NOT {print_expression(expression.operand)})"
+        return f"({expression.operator}{print_expression(expression.operand)})"
+    if isinstance(expression, ast.FunctionCall):
+        if expression.star:
+            return f"{expression.name}(*)"
+        arguments = ", ".join(print_expression(arg) for arg in expression.arguments)
+        distinct = "DISTINCT " if expression.distinct else ""
+        return f"{expression.name}({distinct}{arguments})"
+    if isinstance(expression, ast.InList):
+        items = ", ".join(print_expression(item) for item in expression.items)
+        negation = " NOT" if expression.negated else ""
+        return f"({print_expression(expression.expression)}{negation} IN ({items}))"
+    if isinstance(expression, ast.InSubquery):
+        negation = " NOT" if expression.negated else ""
+        return (
+            f"({print_expression(expression.expression)}{negation} IN "
+            f"({print_select(expression.subquery)}))"
+        )
+    if isinstance(expression, ast.Between):
+        negation = " NOT" if expression.negated else ""
+        return (
+            f"({print_expression(expression.expression)}{negation} BETWEEN "
+            f"{print_expression(expression.low)} AND {print_expression(expression.high)})"
+        )
+    if isinstance(expression, ast.Like):
+        negation = " NOT" if expression.negated else ""
+        return (
+            f"({print_expression(expression.expression)}{negation} LIKE "
+            f"{print_expression(expression.pattern)})"
+        )
+    if isinstance(expression, ast.IsNull):
+        negation = "NOT " if expression.negated else ""
+        return f"({print_expression(expression.expression)} IS {negation}NULL)"
+    if isinstance(expression, ast.Case):
+        parts = ["CASE"]
+        if expression.operand is not None:
+            parts.append(print_expression(expression.operand))
+        for when in expression.whens:
+            parts.append(
+                f"WHEN {print_expression(when.condition)} THEN {print_expression(when.result)}"
+            )
+        if expression.else_result is not None:
+            parts.append(f"ELSE {print_expression(expression.else_result)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expression, ast.Cast):
+        return f"CAST({print_expression(expression.expression)} AS {expression.target_type})"
+    if isinstance(expression, ast.ScalarSubquery):
+        return f"({print_select(expression.query)})"
+    if isinstance(expression, ast.Exists):
+        negation = "NOT " if expression.negated else ""
+        return f"{negation}EXISTS ({print_select(expression.query)})"
+    raise TypeError(f"cannot print expression of type {type(expression).__name__}")
+
+
+def _print_table_expression(table: Optional[ast.TableExpression]) -> str:
+    if table is None:
+        return ""
+    if isinstance(table, ast.TableRef):
+        return f"{table.name} AS {table.alias}" if table.alias else table.name
+    if isinstance(table, ast.SubqueryRef):
+        return f"({print_select(table.query)}) AS {table.alias}"
+    if isinstance(table, ast.Join):
+        left = _print_table_expression(table.left)
+        right = _print_table_expression(table.right)
+        if table.join_type == "CROSS" and table.condition is None and not table.using_columns:
+            return f"{left} CROSS JOIN {right}"
+        keyword = {
+            "INNER": "INNER JOIN",
+            "LEFT": "LEFT JOIN",
+            "RIGHT": "RIGHT JOIN",
+            "FULL": "FULL JOIN",
+            "CROSS": "CROSS JOIN",
+        }[table.join_type]
+        clause = f"{left} {keyword} {right}"
+        if table.condition is not None:
+            clause += f" ON {print_expression(table.condition)}"
+        elif table.using_columns:
+            clause += " USING (" + ", ".join(table.using_columns) + ")"
+        return clause
+    raise TypeError(f"cannot print table expression of type {type(table).__name__}")
+
+
+def _print_core(core: ast.SelectCore) -> str:
+    items = ", ".join(
+        print_expression(item.expression) + (f" AS {item.alias}" if item.alias else "")
+        for item in core.items
+    )
+    parts = ["SELECT " + ("DISTINCT " if core.distinct else "") + items]
+    if core.from_clause is not None:
+        parts.append("FROM " + _print_table_expression(core.from_clause))
+    if core.where is not None:
+        parts.append("WHERE " + print_expression(core.where))
+    if core.group_by:
+        parts.append("GROUP BY " + ", ".join(print_expression(e) for e in core.group_by))
+    if core.having is not None:
+        parts.append("HAVING " + print_expression(core.having))
+    return " ".join(parts)
+
+
+def _print_body(body) -> str:
+    if isinstance(body, ast.SelectCore):
+        return _print_core(body)
+    if isinstance(body, ast.SetOperation):
+        return f"{_print_body(body.left)} {body.operator} {_print_body(body.right)}"
+    raise TypeError(f"cannot print select body of type {type(body).__name__}")
+
+
+def print_select(statement: ast.SelectStatement) -> str:
+    """Render a SELECT statement as SQL text."""
+    text = _print_body(statement.body)
+    if statement.order_by:
+        rendered = ", ".join(
+            print_expression(item.expression) + (" DESC" if item.descending else "")
+            for item in statement.order_by
+        )
+        text += " ORDER BY " + rendered
+    if statement.limit is not None:
+        text += " LIMIT " + print_expression(statement.limit)
+    if statement.offset is not None:
+        text += " OFFSET " + print_expression(statement.offset)
+    return text
+
+
+def print_statement(statement: ast.Statement) -> str:
+    """Render any supported statement as SQL text."""
+    if isinstance(statement, ast.SelectStatement):
+        return print_select(statement)
+    if isinstance(statement, ast.Explain):
+        prefix = "EXPLAIN"
+        if statement.analyze:
+            prefix += " ANALYZE"
+        if statement.format:
+            prefix += f" (FORMAT {statement.format.upper()})"
+        return f"{prefix} {print_statement(statement.statement)}"
+    if isinstance(statement, ast.CreateTable):
+        columns = []
+        for column in statement.columns:
+            text = f"{column.name} {column.type_name}"
+            if column.primary_key:
+                text += " PRIMARY KEY"
+            if column.not_null:
+                text += " NOT NULL"
+            if column.unique:
+                text += " UNIQUE"
+            if column.default is not None:
+                text += f" DEFAULT {print_expression(column.default)}"
+            columns.append(text)
+        exists = "IF NOT EXISTS " if statement.if_not_exists else ""
+        return f"CREATE TABLE {exists}{statement.name} ({', '.join(columns)})"
+    if isinstance(statement, ast.CreateIndex):
+        unique = "UNIQUE " if statement.unique else ""
+        return (
+            f"CREATE {unique}INDEX {statement.name} ON {statement.table} "
+            f"({', '.join(statement.columns)})"
+        )
+    if isinstance(statement, ast.DropTable):
+        exists = "IF EXISTS " if statement.if_exists else ""
+        return f"DROP TABLE {exists}{statement.name}"
+    if isinstance(statement, ast.Insert):
+        columns = f" ({', '.join(statement.columns)})" if statement.columns else ""
+        if statement.select is not None:
+            return f"INSERT INTO {statement.table}{columns} {print_select(statement.select)}"
+        rows = ", ".join(
+            "(" + ", ".join(print_expression(value) for value in row) + ")"
+            for row in statement.rows
+        )
+        return f"INSERT INTO {statement.table}{columns} VALUES {rows}"
+    if isinstance(statement, ast.Update):
+        assignments = ", ".join(
+            f"{column} = {print_expression(value)}" for column, value in statement.assignments
+        )
+        where = f" WHERE {print_expression(statement.where)}" if statement.where else ""
+        return f"UPDATE {statement.table} SET {assignments}{where}"
+    if isinstance(statement, ast.Delete):
+        where = f" WHERE {print_expression(statement.where)}" if statement.where else ""
+        return f"DELETE FROM {statement.table}{where}"
+    raise TypeError(f"cannot print statement of type {type(statement).__name__}")

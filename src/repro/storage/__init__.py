@@ -1,0 +1,6 @@
+"""Storage substrate: heap tables, ordered indexes, and NoSQL stores."""
+
+from repro.storage.table import HeapTable, Row
+from repro.storage.index import OrderedIndex, sortable
+
+__all__ = ["HeapTable", "Row", "OrderedIndex", "sortable"]

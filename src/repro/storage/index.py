@@ -1,0 +1,155 @@
+"""Ordered secondary indexes over heap tables.
+
+The index keeps ``(key, row_id)`` entries in sorted order and supports point
+lookups, range scans, and ordered full scans — the access paths that back
+``Index Scan`` / ``Index Only Scan`` / ``Index Range Scan`` operations in the
+simulated DBMSs.  A ``None`` component in a key sorts before every non-null
+value, mirroring NULLS FIRST ordering.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import Index
+from repro.errors import StorageError
+
+IndexKey = Tuple[object, ...]
+
+
+class _SortKey:
+    """A total-order wrapper so heterogeneous/None keys can be compared."""
+
+    __slots__ = ("rank", "value")
+
+    def __init__(self, value: object) -> None:
+        if value is None:
+            self.rank, self.value = 0, ""
+        elif isinstance(value, bool):
+            self.rank, self.value = 1, int(value)
+        elif isinstance(value, (int, float)):
+            self.rank, self.value = 1, float(value)
+        else:
+            self.rank, self.value = 2, str(value)
+
+    def _key(self) -> Tuple[int, object]:
+        return (self.rank, self.value)
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        return self._key() < other._key()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+
+def sortable(key: Sequence[object]) -> Tuple[_SortKey, ...]:
+    """Wrap a raw key tuple so it can be compared against any other key."""
+    return tuple(_SortKey(component) for component in key)
+
+
+class OrderedIndex:
+    """A sorted ``(key, row_id)`` index supporting point and range scans."""
+
+    def __init__(self, definition: Index) -> None:
+        self.definition = definition
+        self._entries: List[Tuple[Tuple[_SortKey, ...], IndexKey, int]] = []
+
+    # -- maintenance -------------------------------------------------------------
+
+    def insert(self, key: Sequence[object], row_id: int) -> None:
+        """Insert an entry; rejects duplicates for unique indexes."""
+        raw = tuple(key)
+        wrapped = sortable(raw)
+        if self.definition.unique and self._contains_key(wrapped):
+            raise StorageError(
+                f"duplicate key {raw!r} for unique index {self.definition.name!r}"
+            )
+        insort(self._entries, (wrapped, raw, row_id))
+
+    def remove(self, key: Sequence[object], row_id: int) -> None:
+        """Remove the entry for ``(key, row_id)`` if present."""
+        wrapped = sortable(tuple(key))
+        index = bisect_left(self._entries, (wrapped,))
+        while index < len(self._entries) and self._entries[index][0] == wrapped:
+            if self._entries[index][2] == row_id:
+                del self._entries[index]
+                return
+            index += 1
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._entries.clear()
+
+    def _contains_key(self, wrapped: Tuple[_SortKey, ...]) -> bool:
+        position = bisect_left(self._entries, (wrapped,))
+        return (
+            position < len(self._entries) and self._entries[position][0] == wrapped
+        )
+
+    # -- lookups -----------------------------------------------------------------
+
+    def lookup(self, key: Sequence[object]) -> List[int]:
+        """Return the row ids whose full key equals *key*."""
+        wrapped = sortable(tuple(key))
+        results: List[int] = []
+        position = bisect_left(self._entries, (wrapped,))
+        while position < len(self._entries) and self._entries[position][0] == wrapped:
+            results.append(self._entries[position][2])
+            position += 1
+        return results
+
+    def prefix_lookup(self, prefix: Sequence[object]) -> List[int]:
+        """Return row ids whose key starts with *prefix* (leading columns)."""
+        wrapped_prefix = sortable(tuple(prefix))
+        results: List[int] = []
+        position = bisect_left(self._entries, (wrapped_prefix,))
+        while position < len(self._entries):
+            wrapped, _, row_id = self._entries[position]
+            if wrapped[: len(wrapped_prefix)] != wrapped_prefix:
+                break
+            results.append(row_id)
+            position += 1
+        return results
+
+    def range_scan(
+        self,
+        low: Optional[object] = None,
+        high: Optional[object] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[IndexKey, int]]:
+        """Yield ``(key, row_id)`` for leading-column values in ``[low, high]``."""
+        for wrapped, raw, row_id in self._entries:
+            leading = raw[0] if raw else None
+            if leading is None:
+                continue
+            leading_key = _SortKey(leading)
+            if low is not None:
+                low_key = _SortKey(low)
+                if leading_key < low_key or (leading_key == low_key and not include_low):
+                    continue
+            if high is not None:
+                high_key = _SortKey(high)
+                if high_key < leading_key or (leading_key == high_key and not include_high):
+                    continue
+            yield raw, row_id
+
+    def ordered_entries(self) -> Iterator[Tuple[IndexKey, int]]:
+        """Yield every ``(key, row_id)`` pair in key order."""
+        for _, raw, row_id in self._entries:
+            yield raw, row_id
+
+    @property
+    def entry_count(self) -> int:
+        """The number of index entries."""
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OrderedIndex({self.definition.name!r}, entries={len(self._entries)})"

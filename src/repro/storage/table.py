@@ -1,0 +1,113 @@
+"""In-memory heap table storage.
+
+Rows are stored as dictionaries keyed by column name.  The heap assigns each
+row a stable integer row id, which secondary indexes reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.errors import StorageError
+
+Row = Dict[str, object]
+
+
+class HeapTable:
+    """A row store with stable row ids and tombstone-style deletes."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: Dict[int, Row] = {}
+        self._next_row_id = 1
+
+    # -- modification ------------------------------------------------------------
+
+    def insert(self, row: Row) -> int:
+        """Insert *row* and return its row id.
+
+        Missing columns are filled with the column default (or ``None``);
+        unknown columns are rejected.
+        """
+        known = {column.name for column in self.schema.columns}
+        unknown = set(row) - known
+        if unknown:
+            raise StorageError(
+                f"unknown column(s) {sorted(unknown)} for table {self.schema.name!r}"
+            )
+        complete: Row = {}
+        for column in self.schema.columns:
+            if column.name in row:
+                complete[column.name] = row[column.name]
+            else:
+                complete[column.name] = column.default
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self._rows[row_id] = complete
+        return row_id
+
+    def insert_many(self, rows: Iterable[Row]) -> List[int]:
+        """Insert every row of *rows*, returning the assigned row ids."""
+        return [self.insert(row) for row in rows]
+
+    def update(self, row_id: int, changes: Row) -> None:
+        """Apply *changes* to the row identified by *row_id*."""
+        if row_id not in self._rows:
+            raise StorageError(f"row id {row_id} does not exist in {self.schema.name!r}")
+        for column_name in changes:
+            if not self.schema.has_column(column_name):
+                raise StorageError(
+                    f"unknown column {column_name!r} for table {self.schema.name!r}"
+                )
+        self._rows[row_id].update(changes)
+
+    def delete(self, row_id: int) -> None:
+        """Delete the row identified by *row_id*."""
+        if row_id not in self._rows:
+            raise StorageError(f"row id {row_id} does not exist in {self.schema.name!r}")
+        del self._rows[row_id]
+
+    def truncate(self) -> None:
+        """Remove every row (row ids are not reused)."""
+        self._rows.clear()
+
+    # -- access --------------------------------------------------------------------
+
+    def get(self, row_id: int) -> Row:
+        """Return the row identified by *row_id*."""
+        try:
+            return self._rows[row_id]
+        except KeyError as exc:
+            raise StorageError(
+                f"row id {row_id} does not exist in {self.schema.name!r}"
+            ) from exc
+
+    def scan(self) -> Iterator[Tuple[int, Row]]:
+        """Yield ``(row_id, row)`` pairs in insertion order."""
+        yield from self._rows.items()
+
+    def rows(self) -> List[Row]:
+        """Return all rows as a list (insertion order)."""
+        return list(self._rows.values())
+
+    def row_ids(self) -> List[int]:
+        """Return all live row ids."""
+        return list(self._rows.keys())
+
+    @property
+    def row_count(self) -> int:
+        """The number of live rows."""
+        return len(self._rows)
+
+    def column_values(self, column: str) -> List[object]:
+        """Return every value of *column* (in insertion order)."""
+        if not self.schema.has_column(column):
+            raise StorageError(f"unknown column {column!r} for table {self.schema.name!r}")
+        return [row[self.schema.column(column).name] for row in self._rows.values()]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HeapTable({self.schema.name!r}, rows={len(self._rows)})"

@@ -1,0 +1,44 @@
+"""Artefacts of the exploratory case study (Section III, Tables I–IV)."""
+
+from repro.study.profiles import DBMSProfile, PROFILES, profile, studied_dbms_names, table1_rows
+from repro.study.catalogues import (
+    OPERATION_CATALOGUE,
+    OPERATION_COUNTS,
+    PROPERTY_CATALOGUE,
+    PROPERTY_COUNTS,
+    catalogued_operation_counts,
+    catalogued_property_counts,
+)
+from repro.study.formats import (
+    FORMAT_SUPPORT,
+    NATURAL_FORMATS,
+    STRUCTURED_FORMATS,
+    format_counts,
+    format_matrix,
+    supports,
+)
+from repro.study.tools import TOOLS, VisualizationTool, commercial_fraction, table4_rows
+
+__all__ = [
+    "DBMSProfile",
+    "PROFILES",
+    "profile",
+    "studied_dbms_names",
+    "table1_rows",
+    "OPERATION_CATALOGUE",
+    "OPERATION_COUNTS",
+    "PROPERTY_CATALOGUE",
+    "PROPERTY_COUNTS",
+    "catalogued_operation_counts",
+    "catalogued_property_counts",
+    "FORMAT_SUPPORT",
+    "NATURAL_FORMATS",
+    "STRUCTURED_FORMATS",
+    "format_counts",
+    "format_matrix",
+    "supports",
+    "TOOLS",
+    "VisualizationTool",
+    "commercial_fraction",
+    "table4_rows",
+]

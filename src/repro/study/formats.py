@@ -1,0 +1,49 @@
+"""Table III of the paper: officially supported serialized plan formats."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Natural formats (optimized for readability) and structured formats
+#: (optimized for machine reading), as classified in Section III-E.
+NATURAL_FORMATS = ("graph", "text", "table")
+STRUCTURED_FORMATS = ("json", "xml", "yaml")
+
+#: Table III: which formats each DBMS officially supports.
+FORMAT_SUPPORT: Dict[str, Tuple[str, ...]] = {
+    "influxdb": ("text",),
+    "mongodb": ("graph", "json"),
+    "mysql": ("graph", "table", "json"),
+    "neo4j": ("graph", "text", "json"),
+    "postgresql": ("text", "table", "json", "xml", "yaml"),
+    "sqlserver": ("graph", "text", "table", "xml"),
+    "sqlite": ("text",),
+    "sparksql": ("graph", "text"),
+    "tidb": ("text", "table", "json"),
+}
+
+
+def supports(dbms: str, format_name: str) -> bool:
+    """Return whether *dbms* officially supports *format_name*."""
+    return format_name.lower() in FORMAT_SUPPORT.get(dbms.lower(), ())
+
+
+def format_matrix() -> List[Dict[str, object]]:
+    """Return Table III as a list of row dictionaries."""
+    rows = []
+    for dbms in sorted(FORMAT_SUPPORT):
+        row: Dict[str, object] = {"DBMS": dbms}
+        for format_name in NATURAL_FORMATS + STRUCTURED_FORMATS:
+            row[format_name] = supports(dbms, format_name)
+        rows.append(row)
+    return rows
+
+
+def format_counts() -> Dict[str, int]:
+    """Count supporting DBMSs per format (natural formats dominate)."""
+    counts: Dict[str, int] = {}
+    for format_name in NATURAL_FORMATS + STRUCTURED_FORMATS:
+        counts[format_name] = sum(
+            1 for dbms in FORMAT_SUPPORT if supports(dbms, format_name)
+        )
+    return counts

@@ -1,0 +1,60 @@
+"""Table I of the paper: the nine studied DBMSs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class DBMSProfile:
+    """Metadata of one studied DBMS (Table I)."""
+
+    name: str
+    version: str
+    data_model: str
+    release_year: int
+    rank: int
+    development: str = "open-source"
+    architecture: str = "standalone"
+    distributed: bool = False
+
+
+#: The studied DBMSs, exactly as listed in Table I.
+PROFILES: Dict[str, DBMSProfile] = {
+    "influxdb": DBMSProfile("InfluxDB", "2.7.0", "time-series", 2013, 28),
+    "mongodb": DBMSProfile("MongoDB", "6.0.5", "document", 2009, 5, distributed=True),
+    "mysql": DBMSProfile("MySQL", "8.0.32", "relational", 1995, 2),
+    "neo4j": DBMSProfile("Neo4j", "5.6.0", "graph", 2007, 21),
+    "postgresql": DBMSProfile("PostgreSQL", "14.7", "relational", 1989, 4),
+    "sqlserver": DBMSProfile(
+        "SQL Server", "16.0.4015.1", "relational", 1989, 3, development="commercial"
+    ),
+    "sqlite": DBMSProfile("SQLite", "3.41.2", "relational", 1990, 10, architecture="embedded"),
+    "sparksql": DBMSProfile("SparkSQL", "3.3.2", "relational", 2014, 33, distributed=True),
+    "tidb": DBMSProfile("TiDB", "6.5.1", "relational", 2016, 79, distributed=True),
+}
+
+
+def studied_dbms_names() -> List[str]:
+    """Return the studied DBMS identifiers in Table I order."""
+    return ["influxdb", "mongodb", "mysql", "neo4j", "postgresql", "sqlserver", "sqlite", "sparksql", "tidb"]
+
+
+def profile(name: str) -> DBMSProfile:
+    """Return the profile of the DBMS called *name*."""
+    return PROFILES[name.lower()]
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """Return Table I as a list of row dictionaries."""
+    return [
+        {
+            "DBMS": PROFILES[name].name,
+            "Version": PROFILES[name].version,
+            "Data Model": PROFILES[name].data_model,
+            "Release": PROFILES[name].release_year,
+            "Rank": PROFILES[name].rank,
+        }
+        for name in studied_dbms_names()
+    ]

@@ -1,0 +1,41 @@
+"""Table IV of the paper: third-party visualization tools for query plans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class VisualizationTool:
+    """One third-party query plan visualization tool (Table IV)."""
+
+    name: str
+    dbms: Tuple[str, ...]
+    license: str
+
+
+#: Table IV — the surveyed third-party tools.
+TOOLS: Tuple[VisualizationTool, ...] = (
+    VisualizationTool("Postgres Explain Visualizer 2", ("postgresql",), "Open-source"),
+    VisualizationTool("pgmustard", ("postgresql",), "Commercial"),
+    VisualizationTool("pganalyze", ("postgresql",), "Commercial"),
+    VisualizationTool("ApexSQL", ("sqlserver",), "Commercial"),
+    VisualizationTool("Plan Explorer", ("sqlserver",), "Commercial"),
+    VisualizationTool("Azure Data Studio", ("sqlserver",), "Commercial"),
+    VisualizationTool("Dbvisualizer", ("mysql", "postgresql", "sqlserver"), "Commercial"),
+)
+
+
+def table4_rows() -> List[Dict[str, object]]:
+    """Return Table IV as a list of row dictionaries."""
+    return [
+        {"Tool": tool.name, "DBMSs": ", ".join(tool.dbms), "License": tool.license}
+        for tool in TOOLS
+    ]
+
+
+def commercial_fraction() -> float:
+    """Fraction of surveyed tools that are commercial (6 of 7 in the paper)."""
+    commercial = sum(1 for tool in TOOLS if tool.license == "Commercial")
+    return commercial / len(TOOLS)

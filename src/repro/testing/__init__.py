@@ -1,0 +1,35 @@
+"""Application A.1: DBMS testing (QPG, CERT, TLP) on the unified representation."""
+
+from repro.testing.generator import GeneratorConfig, RandomQueryGenerator
+from repro.testing.tlp import TLPResult, check_tlp, partition_queries
+from repro.testing.qpg import QPGConfig, QPGStatistics, QueryPlanGuidance
+from repro.testing.cert import (
+    CardinalityRestrictionTester,
+    CERTStatistics,
+    CERTViolation,
+    root_cardinality_estimate,
+)
+from repro.testing.bugs import FaultyDialect, KnownBug, KNOWN_BUGS, bugs_for
+from repro.testing.campaign import BugReport, CampaignResult, TestingCampaign
+
+__all__ = [
+    "GeneratorConfig",
+    "RandomQueryGenerator",
+    "TLPResult",
+    "check_tlp",
+    "partition_queries",
+    "QPGConfig",
+    "QPGStatistics",
+    "QueryPlanGuidance",
+    "CardinalityRestrictionTester",
+    "CERTStatistics",
+    "CERTViolation",
+    "root_cardinality_estimate",
+    "FaultyDialect",
+    "KnownBug",
+    "KNOWN_BUGS",
+    "bugs_for",
+    "BugReport",
+    "CampaignResult",
+    "TestingCampaign",
+]

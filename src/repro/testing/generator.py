@@ -1,0 +1,205 @@
+"""Random schema, data, and query generation (the SQLancer role).
+
+QPG and CERT need a stream of randomly generated databases and queries.  The
+generator is deliberately simple but produces the constructs the oracles care
+about: filtered scans, joins, grouping, set operations, and index creation /
+row mutation statements used as database-state mutations by QPG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.sqlparser import ast_nodes as ast
+from repro.sqlparser.printer import print_expression, print_select
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the random generator."""
+
+    max_tables: int = 3
+    max_columns: int = 4
+    max_rows_per_table: int = 60
+    max_predicates: int = 3
+    max_join_tables: int = 3
+    integer_range: int = 100
+    allow_group_by: bool = True
+    allow_set_operations: bool = True
+    allow_subqueries: bool = True
+
+
+class RandomQueryGenerator:
+    """Generates random schemas, rows, mutations, and SELECT queries."""
+
+    def __init__(self, seed: int = 0, config: Optional[GeneratorConfig] = None) -> None:
+        self.random = random.Random(seed)
+        self.config = config or GeneratorConfig()
+        self.tables: List[str] = []
+        self.columns: dict = {}
+        self._index_counter = 0
+
+    # ------------------------------------------------------------------ schema / data
+
+    def schema_statements(self) -> List[str]:
+        """Generate CREATE TABLE + INSERT statements for a fresh database."""
+        statements: List[str] = []
+        self.tables = []
+        self.columns = {}
+        table_count = self.random.randint(1, self.config.max_tables)
+        for table_index in range(table_count):
+            table = f"t{table_index}"
+            column_count = self.random.randint(1, self.config.max_columns)
+            columns = [f"c{i}" for i in range(column_count)]
+            self.tables.append(table)
+            self.columns[table] = columns
+            # Primary keys are added on the first column of some tables; their
+            # values are then generated unique and non-null below.
+            with_primary_key = self.random.random() < 0.3
+            definitions = ", ".join(
+                f"{column} INT" + (" PRIMARY KEY" if i == 0 and with_primary_key else "")
+                for i, column in enumerate(columns)
+            )
+            statements.append(f"CREATE TABLE {table} ({definitions})")
+            row_count = self.random.randint(1, self.config.max_rows_per_table)
+            rows = []
+            for row_index in range(row_count):
+                values = ", ".join(
+                    str(row_index + 1)
+                    if (i == 0 and with_primary_key)
+                    else self._random_value_text(allow_null=True)
+                    for i, _ in enumerate(columns)
+                )
+                rows.append(f"({values})")
+            statements.append(
+                f"INSERT INTO {table} ({', '.join(columns)}) VALUES {', '.join(rows)}"
+            )
+        return statements
+
+    def _random_value_text(self, allow_null: bool = False) -> str:
+        if allow_null and self.random.random() < 0.08:
+            return "NULL"
+        return str(self.random.randint(-self.config.integer_range, self.config.integer_range))
+
+    # ------------------------------------------------------------------ mutations (QPG)
+
+    def mutation_statement(self) -> str:
+        """Generate a database-state mutation (index, insert, update, delete)."""
+        table = self.random.choice(self.tables)
+        columns = self.columns[table]
+        choice = self.random.random()
+        if choice < 0.4:
+            self._index_counter += 1
+            column = self.random.choice(columns)
+            return f"CREATE INDEX i{self._index_counter} ON {table}({column})"
+        if choice < 0.7:
+            values = ", ".join(self._random_value_text(allow_null=True) for _ in columns)
+            return f"INSERT INTO {table} ({', '.join(columns)}) VALUES ({values})"
+        if choice < 0.85:
+            column = self.random.choice(columns)
+            return (
+                f"UPDATE {table} SET {column} = {self._random_value_text()} "
+                f"WHERE {self.random.choice(columns)} < {self._random_value_text()}"
+            )
+        return f"DELETE FROM {table} WHERE {self.random.choice(columns)} > {self._random_value_text()}"
+
+    # ------------------------------------------------------------------ predicates
+
+    def random_predicate(self, table: str) -> ast.Expression:
+        """Generate a random predicate over *table*'s columns."""
+        column = ast.ColumnRef(self.random.choice(self.columns[table]), table)
+        roll = self.random.random()
+        constant = ast.Literal(self.random.randint(-self.config.integer_range, self.config.integer_range))
+        if roll < 0.35:
+            operator = self.random.choice(["<", "<=", ">", ">=", "=", "<>"])
+            return ast.BinaryOp(operator, column, constant)
+        if roll < 0.5:
+            low = self.random.randint(-self.config.integer_range, 0)
+            high = self.random.randint(0, self.config.integer_range)
+            return ast.Between(column, ast.Literal(low), ast.Literal(high))
+        if roll < 0.65:
+            items = [
+                ast.Literal(self.random.randint(-self.config.integer_range, self.config.integer_range))
+                for _ in range(self.random.randint(1, 4))
+            ]
+            return ast.InList(column, items, negated=self.random.random() < 0.3)
+        if roll < 0.75:
+            return ast.IsNull(column, negated=self.random.random() < 0.5)
+        if roll < 0.9:
+            left = self.random_predicate(table)
+            right = self.random_predicate(table)
+            return ast.BinaryOp(self.random.choice(["AND", "OR"]), left, right)
+        function = ast.FunctionCall(
+            "GREATEST", [ast.Literal(round(self.random.random(), 1)), ast.Literal(round(self.random.random(), 1))]
+        )
+        return ast.InList(column, [function], negated=False)
+
+    def where_clause(self, tables: Sequence[str]) -> Optional[ast.Expression]:
+        """Generate a conjunction of random predicates over *tables*."""
+        predicate_count = self.random.randint(0, self.config.max_predicates)
+        predicates = [
+            self.random_predicate(self.random.choice(list(tables)))
+            for _ in range(predicate_count)
+        ]
+        return ast.conjoin(predicates)
+
+    # ------------------------------------------------------------------ queries
+
+    def select_query(self) -> str:
+        """Generate a random SELECT statement as SQL text."""
+        table_count = self.random.randint(1, min(self.config.max_join_tables, len(self.tables)))
+        chosen = self.random.sample(self.tables, table_count)
+        from_clause = " , ".join(chosen) if table_count > 1 and self.random.random() < 0.3 else None
+        if from_clause is None and table_count > 1:
+            base = chosen[0]
+            joins = []
+            for other in chosen[1:]:
+                left_column = self.random.choice(self.columns[base])
+                right_column = self.random.choice(self.columns[other])
+                joins.append(f"INNER JOIN {other} ON {base}.{left_column} = {other}.{right_column}")
+            from_clause = f"{base} {' '.join(joins)}"
+        elif from_clause is None:
+            from_clause = chosen[0]
+
+        target_table = chosen[0]
+        target_column = self.random.choice(self.columns[target_table])
+        select_list = f"{target_table}.{target_column}"
+        if self.random.random() < 0.25:
+            select_list = "*"
+
+        where = self.where_clause(chosen)
+        where_text = f" WHERE {print_expression(where)}" if where is not None else ""
+
+        group_text = ""
+        if self.config.allow_group_by and self.random.random() < 0.3 and select_list != "*":
+            group_text = f" GROUP BY {select_list}"
+
+        query = f"SELECT {select_list} FROM {from_clause}{where_text}{group_text}"
+
+        if self.config.allow_set_operations and self.random.random() < 0.15:
+            other_table = self.random.choice(self.tables)
+            other_column = self.random.choice(self.columns[other_table])
+            operator = self.random.choice(["UNION", "UNION ALL", "INTERSECT", "EXCEPT"])
+            if select_list == "*":
+                query = f"SELECT {target_table}.{target_column} FROM {from_clause}{where_text}"
+            query = f"{query} {operator} SELECT {other_table}.{other_column} FROM {other_table}"
+
+        if self.random.random() < 0.2:
+            query += f" ORDER BY 1 LIMIT {self.random.randint(1, 10)}"
+        return query
+
+    def restricted_query(self, query: str, table: str) -> str:
+        """Return a strictly more restrictive version of *query* (for CERT)."""
+        column = self.random.choice(self.columns[table])
+        extra = f"{table}.{column} < {self.random.randint(0, self.config.integer_range)}"
+        if " WHERE " in query.upper():
+            position = query.upper().index(" WHERE ") + len(" WHERE ")
+            return query[:position] + f"({extra}) AND " + query[position:]
+        insert_at = len(query)
+        for keyword in (" GROUP BY ", " ORDER BY ", " UNION", " INTERSECT", " EXCEPT", " LIMIT "):
+            index = query.upper().find(keyword)
+            if index != -1:
+                insert_at = min(insert_at, index)
+        return query[:insert_at] + f" WHERE {extra}" + query[insert_at:]

@@ -1,0 +1,145 @@
+"""Query Plan Guidance (QPG) implemented DBMS-agnostically on UPlan.
+
+QPG steers random test-case generation towards unseen query plans: it tracks
+the set of *structurally distinct* unified plans observed so far and, when no
+new plan has appeared for a configurable number of consecutive queries,
+mutates the database state (adds indexes, inserts/updates/deletes rows) to
+unlock new plan shapes.
+
+The original implementation needed a DBMS-specific plan parser per system; on
+top of UPlan a single implementation covers every convertible DBMS
+(Figure 2).  The plan fingerprint ignores unstable information — estimated
+costs, runtime metrics, and auto-generated operator identifiers — which is
+precisely where the original TiDB-specific parser had a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from repro.converters import converter_for
+from repro.core.compare import structural_fingerprint
+from repro.core.model import UnifiedPlan
+from repro.testing.generator import RandomQueryGenerator
+from repro.testing.tlp import TLPResult, check_tlp
+
+
+@dataclass
+class QPGConfig:
+    """Configuration of the QPG loop."""
+
+    queries_per_round: int = 200
+    stagnation_threshold: int = 12
+    explain_format: Optional[str] = None
+    run_tlp: bool = True
+
+
+@dataclass
+class QPGStatistics:
+    """Aggregate results of a QPG run."""
+
+    queries_generated: int = 0
+    unique_plans: int = 0
+    mutations_applied: int = 0
+    oracle_checks: int = 0
+    oracle_violations: int = 0
+    violating_queries: List[str] = field(default_factory=list)
+
+
+class QueryPlanGuidance:
+    """The DBMS-agnostic QPG loop over a simulated DBMS."""
+
+    def __init__(
+        self,
+        dialect,
+        generator: RandomQueryGenerator,
+        config: Optional[QPGConfig] = None,
+        oracle: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        self.dialect = dialect
+        self.generator = generator
+        self.config = config or QPGConfig()
+        self.converter = converter_for(dialect.name)
+        self.seen_fingerprints: Set[str] = set()
+        self.statistics = QPGStatistics()
+        #: Optional external oracle: called with the query, returns True when OK.
+        self.oracle = oracle
+
+    # ------------------------------------------------------------------ plan handling
+
+    def observe_plan(self, query: str) -> bool:
+        """EXPLAIN *query*, convert the plan, and record its fingerprint.
+
+        Returns whether the plan was structurally new.
+        """
+        explain_format = self.config.explain_format or self.converter.formats[0]
+        output = self.dialect.explain(query, format=explain_format)
+        plan: UnifiedPlan = self.converter.convert(output.text, format=explain_format)
+        fingerprint = structural_fingerprint(plan)
+        is_new = fingerprint not in self.seen_fingerprints
+        self.seen_fingerprints.add(fingerprint)
+        return is_new
+
+    # ------------------------------------------------------------------ oracle
+
+    def _check_oracle(self, query: str) -> None:
+        if self.oracle is not None:
+            self.statistics.oracle_checks += 1
+            if not self.oracle(query):
+                self.statistics.oracle_violations += 1
+                self.statistics.violating_queries.append(query)
+            return
+        if not self.config.run_tlp:
+            return
+        table = self.generator.random.choice(self.generator.tables)
+        predicate = self.generator.random_predicate(table)
+        self.statistics.oracle_checks += 1
+        result: TLPResult = check_tlp(self.dialect, table, predicate)
+        if not result.passed:
+            self.statistics.oracle_violations += 1
+            self.statistics.violating_queries.append(result.partition_queries[0])
+
+    # ------------------------------------------------------------------ main loop
+
+    def run(self, setup_statements: Optional[List[str]] = None) -> QPGStatistics:
+        """Run one QPG campaign round and return its statistics."""
+        statements = setup_statements or self.generator.schema_statements()
+        for statement in statements:
+            try:
+                self.dialect.execute(statement)
+            except Exception:
+                # A rejected setup statement (e.g. a key violation injected by
+                # a mutation) is skipped, as SQLancer does.
+                continue
+        if hasattr(self.dialect, "analyze_tables"):
+            self.dialect.analyze_tables()
+
+        stagnation = 0
+        for _ in range(self.config.queries_per_round):
+            query = self.generator.select_query()
+            self.statistics.queries_generated += 1
+            try:
+                is_new = self.observe_plan(query)
+                self.dialect.execute(query)
+            except Exception:
+                # Queries the simulated DBMS rejects are simply skipped, as
+                # SQLancer skips statements a real DBMS rejects.
+                continue
+            self._check_oracle(query)
+            if is_new:
+                stagnation = 0
+            else:
+                stagnation += 1
+            if stagnation >= self.config.stagnation_threshold:
+                mutation = self.generator.mutation_statement()
+                try:
+                    self.dialect.execute(mutation)
+                    if hasattr(self.dialect, "analyze_tables"):
+                        self.dialect.analyze_tables()
+                except Exception:
+                    pass
+                self.statistics.mutations_applied += 1
+                stagnation = 0
+        self.statistics.unique_plans = len(self.seen_fingerprints)
+        return self.statistics

@@ -1,0 +1,21 @@
+"""Application A.2: visualization of unified query plans."""
+
+from repro.visualize.renderers import render_ascii, render_dot, render_html
+from repro.visualize.effort import (
+    AdaptationEffort,
+    PEV2_LINES_OF_CODE,
+    PEV2_DEVELOPMENT_DAYS,
+    UPLAN_ADAPTATION_LINES,
+    estimate_effort,
+)
+
+__all__ = [
+    "render_ascii",
+    "render_dot",
+    "render_html",
+    "AdaptationEffort",
+    "PEV2_LINES_OF_CODE",
+    "PEV2_DEVELOPMENT_DAYS",
+    "UPLAN_ADAPTATION_LINES",
+    "estimate_effort",
+]

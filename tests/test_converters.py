@@ -1,0 +1,199 @@
+"""Tests for the DBMS-specific → unified plan converters (integration with dialects)."""
+
+import json
+
+import pytest
+
+from repro.converters import available_converters, converter_for
+from repro.core import OperationCategory, PropertyCategory, structural_fingerprint, validate_plan
+from repro.dialects import create_dialect
+from repro.errors import ConversionError
+from repro.storage.timeseries_store import Point
+
+SETUP = [
+    "CREATE TABLE t0 (c0 INT, c1 INT)",
+    "CREATE TABLE t1 (c0 INT)",
+    "CREATE TABLE t2 (c0 INT PRIMARY KEY)",
+    "INSERT INTO t0 (c0, c1) VALUES " + ", ".join(f"({i}, {i % 7})" for i in range(1, 201)),
+    "INSERT INTO t1 (c0) VALUES " + ", ".join(f"({i})" for i in range(1, 41)),
+    "INSERT INTO t2 (c0) VALUES " + ", ".join(f"({i})" for i in range(1, 101)),
+]
+
+QUERY = (
+    "SELECT t1.c0 FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0 WHERE t0.c0 < 100 "
+    "GROUP BY t1.c0 UNION SELECT c0 FROM t2 WHERE c0 < 10"
+)
+
+
+def relational(name):
+    dialect = create_dialect(name)
+    for statement in SETUP:
+        dialect.execute(statement)
+    dialect.analyze_tables()
+    return dialect
+
+
+RELATIONAL_FORMATS = [
+    ("postgresql", "text"),
+    ("postgresql", "json"),
+    ("mysql", "json"),
+    ("mysql", "table"),
+    ("mysql", "tree"),
+    ("tidb", "table"),
+    ("tidb", "text"),
+    ("tidb", "json"),
+    ("sqlite", "text"),
+    ("sqlserver", "xml"),
+    ("sqlserver", "text"),
+    ("sparksql", "text"),
+]
+
+
+class TestRegistry:
+    def test_all_nine_converters_registered(self):
+        assert len(available_converters()) == 9
+
+    def test_unknown_converter(self):
+        with pytest.raises(ConversionError):
+            converter_for("oracle")
+
+    def test_unsupported_format(self):
+        with pytest.raises(ConversionError):
+            converter_for("sqlite").convert("whatever", format="json")
+
+
+class TestRelationalConversion:
+    @pytest.mark.parametrize("name,format_name", RELATIONAL_FORMATS)
+    def test_convert_produces_valid_plan(self, name, format_name):
+        dialect = relational(name)
+        serialized = dialect.explain(QUERY, format=format_name).text
+        plan = converter_for(name).convert(serialized, format=format_name)
+        assert plan.source_dbms == name
+        assert plan.node_count() >= 2
+        assert validate_plan(plan) == []
+
+    @pytest.mark.parametrize("name,format_name", RELATIONAL_FORMATS)
+    def test_conversion_finds_producers(self, name, format_name):
+        dialect = relational(name)
+        serialized = dialect.explain(QUERY, format=format_name).text
+        plan = converter_for(name).convert(serialized, format=format_name)
+        counts = plan.count_categories()
+        assert counts[OperationCategory.PRODUCER] >= 1
+
+    def test_postgresql_text_and_json_agree_structurally(self):
+        dialect = relational("postgresql")
+        converter = converter_for("postgresql")
+        text_plan = converter.convert(dialect.explain(QUERY, format="text").text, format="text")
+        json_plan = converter.convert(dialect.explain(QUERY, format="json").text, format="json")
+        assert structural_fingerprint(text_plan) == structural_fingerprint(json_plan)
+
+    def test_figure2_full_table_scan_mapping(self):
+        # Figure 2: EXPLAIN SELECT * FROM t0 WHERE c0 < 5 maps to a single
+        # Producer->Full Table Scan for PostgreSQL/MySQL, plus an
+        # Executor->Collect for TiDB's reader.
+        query = "SELECT * FROM t0 WHERE c1 < 5"
+        for name in ("postgresql", "mysql"):
+            dialect = relational(name)
+            converter = converter_for(name)
+            plan = converter.convert(
+                dialect.explain(query, format=converter.formats[0]).text,
+                format=converter.formats[0],
+            )
+            names = [node.operation.identifier for node in plan.nodes()]
+            assert "Full Table Scan" in names
+        tidb = relational("tidb")
+        tidb_plan = converter_for("tidb").convert(tidb.explain(query, format="table").text, format="table")
+        identifiers = [node.operation.identifier for node in tidb_plan.nodes()]
+        assert "Full Table Scan" in identifiers
+        assert "Collect" in identifiers
+
+    def test_tidb_unstable_suffix_stripped(self):
+        dialect = relational("tidb")
+        converter = converter_for("tidb")
+        first = converter.convert(dialect.explain(QUERY, format="table").text, format="table")
+        second = converter.convert(dialect.explain(QUERY, format="table").text, format="table")
+        # Different runs produce different operator ids, but the structural
+        # fingerprint must be identical (the original QPG parser bug).
+        assert structural_fingerprint(first) == structural_fingerprint(second)
+        assert any(node.operation.identifier == "Full Table Scan" for node in first.nodes())
+
+    def test_postgresql_properties_categorised(self):
+        dialect = relational("postgresql")
+        converter = converter_for("postgresql")
+        plan = converter.convert(dialect.explain("SELECT * FROM t2 WHERE c0 < 10", format="text").text)
+        scan = plan.root.walk().__next__()
+        categories = {prop.category for prop in plan.all_properties()}
+        assert PropertyCategory.COST in categories
+        assert PropertyCategory.CARDINALITY in categories
+        assert PropertyCategory.CONFIGURATION in categories
+        assert PropertyCategory.STATUS in categories
+
+    def test_sqlite_index_condition_property(self):
+        dialect = relational("sqlite")
+        plan = converter_for("sqlite").convert(dialect.explain("SELECT c0 FROM t2 WHERE c0 < 10").text)
+        producers = plan.operations_in(OperationCategory.PRODUCER)
+        assert producers
+        assert any(
+            prop.category is PropertyCategory.CONFIGURATION
+            for node in producers
+            for prop in node.properties
+        )
+
+    def test_unknown_operation_falls_back_to_executor(self):
+        converter = converter_for("postgresql")
+        plan = converter.convert(
+            "Fancy New Operator  (cost=0.00..1.00 rows=1 width=4)", format="text"
+        )
+        assert plan.root.operation.category is OperationCategory.EXECUTOR
+
+    def test_garbage_input_raises(self):
+        with pytest.raises(ConversionError):
+            converter_for("postgresql").convert("", format="text")
+        with pytest.raises(ConversionError):
+            converter_for("mysql").convert("not json", format="json")
+        with pytest.raises(ConversionError):
+            converter_for("sqlserver").convert("<broken", format="xml")
+
+
+class TestNoSQLConversion:
+    def test_mongodb_explain_conversion(self):
+        dialect = create_dialect("mongodb")
+        dialect.insert_many("users", [{"_id": i, "age": i} for i in range(20)])
+        dialect.create_index("users", "age")
+        document = dialect.explain_find("users", {"age": {"$lt": 10}}, sort=[("age", 1)], limit=5)
+        plan = converter_for("mongodb").convert(json.dumps(document), format="json")
+        identifiers = [node.operation.identifier for node in plan.nodes()]
+        assert "Index Scan" in identifiers  # IXSCAN
+        assert "Document Fetch" in identifiers  # FETCH
+        assert plan.count_categories()[OperationCategory.JOIN] == 0
+
+    def test_neo4j_conversion_categories(self):
+        dialect = create_dialect("neo4j")
+        for i in range(5):
+            node_a = dialect.store.create_node(["Item"], {"qid": f"Q{i}"})
+            node_b = dialect.store.create_node(["Item"], {"qid": f"R{i}"})
+            dialect.store.create_relationship(node_a.node_id, "P31", node_b.node_id)
+        output = dialect.explain("MATCH (s:Item)-[r:P31]->(o:Item) RETURN s.qid, count(o.qid)", format="json")
+        plan = converter_for("neo4j").convert(output.text, format="json")
+        counts = plan.count_categories()
+        assert counts[OperationCategory.JOIN] >= 1  # relationship scan / expand
+        assert counts[OperationCategory.FOLDER] >= 1  # EagerAggregation
+        assert counts[OperationCategory.PROJECTOR] >= 1  # ProduceResults
+
+    def test_neo4j_text_conversion(self):
+        dialect = create_dialect("neo4j")
+        dialect.store.create_node(["Item"], {"qid": "Q1"})
+        output = dialect.explain("MATCH (s:Item) RETURN s.qid", format="text")
+        plan = converter_for("neo4j").convert(output.text, format="text")
+        assert plan.node_count() >= 2
+        assert plan.plan_property_value("Database Accesses") is not None
+
+    def test_influxdb_plan_has_no_tree(self):
+        dialect = create_dialect("influxdb")
+        dialect.write_points("m", [Point(timestamp=i, fields={"v": 1.0}) for i in range(10)])
+        output = dialect.explain("SELECT v FROM m")
+        plan = converter_for("influxdb").convert(output.text)
+        assert plan.root is None
+        assert plan.node_count() == 0
+        assert len(plan.properties) >= 5
+        assert validate_plan(plan) == []

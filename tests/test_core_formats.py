@@ -1,0 +1,275 @@
+"""Tests for grammar, serialization formats, validation, and comparison."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    OperationCategory,
+    PlanBuilder,
+    PlanNode,
+    Operation,
+    Property,
+    PropertyCategory,
+    UnifiedPlan,
+    formats,
+    grammar,
+    diff_plans,
+    is_valid_plan,
+    plan_similarity,
+    structural_fingerprint,
+    structural_signature,
+    tree_edit_distance,
+    validate_plan,
+)
+from repro.core.compare import strip_unstable_suffix
+from repro.errors import FormatError, GrammarError, PlanValidationError
+
+
+def sample_plan() -> UnifiedPlan:
+    return (
+        PlanBuilder(source_dbms="tidb")
+        .operation(OperationCategory.EXECUTOR, "Collect")
+        .cost("Total Cost", 12.5)
+        .child(OperationCategory.PRODUCER, "Full Table Scan")
+        .configuration("name object", "partsupp")
+        .cardinality("Estimated Rows", 800)
+        .end()
+        .plan_prop(PropertyCategory.STATUS, "Task Type", "root")
+        .build()
+    )
+
+
+class TestGrammar:
+    def test_serialize_contains_categories(self):
+        text = grammar.serialize(sample_plan())
+        assert "Operation: Executor->Collect" in text
+        assert "--children-->" in text
+        assert "Producer->Full_Table_Scan" in text
+
+    def test_roundtrip_structure(self):
+        plan = sample_plan()
+        restored = grammar.parse(grammar.serialize(plan))
+        assert restored.node_count() == plan.node_count()
+        assert restored.root.operation == plan.root.operation
+
+    def test_parse_values(self):
+        plan = grammar.parse(
+            'Operation: Producer->Scan Cost->Total_Cost: 3.5, Status->Flag: true, '
+            'Configuration->Filter: "x < 1", Status->Oops: null'
+        )
+        values = {prop.identifier: prop.value for prop in plan.root.properties}
+        assert values["Total Cost"] == 3.5
+        assert values["Flag"] is True
+        assert values["Filter"] == "x < 1"
+        assert values["Oops"] is None
+
+    def test_parse_plan_without_tree(self):
+        plan = grammar.parse('Cardinality->Series_Count: 10, Status->Shards_Queried: 2')
+        assert plan.root is None
+        assert len(plan.properties) == 2
+
+    def test_parse_errors(self):
+        with pytest.raises(GrammarError):
+            grammar.parse("Operation: Nonsense->X")
+        with pytest.raises(GrammarError):
+            grammar.parse('Operation: Producer->Scan Cost->x "unterminated')
+        with pytest.raises(GrammarError):
+            grammar.parse("Operation Producer->Scan")
+
+    def test_nested_children(self):
+        plan = (
+            PlanBuilder()
+            .operation(OperationCategory.JOIN, "Hash Join")
+            .child(OperationCategory.PRODUCER, "Full Table Scan")
+            .end()
+            .child(OperationCategory.PRODUCER, "Index Scan")
+            .end()
+            .build()
+        )
+        restored = grammar.parse(grammar.serialize(plan))
+        assert len(restored.root.children) == 2
+
+    def test_roundtrip_helper(self):
+        plan = sample_plan()
+        restored = grammar.roundtrip(plan)
+        assert restored.source_dbms == "tidb"
+
+
+# Underscores are excluded: the grammar text form encodes spaces as
+# underscores, so identifiers containing literal underscores are not
+# round-trippable by design (unified names never contain them).
+_identifier = st.from_regex(r"[A-Za-z][A-Za-z0-9]{0,10}", fullmatch=True)
+_value = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.booleans(),
+    st.none(),
+    st.text(alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" "), max_size=12),
+)
+
+
+@st.composite
+def plan_trees(draw, depth=2):
+    operation = Operation(
+        draw(st.sampled_from(list(OperationCategory))), draw(_identifier)
+    )
+    properties = [
+        Property(draw(st.sampled_from(list(PropertyCategory))), draw(_identifier), draw(_value))
+        for _ in range(draw(st.integers(min_value=0, max_value=3)))
+    ]
+    children = []
+    if depth > 0:
+        children = [
+            draw(plan_trees(depth=depth - 1))
+            for _ in range(draw(st.integers(min_value=0, max_value=2)))
+        ]
+    return PlanNode(operation, properties, children)
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(plan_trees())
+    def test_json_roundtrip_lossless(self, root):
+        plan = UnifiedPlan(root=root, source_dbms="test")
+        restored = formats.deserialize(formats.serialize(plan, "json"), "json")
+        assert restored.to_dict() == plan.to_dict()
+
+    @settings(max_examples=60, deadline=None)
+    @given(plan_trees())
+    def test_grammar_roundtrip_preserves_structure(self, root):
+        plan = UnifiedPlan(root=root)
+        restored = grammar.parse(grammar.serialize(plan))
+        assert restored.node_count() == plan.node_count()
+        assert tree_edit_distance(restored.root, plan.root) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(plan_trees())
+    def test_fingerprint_is_stable_under_cost_changes(self, root):
+        plan = UnifiedPlan(root=root)
+        modified = plan.copy()
+        modified.root.properties.append(
+            Property(PropertyCategory.COST, "Total Cost", 123456)
+        )
+        assert structural_fingerprint(plan) == structural_fingerprint(modified)
+
+    @settings(max_examples=40, deadline=None)
+    @given(plan_trees())
+    def test_validate_generated_plans(self, root):
+        plan = UnifiedPlan(root=root)
+        assert is_valid_plan(plan)
+
+    @settings(max_examples=40, deadline=None)
+    @given(plan_trees())
+    def test_edit_distance_self_is_zero(self, root):
+        assert tree_edit_distance(root, root.copy()) == 0
+
+
+class TestFormats:
+    def test_supported_formats(self):
+        names = formats.supported_formats()
+        for expected in ("json", "text", "table", "xml", "yaml", "grammar"):
+            assert expected in names
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(FormatError):
+            formats.serialize(sample_plan(), "protobuf")
+        with pytest.raises(FormatError):
+            formats.deserialize("{}", "xml")
+
+    def test_json_document_shape(self):
+        document = json.loads(formats.serialize(sample_plan(), "json"))
+        assert document["source_dbms"] == "tidb"
+        assert document["tree"]["operation"]["identifier"] == "Collect"
+
+    def test_json_rejects_bad_documents(self):
+        with pytest.raises(FormatError):
+            formats.deserialize("not json", "json")
+        with pytest.raises(FormatError):
+            formats.deserialize("[1, 2]", "json")
+
+    def test_text_roundtrip(self):
+        plan = sample_plan()
+        restored = formats.deserialize(formats.serialize(plan, "text"), "text")
+        assert restored.node_count() == plan.node_count()
+        assert len(restored.properties) == len(plan.properties)
+
+    def test_table_contains_all_operations(self):
+        rendered = formats.serialize(sample_plan(), "table")
+        assert "Executor->Collect" in rendered
+        assert "Producer->Full Table Scan" in rendered
+
+    def test_xml_output(self):
+        rendered = formats.serialize(sample_plan(), "xml")
+        assert "<unifiedPlan" in rendered
+        assert 'identifier="Full Table Scan"' in rendered
+
+    def test_yaml_output(self):
+        rendered = formats.serialize(sample_plan(), "yaml")
+        assert "source_dbms: tidb" in rendered
+
+    def test_register_custom_format(self):
+        formats.register_format("opcount", lambda plan: str(plan.node_count()))
+        assert formats.serialize(sample_plan(), "opcount") == "2"
+
+
+class TestValidation:
+    def test_valid_plan(self):
+        assert validate_plan(sample_plan()) == []
+
+    def test_empty_plan_is_invalid(self):
+        findings = validate_plan(UnifiedPlan(), raise_on_error=False)
+        assert findings
+
+    def test_shared_node_detected(self):
+        shared = PlanNode(Operation(OperationCategory.PRODUCER, "Full Table Scan"))
+        root = PlanNode(Operation(OperationCategory.JOIN, "Hash Join"), children=[shared, shared])
+        findings = validate_plan(UnifiedPlan(root=root), raise_on_error=False)
+        assert any("more than once" in finding for finding in findings)
+
+    def test_raises_by_default(self):
+        with pytest.raises(PlanValidationError):
+            validate_plan(UnifiedPlan())
+
+
+class TestComparison:
+    def test_strip_unstable_suffix(self):
+        assert strip_unstable_suffix("TableFullScan_5") == "TableFullScan"
+        assert strip_unstable_suffix("HashJoin 12") == "HashJoin"
+        assert strip_unstable_suffix("Sort") == "Sort"
+
+    def test_fingerprint_differs_for_different_structures(self):
+        left = sample_plan()
+        right = sample_plan()
+        right.root.children[0] = PlanNode(
+            Operation(OperationCategory.PRODUCER, "Index Scan")
+        )
+        assert structural_fingerprint(left) != structural_fingerprint(right)
+
+    def test_signature_readable(self):
+        assert "Full Table Scan" in structural_signature(sample_plan())
+
+    def test_tree_edit_distance(self):
+        left = sample_plan()
+        right = sample_plan()
+        assert tree_edit_distance(left.root, right.root) == 0
+        right.root.children.append(PlanNode(Operation(OperationCategory.EXECUTOR, "Gather")))
+        assert tree_edit_distance(left.root, right.root) == 1
+        assert tree_edit_distance(None, None) == 0
+        assert tree_edit_distance(left.root, None) == left.root.size()
+
+    def test_plan_similarity_bounds(self):
+        left = sample_plan()
+        right = sample_plan()
+        assert plan_similarity(left, right) == 1.0
+        empty = UnifiedPlan()
+        assert 0.0 <= plan_similarity(left, empty) <= 1.0
+
+    def test_diff_plans(self):
+        left = sample_plan()
+        right = sample_plan()
+        right.root.children.append(PlanNode(Operation(OperationCategory.EXECUTOR, "Gather")))
+        diff = diff_plans(left, right)
+        assert not diff.identical_structure
+        assert "Executor->Gather" in diff.only_in_right
+        assert diff.category_delta[OperationCategory.EXECUTOR] == -1

@@ -1,0 +1,330 @@
+"""Tests for the nine simulated DBMS dialects."""
+
+import json
+
+import pytest
+
+from repro.dialects import (
+    DIALECTS,
+    RELATIONAL_DIALECTS,
+    available_dialects,
+    create_dialect,
+)
+from repro.errors import DialectError, UnsupportedFormatError
+from repro.storage.timeseries_store import Point
+from repro.study import FORMAT_SUPPORT, PROFILES
+
+SETUP = [
+    "CREATE TABLE t0 (c0 INT, c1 INT)",
+    "CREATE TABLE t1 (c0 INT)",
+    "CREATE TABLE t2 (c0 INT PRIMARY KEY)",
+    "INSERT INTO t0 (c0, c1) VALUES " + ", ".join(f"({i}, {i % 7})" for i in range(1, 301)),
+    "INSERT INTO t1 (c0) VALUES " + ", ".join(f"({i})" for i in range(1, 41)),
+    "INSERT INTO t2 (c0) VALUES " + ", ".join(f"({i})" for i in range(1, 101)),
+]
+
+LISTING1_QUERY = (
+    "SELECT t1.c0 FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0 WHERE t0.c0 < 100 "
+    "GROUP BY t1.c0 UNION SELECT c0 FROM t2 WHERE c0 < 10"
+)
+
+
+def relational(name):
+    dialect = create_dialect(name)
+    for statement in SETUP:
+        dialect.execute(statement)
+    dialect.analyze_tables()
+    return dialect
+
+
+class TestRegistry:
+    def test_all_nine_dialects_available(self):
+        assert len(available_dialects()) == 9
+        assert set(available_dialects()) == set(PROFILES)
+
+    def test_unknown_dialect(self):
+        with pytest.raises(KeyError):
+            create_dialect("oracle")
+
+    def test_versions_match_table1(self):
+        for name in available_dialects():
+            assert create_dialect(name).version == PROFILES[name].version
+
+    def test_data_models_match_table1(self):
+        for name in available_dialects():
+            assert create_dialect(name).data_model == PROFILES[name].data_model
+
+
+class TestRelationalDialects:
+    @pytest.mark.parametrize("name", RELATIONAL_DIALECTS)
+    def test_execute_returns_rows(self, name):
+        dialect = relational(name)
+        rows = dialect.execute("SELECT COUNT(*) FROM t0 WHERE c0 < 50")
+        assert list(rows[0].values())[0] == 49
+
+    @pytest.mark.parametrize("name", RELATIONAL_DIALECTS)
+    def test_explain_listing1_query(self, name):
+        dialect = relational(name)
+        output = dialect.explain(LISTING1_QUERY)
+        assert output.dbms == name
+        assert len(output.text) > 40
+
+    @pytest.mark.parametrize("name", RELATIONAL_DIALECTS)
+    def test_all_declared_formats_serializable(self, name):
+        dialect = relational(name)
+        for format_name in dialect.supported_formats():
+            output = dialect.explain("SELECT * FROM t0 WHERE c0 < 5", format=format_name)
+            assert output.text
+
+    @pytest.mark.parametrize("name", RELATIONAL_DIALECTS)
+    def test_unsupported_format_rejected(self, name):
+        dialect = relational(name)
+        with pytest.raises(UnsupportedFormatError):
+            dialect.explain("SELECT 1", format="protobuf")
+
+    @pytest.mark.parametrize("name", RELATIONAL_DIALECTS)
+    def test_results_identical_across_dialects(self, name):
+        dialect = relational(name)
+        rows = dialect.execute("SELECT c1, COUNT(*) AS c FROM t0 GROUP BY c1 ORDER BY c1")
+        assert len(rows) == 7
+
+    def test_explain_statement_prefix(self):
+        dialect = relational("postgresql")
+        rows = dialect.execute("EXPLAIN SELECT * FROM t0 WHERE c0 < 5")
+        assert "Seq Scan" in rows[0]["QUERY PLAN"] or "Index" in rows[0]["QUERY PLAN"]
+
+    def test_paper_format_support_is_available(self):
+        # Every officially supported format of Table III that is relational
+        # must be offered by the simulated dialect.
+        for name in RELATIONAL_DIALECTS:
+            dialect = create_dialect(name)
+            for format_name in FORMAT_SUPPORT[name]:
+                assert format_name in dialect.supported_formats()
+
+
+class TestPostgreSQL:
+    def test_text_plan_structure(self):
+        dialect = relational("postgresql")
+        text = dialect.explain(LISTING1_QUERY, format="text").text
+        assert "HashAggregate" in text
+        assert "Append" in text
+        assert "Seq Scan on t0" in text
+        assert "Index Only Scan" in text
+        assert "Planning Time" in text
+
+    def test_hash_join_has_hash_child(self):
+        dialect = relational("postgresql")
+        text = dialect.explain("SELECT * FROM t0 JOIN t1 ON t0.c0 = t1.c0", format="text").text
+        assert "Hash Join" in text and "->  Hash " in text
+
+    def test_json_plan_structure(self):
+        dialect = relational("postgresql")
+        document = json.loads(dialect.explain("SELECT * FROM t0 WHERE c0 < 3", format="json").text)
+        assert document[0]["Plan"]["Node Type"] in ("Seq Scan", "Index Scan")
+        assert "Planning Time" in document[0]
+
+    def test_analyze_adds_actuals(self):
+        dialect = relational("postgresql")
+        text = dialect.explain("SELECT COUNT(*) FROM t1", format="text", analyze=True).text
+        assert "actual" in text and "Execution Time" in text
+
+    def test_parallel_plan_for_large_table(self):
+        dialect = create_dialect("postgresql")
+        dialect.execute("CREATE TABLE big (c0 INT)")
+        dialect.execute("INSERT INTO big (c0) VALUES " + ", ".join(f"({i})" for i in range(500)))
+        dialect.database.analyze()
+        # Pretend the table is huge by dropping the threshold.
+        dialect.parallel_threshold = 100
+        text = dialect.explain("SELECT * FROM big", format="text").text
+        assert "Gather" in text and "Parallel Seq Scan" in text
+        assert "Workers Planned" in text
+
+
+class TestMySQL:
+    def test_table_format_lists_tables(self):
+        dialect = relational("mysql")
+        text = dialect.explain(LISTING1_QUERY, format="table").text
+        assert "select_type" in text
+        assert "| t0" in text and "| t2" in text
+
+    def test_json_format(self):
+        dialect = relational("mysql")
+        document = json.loads(dialect.explain("SELECT * FROM t0 WHERE c0 < 5", format="json").text)
+        assert "query_block" in document
+
+    def test_tree_format(self):
+        dialect = relational("mysql")
+        text = dialect.explain("SELECT * FROM t0 JOIN t1 ON t0.c0 = t1.c0", format="tree").text
+        assert text.startswith("->") and "join" in text.lower()
+
+
+class TestTiDB:
+    def test_operator_identifiers_are_numbered(self):
+        dialect = relational("tidb")
+        text = dialect.explain("SELECT * FROM t0 WHERE c0 < 5", format="table").text
+        assert "TableReader_" in text or "IndexLookUp_" in text or "IndexReader_" in text
+        assert "TableFullScan_" in text or "IndexRangeScan_" in text
+
+    def test_reader_wrapping(self):
+        dialect = relational("tidb")
+        text = dialect.explain("SELECT * FROM t0 WHERE c0 < 5", format="table").text
+        assert "Selection_" in text
+        assert "cop[tikv]" in text
+
+    def test_identifiers_change_between_plans(self):
+        dialect = relational("tidb")
+        first = dialect.explain("SELECT * FROM t1", format="table").text
+        second = dialect.explain("SELECT * FROM t1", format="table").text
+        assert first != second  # auto-generated suffixes are unstable
+
+
+class TestSQLite:
+    def test_text_is_only_format(self):
+        dialect = relational("sqlite")
+        assert dialect.supported_formats() == ["text"]
+
+    def test_compound_query_markers(self):
+        dialect = relational("sqlite")
+        text = dialect.explain(LISTING1_QUERY).text
+        assert "COMPOUND QUERY" in text
+        assert "UNION USING TEMP B-TREE" in text
+        assert "SCAN t" in text
+
+    def test_group_by_temp_btree(self):
+        dialect = relational("sqlite")
+        text = dialect.explain("SELECT c1, COUNT(*) FROM t0 GROUP BY c1").text
+        assert "USE TEMP B-TREE FOR GROUP BY" in text
+
+
+class TestSQLServerAndSpark:
+    def test_sqlserver_xml(self):
+        dialect = relational("sqlserver")
+        text = dialect.explain("SELECT * FROM t0 JOIN t1 ON t0.c0 = t1.c0", format="xml").text
+        assert "ShowPlanXML" in text and "RelOp" in text
+
+    def test_sqlserver_operator_names(self):
+        dialect = relational("sqlserver")
+        text = dialect.explain(LISTING1_QUERY, format="text").text
+        assert "Hash Match" in text
+        assert "Table Scan" in text
+
+    def test_sparksql_physical_plan(self):
+        dialect = relational("sparksql")
+        text = dialect.explain("SELECT c1, COUNT(*) FROM t0 GROUP BY c1", format="text").text
+        assert text.startswith("== Physical Plan ==")
+        assert "HashAggregate" in text and "Exchange" in text
+
+
+class TestMongoDB:
+    def test_find_and_explain(self):
+        dialect = create_dialect("mongodb")
+        dialect.insert_many("users", [{"_id": i, "age": 20 + i % 10} for i in range(50)])
+        dialect.create_index("users", "age")
+        rows = dialect.find("users", {"age": {"$gte": 25}})
+        assert all(row["age"] >= 25 for row in rows)
+        explained = dialect.explain_find("users", {"age": {"$gte": 25}})
+        assert explained["queryPlanner"]["winningPlan"]["stage"] == "FETCH"
+        assert explained["queryPlanner"]["winningPlan"]["inputStage"]["stage"] == "IXSCAN"
+
+    def test_collscan_without_index(self):
+        dialect = create_dialect("mongodb")
+        dialect.insert_many("users", [{"x": 1}])
+        explained = dialect.explain_find("users", {"x": 1})
+        assert explained["queryPlanner"]["winningPlan"]["stage"] == "COLLSCAN"
+
+    def test_aggregate_pipeline(self):
+        dialect = create_dialect("mongodb")
+        dialect.insert_many("orders", [{"k": i % 3, "v": i} for i in range(30)])
+        rows = dialect.aggregate(
+            "orders",
+            [{"$match": {"v": {"$gte": 0}}}, {"$group": {"_id": "$k", "total": {"$sum": "$v"}}}],
+        )
+        assert len(rows) == 3
+
+    def test_execute_json_command(self):
+        dialect = create_dialect("mongodb")
+        dialect.execute(json.dumps({"insert": "c", "documents": [{"a": 1}, {"a": 2}]}))
+        rows = dialect.execute(json.dumps({"find": "c", "filter": {"a": 2}}))
+        assert rows == [{"a": 2}]
+
+    def test_no_join_operations(self):
+        # MongoDB has no Join category operations (Table II / VI).
+        from repro.study import OPERATION_COUNTS
+        from repro.core import OperationCategory
+
+        assert OPERATION_COUNTS["mongodb"][OperationCategory.JOIN] == 0
+
+
+class TestNeo4j:
+    def _graph(self):
+        dialect = create_dialect("neo4j")
+        store = dialect.store
+        people = [store.create_node(["Person"], {"name": f"p{i}", "age": 20 + i}) for i in range(10)]
+        for i in range(9):
+            store.create_relationship(
+                people[i].node_id, "KNOWS", people[i + 1].node_id, {"title": "developer" if i % 2 else "qa"}
+            )
+        return dialect
+
+    def test_node_query(self):
+        dialect = self._graph()
+        rows = dialect.execute("MATCH (p:Person) WHERE p.age > 25 RETURN p.name")
+        assert len(rows) == 4
+
+    def test_relationship_query_plan_figure1(self):
+        dialect = self._graph()
+        text = dialect.explain(
+            "MATCH ()-[r]->() WHERE r.title ENDS WITH 'developer' RETURN r", format="text"
+        ).text
+        assert "ProduceResults" in text
+        assert "UndirectedRelationshipIndexContainsScan" in text
+        assert "Total database accesses" in text
+
+    def test_aggregation(self):
+        dialect = self._graph()
+        rows = dialect.execute("MATCH (p:Person) RETURN count(*)")
+        assert rows[0]["count(*)"] == 10
+
+    def test_json_plan(self):
+        dialect = self._graph()
+        document = json.loads(dialect.explain("MATCH (p:Person) RETURN p.name", format="json").text)
+        operators = [operator["Operator"] for operator in document["plan"]]
+        assert "NodeByLabelScan" in operators
+        assert operators[0] == "ProduceResults"
+
+    def test_unsupported_cypher(self):
+        dialect = self._graph()
+        with pytest.raises(DialectError):
+            dialect.execute("CREATE (n:Person)")
+
+
+class TestInfluxDB:
+    def _loaded(self):
+        dialect = create_dialect("influxdb")
+        points = [
+            Point(timestamp=i * 10, tags={"host": f"h{i % 3}"}, fields={"cpu": float(i)})
+            for i in range(100)
+        ]
+        dialect.write_points("metrics", points)
+        return dialect
+
+    def test_plan_has_only_properties(self):
+        dialect = self._loaded()
+        text = dialect.explain("SELECT cpu FROM metrics").text
+        assert "NUMBER OF SERIES" in text
+        assert "EXPRESSION" in text
+
+    def test_series_and_shards_counted(self):
+        dialect = self._loaded()
+        properties = dialect.explain_properties("SELECT cpu FROM metrics")
+        assert properties["NUMBER OF SERIES"] == 3
+        assert properties["NUMBER OF SHARDS"] >= 1
+
+    def test_execute_returns_points(self):
+        dialect = self._loaded()
+        rows = dialect.execute("SELECT cpu FROM metrics")
+        assert len(rows) == 100
+
+    def test_text_is_only_format(self):
+        dialect = create_dialect("influxdb")
+        assert dialect.supported_formats() == ["text"]

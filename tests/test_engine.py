@@ -1,0 +1,330 @@
+"""Tests for catalog, storage, expression evaluation, planner, and executor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog import Column, Database, DataType, TableSchema
+from repro.catalog.statistics import collect_column_statistics
+from repro.engine import EvaluationContext, Executor, evaluate, evaluate_predicate
+from repro.errors import CatalogError, ExecutionError, StorageError
+from repro.optimizer import OpKind, Planner, PlannerOptions, estimate_selectivity
+from repro.sqlparser import parse_one
+from repro.sqlparser.parser import Parser
+from repro.storage import HeapTable, OrderedIndex
+from repro.storage.index import sortable
+from repro.catalog.schema import Index
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    planner = Planner(db)
+    executor = Executor(db, planner)
+
+    def run(sql):
+        statement = parse_one(sql)
+        plan = planner.plan_statement(statement)
+        return executor.execute(plan), plan
+
+    run("CREATE TABLE t0 (c0 INT, c1 INT)")
+    run("CREATE TABLE t1 (c0 INT PRIMARY KEY, name TEXT)")
+    run(
+        "INSERT INTO t0 (c0, c1) VALUES "
+        + ", ".join(f"({i}, {i % 5})" for i in range(1, 101))
+    )
+    run("INSERT INTO t1 (c0, name) VALUES " + ", ".join(f"({i}, 'n{i}')" for i in range(1, 21)))
+    db.analyze()
+    return db, run
+
+
+class TestCatalogAndStorage:
+    def test_duplicate_table_rejected(self, database):
+        db, _ = database
+        with pytest.raises(CatalogError):
+            db.create_table(TableSchema("t0", [Column("x")]))
+
+    def test_unknown_table(self, database):
+        db, _ = database
+        with pytest.raises(CatalogError):
+            db.table("missing")
+
+    def test_primary_key_gets_index(self, database):
+        db, _ = database
+        assert any(index.definition.primary for index in db.indexes_for("t1"))
+
+    def test_create_index_populates_existing_rows(self, database):
+        db, _ = database
+        db.create_index("i_c1", "t0", ["c1"])
+        index = db.index("i_c1")
+        assert index.entry_count == 100
+        assert len(index.lookup((3,))) == 20
+
+    def test_heap_rejects_unknown_column(self):
+        table = HeapTable(TableSchema("t", [Column("a")]))
+        with pytest.raises(StorageError):
+            table.insert({"b": 1})
+
+    def test_heap_update_delete(self):
+        table = HeapTable(TableSchema("t", [Column("a")]))
+        row_id = table.insert({"a": 1})
+        table.update(row_id, {"a": 2})
+        assert table.get(row_id)["a"] == 2
+        table.delete(row_id)
+        with pytest.raises(StorageError):
+            table.get(row_id)
+
+    def test_unique_index_rejects_duplicates(self):
+        index = OrderedIndex(Index("u", "t", ["a"], unique=True))
+        index.insert((1,), 1)
+        with pytest.raises(StorageError):
+            index.insert((1,), 2)
+
+    def test_index_range_scan(self):
+        index = OrderedIndex(Index("i", "t", ["a"]))
+        for value in (5, 1, 3, None, 9):
+            index.insert((value,), value or 0)
+        values = [key[0] for key, _ in index.range_scan(2, 8)]
+        assert values == [3, 5]
+
+    def test_sortable_handles_mixed_types(self):
+        keys = [sortable((v,)) for v in (None, 3, "a", 1.5, True)]
+        assert sorted(keys)  # no TypeError
+
+    def test_statistics_collection(self):
+        statistics = collect_column_statistics("c", [1, 2, 2, None, 10], is_numeric=True)
+        assert statistics.distinct_values == 3
+        assert statistics.null_fraction == pytest.approx(0.2)
+        assert statistics.minimum == 1 and statistics.maximum == 10
+        assert 0 < statistics.range_selectivity(low=2, high=5) <= 1
+
+    def test_database_clone_isolated(self, database):
+        db, _ = database
+        clone = db.clone()
+        clone.table("t0").truncate()
+        assert db.table("t0").row_count == 100
+
+
+class TestExpressionEvaluation:
+    def _eval(self, text, row=None):
+        expression = Parser(f"SELECT {text}").parse_statements()[0].body.items[0].expression
+        return evaluate(expression, EvaluationContext(row=row or {}))
+
+    def test_arithmetic(self):
+        assert self._eval("1 + 2 * 3") == 7
+        assert self._eval("10 / 4") == 2.5
+        assert self._eval("10 % 3") == 1
+
+    def test_division_by_zero_is_null(self):
+        assert self._eval("1 / 0") is None
+
+    def test_three_valued_logic(self):
+        assert self._eval("NULL AND FALSE") is False
+        assert self._eval("NULL AND TRUE") is None
+        assert self._eval("NULL OR TRUE") is True
+        assert self._eval("NOT NULL") is None
+
+    def test_comparisons_with_null(self):
+        assert self._eval("1 < NULL") is None
+        assert self._eval("NULL = NULL") is None
+
+    def test_in_list_null_semantics(self):
+        assert self._eval("1 IN (1, 2)") is True
+        assert self._eval("3 IN (1, NULL)") is None
+        assert self._eval("3 NOT IN (1, 2)") is True
+
+    def test_between_and_like(self):
+        assert self._eval("5 BETWEEN 1 AND 10") is True
+        assert self._eval("'hello' LIKE 'he%'") is True
+        assert self._eval("'hello' LIKE 'h_llo'") is True
+        assert self._eval("'hello' NOT LIKE 'x%'") is True
+
+    def test_case_expression(self):
+        assert self._eval("CASE WHEN 1 > 2 THEN 'a' ELSE 'b' END") == "b"
+
+    def test_functions(self):
+        assert self._eval("GREATEST(0.1, 0.2)") == 0.2
+        assert self._eval("LEAST(3, 1, 2)") == 1
+        assert self._eval("COALESCE(NULL, 5)") == 5
+        assert self._eval("ABS(-3)") == 3
+        assert self._eval("LENGTH('abc')") == 3
+        assert self._eval("UPPER('ab')") == "AB"
+        assert self._eval("CAST('3' AS INT)") == 3
+
+    def test_column_resolution(self):
+        row = {"t0.c0": 7, "other": 1}
+        assert self._eval("t0.c0", row) == 7
+        assert self._eval("c0", row) == 7
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExecutionError):
+            self._eval("missing_column", {"t0.c0": 1})
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExecutionError):
+            self._eval("NOT_A_FUNCTION(1)")
+
+    def test_evaluate_predicate_none_is_true(self):
+        assert evaluate_predicate(None, EvaluationContext()) is True
+
+
+class TestPlannerAndExecutor:
+    def test_filter_pushdown_on_seq_scan(self, database):
+        _, run = database
+        _, plan = run("SELECT * FROM t0 WHERE c0 < 10")
+        scans = plan.find(OpKind.SEQ_SCAN)
+        assert scans and scans[0].info["filter"] is not None
+
+    def test_index_scan_chosen_for_pk_equality(self, database):
+        _, run = database
+        rows, plan = run("SELECT * FROM t1 WHERE c0 = 5")
+        kinds = {node.kind for node in plan.walk()}
+        assert OpKind.INDEX_SCAN in kinds or OpKind.INDEX_ONLY_SCAN in kinds
+        assert len(rows) == 1
+
+    def test_join_produces_correct_rows(self, database):
+        _, run = database
+        rows, plan = run(
+            "SELECT t1.name FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0 WHERE t0.c0 <= 3"
+        )
+        assert len(rows) == 3
+        assert any(node.kind in (OpKind.HASH_JOIN, OpKind.NESTED_LOOP_JOIN, OpKind.MERGE_JOIN) for node in plan.walk())
+
+    def test_left_join_keeps_unmatched(self, database):
+        _, run = database
+        rows, _ = run("SELECT t0.c0 FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0 WHERE t1.c0 IS NULL")
+        assert len(rows) == 80
+
+    def test_aggregation(self, database):
+        _, run = database
+        rows, _ = run("SELECT c1, COUNT(*) AS cnt, SUM(c0) AS total FROM t0 GROUP BY c1")
+        assert len(rows) == 5
+        assert sum(row["cnt"] for row in rows) == 100
+
+    def test_aggregate_without_group_by_on_empty_input(self, database):
+        _, run = database
+        rows, _ = run("SELECT COUNT(*) AS cnt, SUM(c0) AS total FROM t0 WHERE c0 > 1000")
+        assert rows[0]["cnt"] == 0
+        assert rows[0]["total"] is None
+
+    def test_having(self, database):
+        _, run = database
+        rows, _ = run("SELECT c1, COUNT(*) FROM t0 GROUP BY c1 HAVING COUNT(*) > 19")
+        assert len(rows) == 5
+
+    def test_order_by_and_limit(self, database):
+        _, run = database
+        rows, _ = run("SELECT c0 FROM t0 ORDER BY c0 DESC LIMIT 3")
+        assert [row["c0"] for row in rows] == [100, 99, 98]
+
+    def test_distinct(self, database):
+        _, run = database
+        rows, _ = run("SELECT DISTINCT c1 FROM t0")
+        assert len(rows) == 5
+
+    def test_union_and_union_all(self, database):
+        _, run = database
+        union_rows, _ = run("SELECT c1 FROM t0 UNION SELECT c1 FROM t0")
+        union_all_rows, _ = run("SELECT c1 FROM t0 UNION ALL SELECT c1 FROM t0")
+        assert len(union_rows) == 5
+        assert len(union_all_rows) == 200
+
+    def test_intersect_and_except(self, database):
+        _, run = database
+        intersect_rows, _ = run("SELECT c0 FROM t0 INTERSECT SELECT c0 FROM t1")
+        except_rows, _ = run("SELECT c0 FROM t1 EXCEPT SELECT c0 FROM t0 WHERE c0 <= 10")
+        assert len(intersect_rows) == 20
+        assert len(except_rows) == 10
+
+    def test_in_subquery(self, database):
+        _, run = database
+        rows, _ = run("SELECT c0 FROM t0 WHERE c0 IN (SELECT c0 FROM t1 WHERE c0 < 4)")
+        assert sorted(row["c0"] for row in rows) == [1, 2, 3]
+
+    def test_scalar_subquery(self, database):
+        _, run = database
+        rows, _ = run("SELECT c0 FROM t0 WHERE c0 > (SELECT MAX(c0) FROM t1)")
+        assert len(rows) == 80
+
+    def test_subquery_in_from(self, database):
+        _, run = database
+        rows, plan = run("SELECT sub.c1 FROM (SELECT c1 FROM t0 WHERE c0 < 11) AS sub GROUP BY sub.c1")
+        assert len(rows) == 5
+        assert plan.find(OpKind.SUBQUERY_SCAN)
+
+    def test_update_and_delete(self, database):
+        _, run = database
+        rows, _ = run("UPDATE t0 SET c1 = 99 WHERE c0 <= 10")
+        assert rows[0]["updated"] == 10
+        rows, _ = run("DELETE FROM t0 WHERE c1 = 99")
+        assert rows[0]["deleted"] == 10
+        rows, _ = run("SELECT COUNT(*) FROM t0")
+        assert rows[0]["COUNT(*)"] == 90
+
+    def test_cross_join_cardinality(self, database):
+        _, run = database
+        rows, _ = run("SELECT COUNT(*) FROM t1 a, t1 b")
+        assert rows[0]["COUNT(*)"] == 400
+
+    def test_select_without_from(self, database):
+        _, run = database
+        rows, plan = run("SELECT 1 + 1 AS two")
+        assert rows == [{"two": 2}]
+        assert plan.find(OpKind.RESULT) or plan.kind is OpKind.RESULT
+
+    def test_analyze_records_runtime(self, database):
+        db, _ = database
+        planner = Planner(db)
+        executor = Executor(db, planner)
+        plan = planner.plan_statement(parse_one("SELECT COUNT(*) FROM t0"))
+        executor.execute(plan, analyze=True)
+        assert plan.runtime.executed
+        assert plan.runtime.actual_rows == 1
+
+    def test_top_n_plan(self, database):
+        _, run = database
+        _, plan = run("SELECT c0 FROM t0 ORDER BY c0 LIMIT 5")
+        kinds = {node.kind for node in plan.walk()}
+        assert OpKind.TOP_N in kinds or OpKind.LIMIT in kinds
+
+    def test_planner_options_disable_hash_join(self, database):
+        db, _ = database
+        planner = Planner(db, options=PlannerOptions(enable_hash_join=False, enable_merge_join=False))
+        plan = planner.plan_statement(parse_one("SELECT * FROM t0 JOIN t1 ON t0.c0 = t1.c0"))
+        assert not plan.find(OpKind.HASH_JOIN)
+
+    def test_selectivity_estimates_are_probabilities(self, database):
+        db, _ = database
+        statement = parse_one("SELECT * FROM t0 WHERE c0 < 50 AND c1 = 3")
+        resolver = lambda ref: db.statistics("t0").column(ref.column)
+        selectivity = estimate_selectivity(statement.body.where, resolver)
+        assert 0.0 <= selectivity <= 1.0
+
+
+class TestExecutorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=-50, max_value=50), min_size=0, max_size=40),
+           st.integers(min_value=-50, max_value=50))
+    def test_filter_matches_python_semantics(self, values, threshold):
+        db = Database()
+        planner = Planner(db)
+        executor = Executor(db, planner)
+        db.create_table(TableSchema("t", [Column("a", DataType.INTEGER)]))
+        db.insert_rows("t", [{"a": value} for value in values])
+        db.analyze()
+        plan = planner.plan_statement(parse_one(f"SELECT a FROM t WHERE a < {threshold}"))
+        rows = executor.execute(plan)
+        assert sorted(row["a"] for row in rows) == sorted(v for v in values if v < threshold)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=60))
+    def test_group_by_count_total(self, values):
+        db = Database()
+        planner = Planner(db)
+        executor = Executor(db, planner)
+        db.create_table(TableSchema("t", [Column("a", DataType.INTEGER)]))
+        db.insert_rows("t", [{"a": value} for value in values])
+        db.analyze()
+        plan = planner.plan_statement(parse_one("SELECT a, COUNT(*) AS c FROM t GROUP BY a"))
+        rows = executor.execute(plan)
+        assert sum(row["c"] for row in rows) == len(values)
+        assert len(rows) == len(set(values))

@@ -1,0 +1,162 @@
+"""Tests for the case-study artefacts (Tables I–IV) and the naming registry."""
+
+import pytest
+
+from repro.core import OperationCategory, PropertyCategory, clean_identifier, default_registry
+from repro.core.naming import NameRegistry
+from repro.errors import NamingError
+from repro.study import (
+    FORMAT_SUPPORT,
+    OPERATION_CATALOGUE,
+    OPERATION_COUNTS,
+    PROPERTY_CATALOGUE,
+    PROPERTY_COUNTS,
+    catalogued_operation_counts,
+    catalogued_property_counts,
+    commercial_fraction,
+    format_counts,
+    format_matrix,
+    profile,
+    studied_dbms_names,
+    table1_rows,
+    table4_rows,
+)
+
+
+class TestTable1:
+    def test_nine_dbms_studied(self):
+        assert len(studied_dbms_names()) == 9
+        assert len(table1_rows()) == 9
+
+    def test_data_models_cover_four_kinds(self):
+        models = {profile(name).data_model for name in studied_dbms_names()}
+        assert models == {"relational", "document", "graph", "time-series"}
+
+    def test_specific_profiles(self):
+        assert profile("postgresql").version == "14.7"
+        assert profile("sqlserver").development == "commercial"
+        assert profile("sqlite").architecture == "embedded"
+        assert profile("tidb").rank == 79
+
+
+class TestTable2:
+    @pytest.mark.parametrize("dbms", sorted(OPERATION_COUNTS))
+    def test_operation_counts_match_paper(self, dbms):
+        assert catalogued_operation_counts(dbms) == OPERATION_COUNTS[dbms]
+
+    @pytest.mark.parametrize("dbms", sorted(PROPERTY_COUNTS))
+    def test_property_counts_match_paper(self, dbms):
+        assert catalogued_property_counts(dbms) == PROPERTY_COUNTS[dbms]
+
+    def test_totals_match_paper_sums(self):
+        totals = {dbms: sum(counts.values()) for dbms, counts in OPERATION_COUNTS.items()}
+        assert totals["neo4j"] == 111
+        assert totals["influxdb"] == 0
+        assert totals["postgresql"] == 42
+        assert totals["tidb"] == 56
+        property_totals = {dbms: sum(counts.values()) for dbms, counts in PROPERTY_COUNTS.items()}
+        assert property_totals["postgresql"] == 107
+        assert property_totals["sqlite"] == 3
+
+    def test_average_operations_is_about_48(self):
+        averages = sum(sum(c.values()) for c in OPERATION_COUNTS.values()) / len(OPERATION_COUNTS)
+        assert 47 <= averages <= 49
+
+    def test_mongodb_has_no_join_operations(self):
+        assert OPERATION_COUNTS["mongodb"][OperationCategory.JOIN] == 0
+
+    def test_neo4j_has_most_operations(self):
+        totals = {dbms: sum(counts.values()) for dbms, counts in OPERATION_COUNTS.items()}
+        assert max(totals, key=totals.get) == "neo4j"
+
+    def test_catalogue_entries_unique_per_dbms(self):
+        for dbms, entries in OPERATION_CATALOGUE.items():
+            names = [native.lower() for native, _, _ in entries]
+            assert len(names) == len(set(names)), dbms
+
+
+class TestTable3:
+    def test_matrix_has_nine_rows(self):
+        assert len(format_matrix()) == 9
+
+    def test_postgresql_supports_all_structured_formats(self):
+        assert FORMAT_SUPPORT["postgresql"] == ("text", "table", "json", "xml", "yaml")
+
+    def test_sqlite_and_influxdb_text_only(self):
+        assert FORMAT_SUPPORT["sqlite"] == ("text",)
+        assert FORMAT_SUPPORT["influxdb"] == ("text",)
+
+    def test_json_most_supported_structured_format(self):
+        counts = format_counts()
+        assert counts["json"] > counts["xml"] >= counts["yaml"]
+
+    def test_natural_more_supported_than_structured(self):
+        counts = format_counts()
+        natural = counts["graph"] + counts["text"] + counts["table"]
+        structured = counts["json"] + counts["xml"] + counts["yaml"]
+        assert natural > structured
+
+
+class TestTable4:
+    def test_seven_tools(self):
+        assert len(table4_rows()) == 7
+
+    def test_six_of_seven_commercial(self):
+        assert commercial_fraction() == pytest.approx(6 / 7)
+
+
+class TestNamingRegistry:
+    def test_default_registry_covers_all_dbms(self):
+        registry = default_registry()
+        assert set(registry.dbms_names()) >= set(studied_dbms_names()) - {"influxdb"}
+
+    def test_known_mapping(self):
+        registry = default_registry()
+        for dbms, native in (
+            ("postgresql", "Seq Scan"),
+            ("sqlserver", "Table Scan"),
+            ("tidb", "TableFullScan"),
+        ):
+            category, unified = registry.resolve_operation(dbms, native)
+            assert category is OperationCategory.PRODUCER
+            assert unified == "Full Table Scan"
+
+    def test_unknown_operation_fallback(self):
+        registry = default_registry()
+        category, unified = registry.resolve_operation("postgresql", "LLM Join 2030")
+        assert category is OperationCategory.EXECUTOR
+        assert unified.startswith("LLM")
+
+    def test_strict_mode_raises(self):
+        registry = NameRegistry()
+        with pytest.raises(NamingError):
+            registry.resolve_operation("postgresql", "Whatever", strict=True)
+        with pytest.raises(NamingError):
+            registry.resolve_property("postgresql", "Whatever", strict=True)
+
+    def test_extensibility_llm_join_example(self):
+        # Section IV-B: adding a new operation is one registration call.
+        registry = NameRegistry()
+        registry.register_operation("postgresql", "LLM Join", OperationCategory.JOIN)
+        category, unified = registry.resolve_operation("postgresql", "LLM Join")
+        assert category is OperationCategory.JOIN
+        assert unified == "LLM Join"
+
+    def test_property_resolution(self):
+        registry = default_registry()
+        category, unified = registry.resolve_property("postgresql", "Planning Time")
+        assert category is PropertyCategory.STATUS
+        category, unified = registry.resolve_property("mysql", "attached_condition")
+        assert category is PropertyCategory.CONFIGURATION
+        assert unified == "Filter"
+
+    def test_counts_via_registry(self):
+        registry = default_registry()
+        assert registry.operation_count("sqlite") == sum(OPERATION_COUNTS["sqlite"].values())
+        assert registry.operation_count("sqlite", OperationCategory.PRODUCER) == 3
+
+    def test_clean_identifier(self):
+        assert clean_identifier("TableFullScan") == "Table Full Scan"
+        assert clean_identifier("hash-join!") == "hash join"
+        assert clean_identifier("42") == "Op 42"
+        assert clean_identifier("") == "Unknown"
