@@ -1,0 +1,149 @@
+"""E-PIPE — pipeline throughput: batched ingestion and fingerprint identity.
+
+Not a table in the paper, but the scale-out characteristics the pipeline
+layer exists for: how much faster a duplicated corpus ingests through
+``ingest_batch`` (source dedup + cached conversion) than one plan at a time,
+and how much faster fingerprint-based plan identity is than a deep tree
+comparison once fingerprints are cached.
+"""
+
+import time
+
+from repro.converters import ConverterHub
+from repro.core.compare import plans_equal
+from repro.dialects import create_dialect
+from repro.pipeline import PlanIngestService, PlanSource
+
+SETUP = [
+    "CREATE TABLE t0 (c0 INT, c1 INT)",
+    "CREATE TABLE t1 (c0 INT)",
+    "INSERT INTO t0 (c0, c1) VALUES " + ", ".join(f"({i}, {i % 9})" for i in range(1, 301)),
+    "INSERT INTO t1 (c0) VALUES " + ", ".join(f"({i})" for i in range(1, 61)),
+]
+
+#: Distinct query shapes; the corpus repeats each until it has 1000 sources.
+QUERIES = [
+    f"SELECT t1.c0, COUNT(*) FROM t0 JOIN t1 ON t0.c0 = t1.c0 "
+    f"WHERE t0.c1 < {bound} GROUP BY t1.c0 ORDER BY t1.c0 LIMIT {limit}"
+    for bound in (2, 5, 7)
+    for limit in (5, 10)
+] + [
+    f"SELECT c0 FROM t0 WHERE c1 = {value} ORDER BY c0" for value in range(4)
+]
+
+CORPUS_SIZE = 1000
+
+
+def _raw_corpus():
+    dialect = create_dialect("postgresql")
+    for statement in SETUP:
+        dialect.execute(statement)
+    dialect.analyze_tables()
+    # Distinct queries can still explain to byte-identical raw plans, so
+    # dedupe by text: the invariant under test is per unique *source text*.
+    unique = list(dict.fromkeys(dialect.explain(query, format="json").text for query in QUERIES))
+    return [unique[index % len(unique)] for index in range(CORPUS_SIZE)], len(unique)
+
+
+def _sources(raws):
+    return [PlanSource("postgresql", raw, "json") for raw in raws]
+
+
+def test_ingest_one_at_a_time(benchmark):
+    """Baseline: 1000 single-plan ingests against a cold service."""
+    raws, unique_count = _raw_corpus()
+
+    def ingest_singles():
+        service = PlanIngestService(hub=ConverterHub())
+        for source in _sources(raws):
+            service.ingest(source)
+        return service
+
+    service = benchmark(ingest_singles)
+    assert service.stats.sources == CORPUS_SIZE
+    # Even one at a time, the hub's conversion cache parses each unique
+    # source text exactly once.
+    assert service.stats.conversions == unique_count
+    benchmark.extra_info["service_stats"] = service.stats.to_dict()
+
+
+def test_ingest_batched(benchmark):
+    """ingest_batch: source dedup before conversion, one parse per text."""
+    raws, unique_count = _raw_corpus()
+
+    def ingest_batch():
+        service = PlanIngestService(hub=ConverterHub())
+        report = service.ingest_batch(_sources(raws))
+        return service, report
+
+    service, report = benchmark(ingest_batch)
+    assert len(report.entries) == CORPUS_SIZE
+    # The acceptance invariant: conversions only for unique source texts,
+    # everything else observable as cache hits in the service stats.
+    assert report.conversions == unique_count
+    assert report.cache_hits == CORPUS_SIZE - unique_count
+    assert service.stats.cache_hits == CORPUS_SIZE - unique_count
+    assert report.unique_fingerprints <= unique_count
+    benchmark.extra_info["report"] = {
+        "conversions": report.conversions,
+        "cache_hits": report.cache_hits,
+        "unique_fingerprints": report.unique_fingerprints,
+        "throughput_plans_per_s": round(report.throughput, 1),
+    }
+
+
+def _large_plan_pair():
+    """Two deep-equal plans large enough for deep comparison to hurt."""
+    raws, _ = _raw_corpus()
+    hub = ConverterHub()
+    base = hub.convert("postgresql", raws[0], "json")
+
+    def build():
+        # A wide plan: one trunk fanning out to 100 copies of the base tree
+        # (wide rather than deep so recursive comparison stays in bounds).
+        trunk = base.root.copy()
+        trunk.children.clear()
+        for _ in range(100):
+            trunk.children.append(base.root.copy())
+        plan = base.copy()
+        plan.root = trunk
+        plan.invalidate_fingerprints()
+        return plan
+
+    return build(), build()
+
+
+def measure_fingerprint_speedup(iterations=2000):
+    """Time repeated fingerprint equality vs. deep tree comparison."""
+    left, right = _large_plan_pair()
+    assert left == right  # sanity: the pair really is deep-equal
+    plans_equal(left, right)  # warm the fingerprint caches
+
+    started = time.perf_counter()
+    for _ in range(iterations):
+        assert plans_equal(left, right)
+    fingerprint_seconds = time.perf_counter() - started
+
+    deep_iterations = max(iterations // 100, 10)
+    started = time.perf_counter()
+    for _ in range(deep_iterations):
+        assert left == right
+    deep_seconds = (time.perf_counter() - started) * (iterations / deep_iterations)
+
+    return {
+        "iterations": iterations,
+        "node_count": left.node_count(),
+        "fingerprint_seconds": fingerprint_seconds,
+        "deep_compare_seconds": deep_seconds,
+        "speedup": deep_seconds / fingerprint_seconds,
+    }
+
+
+def test_fingerprint_equality_speedup(benchmark):
+    """Fingerprint identity must beat deep comparison by >= 10x."""
+    left, right = _large_plan_pair()
+    plans_equal(left, right)
+    assert benchmark(plans_equal, left, right)
+    measured = measure_fingerprint_speedup()
+    benchmark.extra_info["speedup"] = measured
+    assert measured["speedup"] >= 10.0, measured

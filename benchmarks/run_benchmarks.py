@@ -1,0 +1,139 @@
+"""Benchmark driver: run the pipeline bench suite and write a perf snapshot.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # snapshot only
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --suite    # + full pytest-benchmark run
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --output somewhere.json
+
+The snapshot (``BENCH_pipeline.json`` by default) records the pipeline's two
+headline numbers — batched-vs-single ingestion and fingerprint-vs-deep-compare
+speedup — together with the service statistics proving the dedup invariant
+(conversions happen only for unique source texts).  The tier-1 test suite the
+snapshot should always be accompanied by is::
+
+    PYTHONPATH=src python -m pytest -x -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_SRC, _HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro import __version__  # noqa: E402
+from repro.converters import ConverterHub  # noqa: E402
+from repro.pipeline import PlanIngestService, PlanSource  # noqa: E402
+
+import bench_pipeline  # noqa: E402
+
+
+def _time_ingest(batched: bool, raws, repeats: int = 5) -> dict:
+    best = None
+    stats = None
+    for _ in range(repeats):
+        service = PlanIngestService(hub=ConverterHub())
+        sources = [PlanSource("postgresql", raw, "json") for raw in raws]
+        started = time.perf_counter()
+        if batched:
+            service.ingest_batch(sources)
+        else:
+            for source in sources:
+                service.ingest(source)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+            stats = service.stats.to_dict()
+    return {"seconds": best, "plans_per_second": len(raws) / best, "stats": stats}
+
+
+def collect_snapshot() -> dict:
+    raws, unique_count = bench_pipeline._raw_corpus()
+    single = _time_ingest(batched=False, raws=raws)
+    batched = _time_ingest(batched=True, raws=raws)
+    fingerprint = bench_pipeline.measure_fingerprint_speedup()
+    return {
+        "benchmark": "pipeline",
+        "version": __version__,
+        "python": platform.python_version(),
+        "corpus": {"sources": len(raws), "unique_source_texts": unique_count},
+        "ingest_single": single,
+        "ingest_batched": batched,
+        "batched_speedup": single["seconds"] / batched["seconds"],
+        "fingerprint_equality": fingerprint,
+        "invariants": {
+            "conversions_only_for_unique_sources": (
+                batched["stats"]["conversions"] == unique_count
+            ),
+            "fingerprint_at_least_10x": fingerprint["speedup"] >= 10.0,
+        },
+    }
+
+
+def run_full_suite() -> int:
+    """Run the whole pytest-benchmark suite (all bench_*.py modules).
+
+    The modules are named explicitly because ``bench_*.py`` does not match
+    pytest's default collection patterns.
+    """
+    import glob
+
+    modules = sorted(glob.glob(os.path.join(_HERE, "bench_*.py")))
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *modules,
+        "-q",
+        "--benchmark-disable-gc",
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.call(command, env=env)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_pipeline.json"),
+        help="where to write the perf snapshot (default: repo root)",
+    )
+    parser.add_argument(
+        "--suite",
+        action="store_true",
+        help="also run the full pytest-benchmark suite after the snapshot",
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = collect_snapshot()
+    with open(args.output, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    print(
+        "batched ingest: {:.1f}x faster than single; fingerprint equality: "
+        "{:.0f}x faster than deep compare".format(
+            snapshot["batched_speedup"], snapshot["fingerprint_equality"]["speedup"]
+        )
+    )
+    if not all(snapshot["invariants"].values()):
+        print("PIPELINE INVARIANTS VIOLATED:", snapshot["invariants"], file=sys.stderr)
+        return 1
+    if args.suite:
+        return run_full_suite()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

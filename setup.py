@@ -1,10 +1,27 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so that editable installs work in offline
+A plain ``setup.py`` (no ``pyproject.toml``) so that installs work in offline
 environments where the ``wheel`` package (required by PEP 660 editable
 builds with older setuptools) is unavailable.
+
+Developer workflow (see also README.md):
+
+* tier-1 test suite: ``PYTHONPATH=src python -m pytest -x -q``
+* perf snapshot:     ``PYTHONPATH=src python benchmarks/run_benchmarks.py``
+  (writes ``BENCH_pipeline.json``; add ``--suite`` for the full
+  pytest-benchmark run)
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-uplan",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Towards a Unified Query Plan Representation' with a "
+        "batched, fingerprint-deduplicating plan ingestion pipeline"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+)

@@ -1,6 +1,6 @@
 """repro — a reproduction of *"Towards a Unified Query Plan Representation"*.
 
-The package is organised in three layers:
+The package is organised in four layers:
 
 Substrates
     :mod:`repro.sqlparser`, :mod:`repro.catalog`, :mod:`repro.storage`,
@@ -11,13 +11,26 @@ Substrates
 Simulated DBMSs and converters
     :mod:`repro.dialects` — nine simulated DBMSs exposing serialized query
     plans in their native formats; :mod:`repro.converters` — converters from
-    each native format into the unified representation.
+    each native format into the unified representation, registered through
+    the :class:`~repro.converters.base.ConverterHub`, whose
+    ``(dbms, format, source-hash)`` LRU cache memoises conversions.
+
+The plan pipeline
+    :mod:`repro.pipeline` — batched, deduplicating ingestion on top of the
+    hub.  Its invariants are provided by :mod:`repro.core`: plans have a
+    *canonical form* (properties ordered by the grammar's category order;
+    child order preserved as semantically significant) and a cached
+    Merkle-style *fingerprint* that is invariant under canonicalization and
+    serialization round-trips and stable across processes, so plan identity
+    is an O(1) comparison and coverage sets merge across runs.  Plans
+    returned by the pipeline are shared and must be treated as frozen.
 
 UPlan and applications
     :mod:`repro.core` — the unified query plan representation (the paper's
-    contribution); :mod:`repro.testing` (QPG, CERT, TLP),
-    :mod:`repro.visualize`, :mod:`repro.benchmarking`, and
-    :mod:`repro.study` — the case-study artefacts and the three applications.
+    contribution); :mod:`repro.testing` (QPG, CERT, TLP — coverage tracked
+    by structural fingerprint via the pipeline), :mod:`repro.visualize`,
+    :mod:`repro.benchmarking`, and :mod:`repro.study` — the case-study
+    artefacts and the three applications.
 """
 
 from repro.core import (
@@ -30,7 +43,7 @@ from repro.core import (
     UnifiedPlan,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Operation",

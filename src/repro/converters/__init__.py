@@ -1,10 +1,18 @@
-"""Converters from DBMS-specific serialized query plans to the unified representation."""
+"""Converters from DBMS-specific serialized query plans to the unified representation.
+
+All converters register through the :class:`ConverterHub`; :func:`default_hub`
+returns the shared hub whose ``(dbms, format, source-hash)`` LRU cache backs
+the ingestion pipeline (:mod:`repro.pipeline`).
+"""
 
 from repro.converters.base import (
+    ConverterHub,
     PlanConverter,
     available_converters,
     converter_for,
+    default_hub,
     register_converter,
+    source_hash,
 )
 from repro.converters.influxdb import InfluxDBConverter
 from repro.converters.mongodb import MongoDBConverter
@@ -17,10 +25,13 @@ from repro.converters.sqlserver import SQLServerConverter
 from repro.converters.tidb import TiDBConverter
 
 __all__ = [
+    "ConverterHub",
     "PlanConverter",
     "converter_for",
     "available_converters",
+    "default_hub",
     "register_converter",
+    "source_hash",
     "PostgreSQLConverter",
     "MySQLConverter",
     "TiDBConverter",

@@ -1,4 +1,4 @@
-"""Converter base class and registry.
+"""Converter base class and the registry-driven conversion hub.
 
 A *converter* parses a DBMS-specific serialized query plan (the raw text or
 JSON that ``EXPLAIN`` returned) into the unified representation.  The paper
@@ -8,12 +8,25 @@ provides one for every studied DBMS.  Converters rely on the
 catalogues, so an unknown operation or property never fails the conversion —
 it falls back to a generic category, which is what keeps applications
 forward-compatible (Section IV-B).
+
+The :class:`ConverterHub` is the registry the dialect converters register
+through (via :func:`register_converter`) and the single entry point the
+pipeline layer converts through.  It resolves DBMS names and aliases,
+instantiates one converter per DBMS lazily, and memoises conversions in an
+LRU cache keyed by ``(dbms, format, source-hash)`` — repeated ingestion of
+identical raw plans parses once and returns the cached
+:class:`~repro.core.model.UnifiedPlan`.  Cached plans are shared objects:
+callers must treat them as frozen (the fingerprint caches rely on this), or
+ask for ``copy_on_hit=True``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Type
+import hashlib
+import threading
+from typing import Dict, List, Optional, Tuple, Type
 
+from repro.core.caching import CacheStats, LRUCache
 from repro.core.categories import OperationCategory, PropertyCategory
 from repro.core.model import Operation, PlanNode, Property, UnifiedPlan
 from repro.core.naming import NameRegistry, default_registry
@@ -25,6 +38,8 @@ class PlanConverter:
 
     #: Lower-case DBMS name this converter handles.
     dbms: str = "abstract"
+    #: Alternative names the hub resolves to this converter.
+    aliases: Tuple[str, ...] = ()
     #: Native formats this converter can parse.
     formats: tuple = ("text",)
 
@@ -77,23 +92,208 @@ def _coerce_value(value: object) -> object:
     return text
 
 
-_CONVERTERS: Dict[str, Type[PlanConverter]] = {}
+def source_hash(serialized: str) -> str:
+    """Hash a raw serialized plan for use as a conversion-cache key."""
+    return hashlib.sha1(serialized.encode("utf-8")).hexdigest()
+
+
+class ConverterHub:
+    """Registry, instance pool, and conversion cache for all converters.
+
+    The hub is the conversion pipeline's converter layer: dialect converter
+    classes register into a shared class registry (the
+    :func:`register_converter` decorator), and each hub instance lazily
+    instantiates one converter per DBMS against its name registry and caches
+    conversions by ``(dbms, format, source-hash)``.  All methods are
+    thread-safe, so one hub serves the ingestion service's worker pool.
+    """
+
+    #: Class-level registry shared by every hub, populated at import time by
+    #: the :func:`register_converter` decorator on the dialect converters.
+    _classes: Dict[str, Type[PlanConverter]] = {}
+    _alias_names: Dict[str, str] = {}
+
+    def __init__(
+        self,
+        registry: Optional[NameRegistry] = None,
+        cache_size: int = 1024,
+        copy_on_hit: bool = False,
+    ) -> None:
+        self._registry = registry
+        self._instances: Dict[str, PlanConverter] = {}
+        self._cache = LRUCache(maxsize=cache_size)
+        self._lock = threading.Lock()
+        #: When true, cache hits return an independent deep copy instead of
+        #: the shared cached plan (for callers that mutate plans in place).
+        self.copy_on_hit = copy_on_hit
+
+    # -- registration ----------------------------------------------------------
+
+    @classmethod
+    def register(cls, converter_class: Type[PlanConverter]) -> Type[PlanConverter]:
+        """Register *converter_class* (and its aliases) for every hub."""
+        name = converter_class.dbms.strip().lower()
+        cls._classes[name] = converter_class
+        # A converter registered under a name another converter aliased
+        # must be reachable under that name: the real name wins.
+        cls._alias_names.pop(name, None)
+        for alias in getattr(converter_class, "aliases", ()):
+            alias_key = alias.strip().lower()
+            if alias_key not in cls._classes:
+                cls._alias_names[alias_key] = name
+        return converter_class
+
+    @classmethod
+    def resolve_name(cls, dbms: str) -> str:
+        """Resolve *dbms* (canonical name or alias) to the canonical name.
+
+        Registered converter names take precedence over aliases, so an
+        extension converter named e.g. ``spark`` is reachable even though a
+        built-in declares that alias.
+        """
+        key = dbms.strip().lower()
+        if key not in cls._classes:
+            key = cls._alias_names.get(key, key)
+        if key not in cls._classes:
+            raise ConversionError(
+                dbms, f"no converter registered; available: {sorted(cls._classes)}"
+            )
+        return key
+
+    @classmethod
+    def dbms_names(cls) -> List[str]:
+        """Canonical DBMS names with a registered converter."""
+        return sorted(cls._classes)
+
+    # -- conversion ------------------------------------------------------------
+
+    def converter(self, dbms: str) -> PlanConverter:
+        """Return the hub's (shared) converter instance for *dbms*."""
+        name = self.resolve_name(dbms)
+        with self._lock:
+            instance = self._instances.get(name)
+            if instance is None:
+                instance = self._classes[name](self._registry)
+                self._instances[name] = instance
+            return instance
+
+    def convert(
+        self,
+        dbms: str,
+        serialized: str,
+        format: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> UnifiedPlan:
+        """Convert *serialized* through the cache.
+
+        The cache key is ``(canonical dbms, resolved format, sha1(source))``,
+        so syntactically identical raw plans are parsed exactly once per hub
+        regardless of how often they are ingested.
+        """
+        if not use_cache:
+            converter = self.converter(dbms)
+            chosen = (format or converter.formats[0]).lower()
+            return converter.convert(serialized, chosen)
+        return self.convert_traced(dbms, serialized, format)[0]
+
+    def convert_traced(
+        self,
+        dbms: str,
+        serialized: str,
+        format: Optional[str] = None,
+        key: Optional[Tuple[str, str, str]] = None,
+    ) -> Tuple[UnifiedPlan, bool]:
+        """Convert through the cache, reporting whether a parse actually ran.
+
+        The hit-or-parse decision is made on the single cache lookup, so the
+        returned flag is accurate even when worker threads share the hub
+        (a separate probe-then-convert sequence could misreport under
+        concurrent eviction).  Callers that already computed
+        :meth:`cache_key` may pass it via *key* to skip re-hashing the
+        source text.
+        """
+        converter = self.converter(dbms)
+        chosen = (format or converter.formats[0]).lower()
+        if key is None:
+            key = (converter.dbms, chosen, source_hash(serialized))
+        plan = self._cache.get(key)
+        if plan is not None:
+            return (plan.copy() if self.copy_on_hit else plan), False
+        plan = converter.convert(serialized, chosen)
+        # Pre-compute the fingerprint while we hold the only reference, so
+        # every consumer of the shared cached plan gets O(1) identity.
+        plan.fingerprint()
+        self._cache.put(key, plan)
+        return plan, True
+
+    def cache_key(
+        self, dbms: str, serialized: str, format: Optional[str] = None
+    ) -> Tuple[str, str, str]:
+        """The conversion-cache key the hub would use for this source."""
+        converter = self.converter(dbms)
+        chosen = (format or converter.formats[0]).lower()
+        return (converter.dbms, chosen, source_hash(serialized))
+
+    def is_cached(
+        self, dbms: str, serialized: str, format: Optional[str] = None
+    ) -> bool:
+        """Whether converting this source would be served from the cache.
+
+        Does not count as a cache lookup in the statistics.
+        """
+        return self.cache_key(dbms, serialized, format) in self._cache
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Live hit/miss/eviction counters of the conversion cache."""
+        return self._cache.stats
+
+    def cache_snapshot(self) -> CacheStats:
+        """An independent copy of the current cache counters."""
+        return self._cache.stats.snapshot()
+
+    def cached_conversions(self) -> int:
+        """Number of conversions currently held in the cache."""
+        return len(self._cache)
+
+    def clear_cache(self, reset_stats: bool = False) -> None:
+        """Drop all cached conversions (and optionally the counters)."""
+        self._cache.clear(reset_stats=reset_stats)
+
+
+#: Lazily created hub shared by ``converter_for`` and the pipeline defaults.
+_DEFAULT_HUB: Optional[ConverterHub] = None
+_DEFAULT_HUB_LOCK = threading.Lock()
+
+
+def default_hub() -> ConverterHub:
+    """Return the process-wide default :class:`ConverterHub`."""
+    global _DEFAULT_HUB
+    with _DEFAULT_HUB_LOCK:
+        if _DEFAULT_HUB is None:
+            _DEFAULT_HUB = ConverterHub()
+        return _DEFAULT_HUB
 
 
 def register_converter(converter_class: Type[PlanConverter]) -> Type[PlanConverter]:
-    """Class decorator registering a converter for its DBMS."""
-    _CONVERTERS[converter_class.dbms] = converter_class
-    return converter_class
+    """Class decorator registering a converter for its DBMS (and aliases)."""
+    return ConverterHub.register(converter_class)
 
 
 def converter_for(dbms: str, registry: Optional[NameRegistry] = None) -> PlanConverter:
-    """Instantiate the converter for *dbms*."""
-    try:
-        return _CONVERTERS[dbms.lower()](registry)
-    except KeyError as exc:
-        raise ConversionError(dbms, f"no converter registered; available: {sorted(_CONVERTERS)}") from exc
+    """Instantiate the converter for *dbms* (accepts registered aliases).
+
+    With the default *registry* this returns the default hub's shared
+    instance; passing an explicit registry constructs a fresh converter.
+    """
+    if registry is None:
+        return default_hub().converter(dbms)
+    name = ConverterHub.resolve_name(dbms)
+    return ConverterHub._classes[name](registry)
 
 
 def available_converters() -> List[str]:
     """Return the DBMS names that have registered converters."""
-    return sorted(_CONVERTERS)
+    return ConverterHub.dbms_names()

@@ -17,6 +17,7 @@ class InfluxDBConverter(PlanConverter):
     """Parses InfluxDB's property-list query plans."""
 
     dbms = "influxdb"
+    aliases = ("influx",)
     formats = ("text",)
 
     def _parse(self, serialized: str, format: str) -> UnifiedPlan:

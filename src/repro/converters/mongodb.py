@@ -15,6 +15,7 @@ class MongoDBConverter(PlanConverter):
     """Parses MongoDB explain documents into the unified representation."""
 
     dbms = "mongodb"
+    aliases = ("mongo",)
     formats = ("json",)
 
     def _parse(self, serialized: str, format: str) -> UnifiedPlan:

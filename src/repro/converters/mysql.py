@@ -20,6 +20,7 @@ class MySQLConverter(PlanConverter):
     """Parses MySQL ``EXPLAIN`` output (FORMAT=JSON, traditional table, FORMAT=TREE)."""
 
     dbms = "mysql"
+    aliases = ("mariadb",)
     formats = ("json", "table", "tree")
 
     def _parse(self, serialized: str, format: str) -> UnifiedPlan:

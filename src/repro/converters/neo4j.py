@@ -21,6 +21,7 @@ class Neo4jConverter(PlanConverter):
     """Parses Neo4j plan output into the unified representation."""
 
     dbms = "neo4j"
+    aliases = ("cypher",)
     formats = ("json", "text")
 
     def _parse(self, serialized: str, format: str) -> UnifiedPlan:

@@ -28,6 +28,7 @@ class PostgreSQLConverter(PlanConverter):
     """Parses PostgreSQL ``EXPLAIN`` output (text and JSON)."""
 
     dbms = "postgresql"
+    aliases = ("postgres", "pg")
     formats = ("text", "json")
 
     # ------------------------------------------------------------------ JSON

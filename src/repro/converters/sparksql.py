@@ -17,6 +17,7 @@ class SparkSQLConverter(PlanConverter):
     """Parses the textual ``EXPLAIN`` output of SparkSQL."""
 
     dbms = "sparksql"
+    aliases = ("spark",)
     formats = ("text",)
 
     def _parse(self, serialized: str, format: str) -> UnifiedPlan:

@@ -23,6 +23,7 @@ class SQLiteConverter(PlanConverter):
     """Parses SQLite's compact textual query plans."""
 
     dbms = "sqlite"
+    aliases = ("sqlite3",)
     formats = ("text",)
 
     def _parse(self, serialized: str, format: str) -> UnifiedPlan:

@@ -18,6 +18,7 @@ class SQLServerConverter(PlanConverter):
     """Parses SQL Server SHOWPLAN XML and SHOWPLAN_TEXT-style output."""
 
     dbms = "sqlserver"
+    aliases = ("mssql", "sql server")
     formats = ("xml", "text", "table")
 
     def _parse(self, serialized: str, format: str) -> UnifiedPlan:

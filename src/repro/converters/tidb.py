@@ -26,6 +26,7 @@ class TiDBConverter(PlanConverter):
     """Parses TiDB ``EXPLAIN`` output (table, text tree, JSON)."""
 
     dbms = "tidb"
+    aliases = ()  # no alias in common use
     formats = ("table", "text", "json")
 
     def _parse(self, serialized: str, format: str) -> UnifiedPlan:

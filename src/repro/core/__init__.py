@@ -14,6 +14,8 @@ proposed in Section IV of *"Towards a Unified Query Plan Representation"*:
   registry from DBMS-specific names,
 * :mod:`repro.core.compare` — fingerprints, category histograms, tree edit
   distance, and plan diffing,
+* :mod:`repro.core.caching` — the thread-safe LRU cache backing the
+  conversion pipeline,
 * :mod:`repro.core.validate` — structural validation.
 """
 
@@ -29,15 +31,21 @@ from repro.core.model import (
     Property,
     PropertyValue,
     UnifiedPlan,
+    canonical_properties,
+    canonical_property_key,
 )
 from repro.core.builder import PlanBuilder, node
+from repro.core.caching import CacheStats, LRUCache
 from repro.core.naming import (
     DEFAULT_REGISTRY,
+    IdentifierPool,
     NameRegistry,
     UNIFIED_OPERATIONS,
     UNIFIED_PROPERTIES,
     clean_identifier,
     default_registry,
+    identifier_pool,
+    intern_identifier,
 )
 from repro.core.compare import (
     PlanDiff,
@@ -45,6 +53,7 @@ from repro.core.compare import (
     category_histogram,
     diff_plans,
     plan_similarity,
+    plans_equal,
     producer_count,
     structural_fingerprint,
     structural_signature,
@@ -65,6 +74,14 @@ __all__ = [
     "UnifiedPlan",
     "PlanBuilder",
     "node",
+    "canonical_properties",
+    "canonical_property_key",
+    "CacheStats",
+    "LRUCache",
+    "IdentifierPool",
+    "identifier_pool",
+    "intern_identifier",
+    "plans_equal",
     "NameRegistry",
     "DEFAULT_REGISTRY",
     "default_registry",

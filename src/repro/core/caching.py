@@ -1,0 +1,101 @@
+"""A small thread-safe LRU cache shared by the conversion pipeline.
+
+The converter hub keys conversions by ``(dbms, format, source-hash)`` and the
+ingestion service observes its hit/miss counters, so the cache exposes its
+statistics as first-class data rather than hiding them the way
+``functools.lru_cache`` does.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a cache behaved so far."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """Return an independent copy of the current counters."""
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction and statistics.
+
+    All operations take an internal lock, so one cache instance may be shared
+    by the ingestion service's worker threads.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value for *key*, refreshing its recency."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh *key*, evicting the oldest entry when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            if len(self._entries) >= self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._entries[key] = value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self, reset_stats: bool = False) -> None:
+        """Drop every entry; optionally reset the counters as well."""
+        with self._lock:
+            self._entries.clear()
+            if reset_stats:
+                self.stats = CacheStats()

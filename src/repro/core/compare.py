@@ -8,6 +8,13 @@ These utilities back two of the paper's applications:
 * **Benchmarking** (Section V-A.3) compares plans across DBMSs using
   per-category operation counts and, as envisioned in the discussion, tree
   similarity metrics.
+
+Fingerprints are computed Merkle-style — each node's digest folds in its
+children's digests — and memoised in the per-node cache introduced in
+:mod:`repro.core.model`, so every comparison entry point here short-circuits
+on cached digests before falling back to a tree walk.  Plans must be treated
+as frozen once fingerprinted (or explicitly invalidated, see
+:meth:`repro.core.model.UnifiedPlan.invalidate_fingerprints`).
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.core.categories import (
     OperationCategory,
     PropertyCategory,
 )
+from repro.core import model as model_module
 from repro.core.model import PlanNode, Property, UnifiedPlan
 
 #: Property categories considered *unstable* for fingerprinting purposes:
@@ -53,16 +61,37 @@ def _stable_properties(properties: Sequence[Property]) -> List[Tuple[str, str, s
     return sorted(stable)
 
 
-def _fingerprint_node(node: PlanNode, include_configuration: bool) -> str:
-    name = strip_unstable_suffix(node.operation.identifier)
-    parts = [f"{node.operation.category.value}->{name}"]
+#: Cache keys used for the two structural fingerprint modes (the identity
+#: fingerprint lives under ``model.FINGERPRINT_IDENTITY`` in the same cache).
+_FP_STRUCTURAL = "structural"
+_FP_STRUCTURAL_CONFIG = "structural+config"
+
+
+def _structural_node_fingerprint(node: PlanNode, include_configuration: bool) -> str:
+    """Merkle digest of a subtree's stable structure, memoised on the node."""
+    key = _FP_STRUCTURAL_CONFIG if include_configuration else _FP_STRUCTURAL
+    cached = node._fp_cache.get(key)
+    if cached is not None:
+        return cached
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(node.operation.category.value.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(strip_unstable_suffix(node.operation.identifier).encode("utf-8"))
     if include_configuration:
         for category, identifier, value in _stable_properties(node.properties):
-            parts.append(f"{category}->{identifier}={value}")
-    children = ",".join(
-        _fingerprint_node(child, include_configuration) for child in node.children
-    )
-    return "(" + "|".join(parts) + "[" + children + "])"
+            # Length-framed: values are arbitrary strings and must not be
+            # able to forge component boundaries (see model._update_framed).
+            model_module._update_framed(
+                hasher, b"\x01", f"{category}->{identifier}={value}"
+            )
+    for child in node.children:
+        hasher.update(b"\x02")
+        hasher.update(
+            _structural_node_fingerprint(child, include_configuration).encode("ascii")
+        )
+    digest = hasher.hexdigest()
+    node._fp_cache[key] = digest
+    return digest
 
 
 def structural_fingerprint(
@@ -79,19 +108,36 @@ def structural_fingerprint(
         the fingerprint; Cardinality, Cost and Status properties never do.
         QPG uses ``include_configuration=False`` so that plans differing only
         in constants are considered equivalent.
+
+    The digest is memoised on the plan's nodes, so repeated calls are O(1);
+    it depends only on plan content, making it stable across processes.
     """
     if plan.root is None:
-        body = "<no-tree>"
-    else:
-        body = _fingerprint_node(plan.root, include_configuration)
-    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+        return hashlib.blake2b(b"<no-tree>", digest_size=16).hexdigest()
+    return _structural_node_fingerprint(plan.root, include_configuration)
+
+
+def plans_equal(left: UnifiedPlan, right: UnifiedPlan) -> bool:
+    """O(1) content-identity check via cached identity fingerprints.
+
+    Equivalent to comparing canonicalized trees deeply (property order is
+    ignored; ``source_dbms``/``query`` are ignored), but runs in constant
+    time once both plans are fingerprinted.
+    """
+    return left.fingerprint() == right.fingerprint()
+
+
+def _signature_node(node: PlanNode) -> str:
+    name = strip_unstable_suffix(node.operation.identifier)
+    children = ",".join(_signature_node(child) for child in node.children)
+    return f"({node.operation.category.value}->{name}[{children}])"
 
 
 def structural_signature(plan: UnifiedPlan) -> str:
     """Return the readable (non-hashed) structural form used for debugging."""
     if plan.root is None:
         return "<no-tree>"
-    return _fingerprint_node(plan.root, include_configuration=False)
+    return _signature_node(plan.root)
 
 
 # ---------------------------------------------------------------------------
@@ -140,9 +186,17 @@ def tree_edit_distance(left: Optional[PlanNode], right: Optional[PlanNode]) -> i
     The distance counts node relabelings, insertions, and deletions.  The
     implementation is a recursive forest-edit-distance with memoisation over
     node identity, sufficient for the plan sizes produced by DBMSs (tens of
-    nodes).  ``None`` stands for an empty tree.
+    nodes).  ``None`` stands for an empty tree.  Structurally identical
+    subtrees are recognised in O(1) via their cached structural fingerprints
+    (the edit distance labels nodes exactly as the structural fingerprint
+    does), pruning the recursion before any tree walk.
     """
     memo: Dict[Tuple[int, int], int] = {}
+
+    def subtrees_identical(a: PlanNode, b: PlanNode) -> bool:
+        return _structural_node_fingerprint(
+            a, include_configuration=False
+        ) == _structural_node_fingerprint(b, include_configuration=False)
 
     def node_size(node: Optional[PlanNode]) -> int:
         return 0 if node is None else node.size()
@@ -165,13 +219,18 @@ def tree_edit_distance(left: Optional[PlanNode], right: Optional[PlanNode]) -> i
         else:
             first_left, *rest_left = left_forest
             first_right, *rest_right = right_forest
-            # Option 1: match the two first trees against each other.
-            relabel = 0 if _node_label(first_left) == _node_label(first_right) else 1
-            match_cost = (
-                relabel
-                + forest_distance(tuple(first_left.children), tuple(first_right.children))
-                + forest_distance(tuple(rest_left), tuple(rest_right))
-            )
+            # Option 1: match the two first trees against each other.  When
+            # their structural fingerprints coincide the pair costs nothing
+            # and the subtree recursion is skipped entirely.
+            if subtrees_identical(first_left, first_right):
+                match_cost = forest_distance(tuple(rest_left), tuple(rest_right))
+            else:
+                relabel = 0 if _node_label(first_left) == _node_label(first_right) else 1
+                match_cost = (
+                    relabel
+                    + forest_distance(tuple(first_left.children), tuple(first_right.children))
+                    + forest_distance(tuple(rest_left), tuple(rest_right))
+                )
             # Option 2: delete the first left tree's root.
             delete_cost = 1 + forest_distance(
                 tuple(first_left.children) + tuple(rest_left), right_forest
@@ -190,6 +249,8 @@ def tree_edit_distance(left: Optional[PlanNode], right: Optional[PlanNode]) -> i
         return node_size(right)
     if right is None:
         return node_size(left)
+    if subtrees_identical(left, right):
+        return 0
     return forest_distance((left,), (right,))
 
 
@@ -221,7 +282,16 @@ class PlanDiff:
 
 
 def diff_plans(left: UnifiedPlan, right: UnifiedPlan) -> PlanDiff:
-    """Diff two plans by operation multiset, category counts, and structure."""
+    """Diff two plans by operation multiset, category counts, and structure.
+
+    Structurally identical plans (per their cached structural fingerprints)
+    short-circuit to an all-zero diff without walking either tree.
+    """
+    if structural_fingerprint(left) == structural_fingerprint(right):
+        return PlanDiff(
+            category_delta={category: 0 for category in OPERATION_CATEGORY_ORDER},
+            edit_distance=0,
+        )
     left_ops = sorted(_node_label(node) for node in left.nodes())
     right_ops = sorted(_node_label(node) for node in right.nodes())
 

@@ -3,8 +3,9 @@
 The case study (Section III-E) classifies serialized formats into *natural*
 formats optimized for readability (graph, text, table) and *structured*
 formats optimized for machine reading (JSON, XML, YAML).  UPlan can be
-serialized into any of them; JSON and the indented text form can also be
-parsed back.
+serialized into any of them; JSON, XML, YAML, the indented text form, and
+the grammar form can also be parsed back, and every round-trip preserves the
+plan's fingerprint (the pipeline layer's round-trip invariant).
 
 The registry exposed here lets applications look formats up by name::
 
@@ -23,8 +24,8 @@ from repro.errors import FormatError
 from repro.core.formats.json_format import dumps as json_dumps, loads as json_loads
 from repro.core.formats.text_format import render as text_render, parse as text_parse
 from repro.core.formats.table_format import render as table_render
-from repro.core.formats.xml_format import dumps as xml_dumps
-from repro.core.formats.yaml_format import dumps as yaml_dumps
+from repro.core.formats.xml_format import dumps as xml_dumps, loads as xml_loads
+from repro.core.formats.yaml_format import dumps as yaml_dumps, loads as yaml_loads
 from repro.core import grammar
 
 #: Format classification mirroring Table III of the paper.
@@ -90,8 +91,8 @@ def deserialize(text: str, format_name: str) -> UnifiedPlan:
 register_format("json", json_dumps, json_loads)
 register_format("text", text_render, text_parse)
 register_format("table", table_render)
-register_format("xml", xml_dumps)
-register_format("yaml", yaml_dumps)
+register_format("xml", xml_dumps, xml_loads)
+register_format("yaml", yaml_dumps, yaml_loads)
 register_format("grammar", grammar.serialize, grammar.parse)
 
 __all__ = [

@@ -35,6 +35,11 @@ _OPERATION_CATEGORIES = {member.value: member for member in OperationCategory}
 _PROPERTY_CATEGORIES = {member.value: member for member in PropertyCategory}
 
 
+#: Characters str.splitlines() treats as line terminators; they must be
+#: escaped inside rendered values or parsing would split mid-value.
+_LINE_TERMINATORS = "\n\r\x0b\x0c\x1c\x1d\x1e\x85\u2028\u2029"
+
+
 def _render_value(value: PropertyValue) -> str:
     if value is None:
         return "null"
@@ -42,7 +47,35 @@ def _render_value(value: PropertyValue) -> str:
         return "true" if value else "false"
     if isinstance(value, (int, float)):
         return repr(value)
-    return '"' + str(value).replace('"', '\\"') + '"'
+    text = str(value).replace("\\", "\\\\").replace('"', '\\"')
+    text = text.replace("\n", "\\n").replace("\r", "\\r")
+    for terminator in _LINE_TERMINATORS[2:]:
+        text = text.replace(terminator, f"\\u{ord(terminator):04x}")
+    return '"' + text + '"'
+
+
+def _unescape_string(text: str) -> str:
+    chars = []
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if ch == "\\" and index + 1 < len(text):
+            follower = text[index + 1]
+            if follower == "u" and index + 5 < len(text):
+                try:
+                    chars.append(chr(int(text[index + 2 : index + 6], 16)))
+                    index += 6
+                    continue
+                except ValueError:
+                    pass
+            chars.append(
+                {"n": "\n", "r": "\r", '"': '"', "\\": "\\"}.get(follower, follower)
+            )
+            index += 2
+            continue
+        chars.append(ch)
+        index += 1
+    return "".join(chars)
 
 
 def _parse_value(text: str) -> PropertyValue:
@@ -54,7 +87,7 @@ def _parse_value(text: str) -> PropertyValue:
     if stripped == "false":
         return False
     if stripped.startswith('"') and stripped.endswith('"') and len(stripped) >= 2:
-        return stripped[1:-1].replace('\\"', '"')
+        return _unescape_string(stripped[1:-1])
     try:
         if any(ch in stripped for ch in ".eE"):
             return float(stripped)

@@ -19,7 +19,9 @@ from __future__ import annotations
 from xml.etree import ElementTree
 from xml.dom import minidom
 
-from repro.core.model import PlanNode, Property, UnifiedPlan
+from repro.core.categories import OperationCategory, PropertyCategory
+from repro.core.model import Operation, PlanNode, Property, UnifiedPlan
+from repro.errors import FormatError
 
 
 def _value_attributes(prop: Property) -> str:
@@ -32,6 +34,13 @@ def _value_attributes(prop: Property) -> str:
     return "string"
 
 
+def _needs_escaping(text: str) -> bool:
+    # XML text nodes cannot carry most control characters, and parsers
+    # normalize "\r" to "\n"; such strings are stored escaped instead so the
+    # round-trip preserves the value (and the plan fingerprint) exactly.
+    return any(ord(ch) < 0x20 and ch not in "\t\n" for ch in text)
+
+
 def _property_element(prop: Property) -> ElementTree.Element:
     element = ElementTree.Element(
         "property",
@@ -40,7 +49,11 @@ def _property_element(prop: Property) -> ElementTree.Element:
         type=_value_attributes(prop),
     )
     if prop.value is not None:
-        element.text = str(prop.value).lower() if isinstance(prop.value, bool) else str(prop.value)
+        text = str(prop.value).lower() if isinstance(prop.value, bool) else str(prop.value)
+        if isinstance(prop.value, str) and _needs_escaping(text):
+            element.set("escape", "python")
+            text = text.encode("unicode_escape").decode("ascii")
+        element.text = text
     return element
 
 
@@ -67,3 +80,95 @@ def dumps(plan: UnifiedPlan) -> str:
         root.append(_node_element(plan.root))
     raw = ElementTree.tostring(root, encoding="unicode")
     return minidom.parseString(raw).toprettyxml(indent="  ").strip()
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _value_from_element(element: ElementTree.Element):
+    kind = element.get("type", "string")
+    # Text-only elements keep their text verbatim through pretty-printing
+    # (the indenter only pads elements with element children), so string
+    # values — including leading/trailing whitespace — round-trip exactly.
+    # Only the typed scalars tolerate surrounding whitespace.
+    text = element.text or ""
+    if kind == "null":
+        return None
+    if kind == "boolean":
+        return text.strip() == "true"
+    if kind == "number":
+        stripped = text.strip()
+        try:
+            return int(stripped)
+        except ValueError:
+            pass
+        try:
+            return float(stripped)  # also covers 'inf'/'nan' repr output
+        except ValueError as exc:
+            raise FormatError(f"invalid number in XML plan: {text!r}") from exc
+    if element.get("escape") == "python":
+        try:
+            return text.encode("ascii").decode("unicode_escape")
+        except (UnicodeDecodeError, UnicodeEncodeError) as exc:
+            raise FormatError(f"invalid escaped string in XML plan: {text!r}") from exc
+    return text
+
+
+def _property_from_element(element: ElementTree.Element) -> Property:
+    category_name = element.get("category")
+    identifier = element.get("identifier")
+    if category_name is None or identifier is None:
+        raise FormatError("XML property element needs category and identifier")
+    try:
+        category = PropertyCategory.from_name(category_name)
+    except ValueError as exc:
+        raise FormatError(str(exc)) from exc
+    return Property(category, identifier, _value_from_element(element))
+
+
+def _node_from_element(element: ElementTree.Element) -> PlanNode:
+    category_name = element.get("category")
+    identifier = element.get("identifier")
+    if category_name is None or identifier is None:
+        raise FormatError("XML node element needs category and identifier")
+    try:
+        category = OperationCategory.from_name(category_name)
+    except ValueError as exc:
+        raise FormatError(str(exc)) from exc
+    node = PlanNode(Operation(category, identifier))
+    for child in element:
+        if child.tag == "property":
+            node.properties.append(_property_from_element(child))
+        elif child.tag == "node":
+            node.children.append(_node_from_element(child))
+        else:
+            raise FormatError(f"unexpected XML element <{child.tag}> inside node")
+    return node
+
+
+def loads(text: str) -> UnifiedPlan:
+    """Parse a unified plan from its XML document form."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise FormatError(f"invalid XML document: {exc}") from exc
+    if root.tag != "unifiedPlan":
+        raise FormatError(f"expected <unifiedPlan> root, got <{root.tag}>")
+    plan = UnifiedPlan(source_dbms=root.get("sourceDbms", ""))
+    for child in root:
+        if child.tag == "planProperties":
+            for prop_element in child:
+                if prop_element.tag != "property":
+                    raise FormatError(
+                        f"unexpected XML element <{prop_element.tag}> in planProperties"
+                    )
+                plan.properties.append(_property_from_element(prop_element))
+        elif child.tag == "node":
+            if plan.root is not None:
+                raise FormatError("XML plan has more than one root node")
+            plan.root = _node_from_element(child)
+        else:
+            raise FormatError(f"unexpected XML element <{child.tag}> in unifiedPlan")
+    return plan

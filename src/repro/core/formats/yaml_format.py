@@ -1,18 +1,43 @@
 """YAML serialization of unified query plans.
 
 Only PostgreSQL, of the studied DBMSs, exposes query plans as YAML
-(Table III).  To keep the library dependency-free the emitter implements the
-small YAML subset needed for plan documents (nested mappings, sequences and
-scalars); it does not implement a YAML parser.
+(Table III).  To keep the library dependency-free both the emitter and the
+parser implement the small YAML subset needed for plan documents (nested
+mappings, sequences and scalars) — the parser accepts exactly the documents
+the emitter produces, which is what the pipeline's round-trip invariant
+requires.
 """
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any, List, Tuple
 
 from repro.core.model import UnifiedPlan
+from repro.errors import FormatError
 
 _INDENT = "  "
+
+
+def _looks_numeric(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+#: Every character str.splitlines() treats as a line terminator; any of them
+#: inside a scalar must be escaped or the parser would split the document
+#: mid-value.
+_LINE_TERMINATORS = "\n\r\x0b\x0c\x1c\x1d\x1e\x85\u2028\u2029"
+
+
+def _escape_string(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    escaped = escaped.replace("\r", "\\r")
+    for terminator in _LINE_TERMINATORS[2:]:
+        escaped = escaped.replace(terminator, f"\\u{ord(terminator):04x}")
+    return escaped
 
 
 def _scalar(value: Any) -> str:
@@ -26,12 +51,14 @@ def _scalar(value: Any) -> str:
     needs_quotes = (
         text == ""
         or text.strip() != text
-        or any(ch in text for ch in ":#{}[],&*?|-<>=!%@`\"'\n")
+        or any(ch in text for ch in ":#{}[],&*?|-<>=!%@`\"'")
+        or any(ch in text for ch in _LINE_TERMINATORS)
         or text.lower() in {"null", "true", "false", "yes", "no"}
+        # Quote numeric-looking strings so parsing restores them as strings.
+        or _looks_numeric(text)
     )
     if needs_quotes:
-        escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
-        return f'"{escaped}"'
+        return f'"{_escape_string(text)}"'
     return text
 
 
@@ -65,3 +92,139 @@ def dumps(plan: UnifiedPlan) -> str:
     lines: List[str] = []
     _emit(plan.to_dict(), 0, lines)
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Parsing (the emitter's subset only)
+# ---------------------------------------------------------------------------
+
+
+def _unquote(text: str) -> str:
+    chars: List[str] = []
+    index = 1  # skip opening quote
+    end = len(text) - 1
+    while index < end:
+        ch = text[index]
+        if ch == "\\" and index + 1 < end:
+            follower = text[index + 1]
+            if follower == "u" and index + 5 < end:
+                try:
+                    chars.append(chr(int(text[index + 2 : index + 6], 16)))
+                    index += 6
+                    continue
+                except ValueError:
+                    pass
+            chars.append(
+                {"n": "\n", "r": "\r", '"': '"', "\\": "\\"}.get(follower, follower)
+            )
+            index += 2
+            continue
+        chars.append(ch)
+        index += 1
+    return "".join(chars)
+
+
+def _parse_scalar(text: str) -> Any:
+    stripped = text.strip()
+    if stripped == "null":
+        return None
+    if stripped == "true":
+        return True
+    if stripped == "false":
+        return False
+    if stripped == "[]":
+        return []
+    if stripped == "{}":
+        return {}
+    if stripped.startswith('"'):
+        if not stripped.endswith('"') or len(stripped) < 2:
+            raise FormatError(f"unterminated YAML string: {stripped!r}")
+        return _unquote(stripped)
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    return stripped
+
+
+def _split_lines(text: str) -> List[Tuple[int, str]]:
+    lines: List[Tuple[int, str]] = []
+    for raw in text.splitlines():
+        if not raw.strip():
+            continue
+        content = raw.lstrip(" ")
+        indent_spaces = len(raw) - len(content)
+        if indent_spaces % len(_INDENT) != 0:
+            raise FormatError(f"inconsistent YAML indentation: {raw!r}")
+        lines.append((indent_spaces // len(_INDENT), content))
+    return lines
+
+
+def _parse_block(lines: List[Tuple[int, str]], index: int, depth: int) -> Tuple[Any, int]:
+    """Parse the block starting at *index*, which sits at *depth*."""
+    if lines[index][1].startswith("-"):
+        return _parse_sequence(lines, index, depth)
+    return _parse_mapping(lines, index, depth)
+
+
+def _parse_sequence(lines, index, depth):
+    items: List[Any] = []
+    while index < len(lines) and lines[index][0] == depth:
+        line_depth, content = lines[index]
+        if not content.startswith("-"):
+            break
+        remainder = content[1:].strip()
+        if remainder:
+            items.append(_parse_scalar(remainder))
+            index += 1
+        else:
+            index += 1
+            if index < len(lines) and lines[index][0] > depth:
+                value, index = _parse_block(lines, index, depth + 1)
+            else:
+                value = None
+            items.append(value)
+    return items, index
+
+
+def _parse_mapping(lines, index, depth):
+    mapping = {}
+    while index < len(lines) and lines[index][0] == depth:
+        line_depth, content = lines[index]
+        if content.startswith("-"):
+            break
+        if ":" not in content:
+            raise FormatError(f"expected 'key: value' in YAML line: {content!r}")
+        key, _, rest = content.partition(":")
+        key = key.strip()
+        rest = rest.strip()
+        index += 1
+        if rest:
+            mapping[key] = _parse_scalar(rest)
+        elif index < len(lines) and lines[index][0] > depth:
+            mapping[key], index = _parse_block(lines, index, depth + 1)
+        else:
+            mapping[key] = None
+    return mapping, index
+
+
+def loads(text: str) -> UnifiedPlan:
+    """Parse a unified plan from the YAML document form :func:`dumps` emits."""
+    lines = _split_lines(text)
+    if not lines:
+        raise FormatError("empty YAML document")
+    data, index = _parse_mapping(lines, 0, 0)
+    if index != len(lines):
+        raise FormatError(
+            f"trailing YAML content at line {index + 1}: {lines[index][1]!r}"
+        )
+    if not isinstance(data, dict):
+        raise FormatError("a unified plan YAML document must be a mapping")
+    try:
+        return UnifiedPlan.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FormatError(f"malformed unified plan document: {exc}") from exc

@@ -20,6 +20,7 @@ grammar specifies.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -29,6 +30,7 @@ from repro.core.categories import (
     OperationCategory,
     PropertyCategory,
 )
+from repro.core.naming import intern_identifier
 from repro.errors import PlanValidationError
 
 #: The value domain permitted by the grammar (``value`` production).
@@ -43,13 +45,19 @@ def is_valid_keyword(identifier: str) -> bool:
     """Return whether *identifier* conforms to the ``keyword`` production.
 
     The grammar defines ``keyword ::= letter (letter | digit | '_')*``.  The
-    unified naming convention additionally allows single spaces between words
-    (e.g. ``Full Table Scan``), which we treat as part of the keyword for
-    readability; serializers normalise them when a strict keyword is required.
+    unified naming convention additionally allows *single* spaces between
+    words (e.g. ``Full Table Scan``), which we treat as part of the keyword
+    for readability; serializers normalise them when a strict keyword is
+    required.  Leading, trailing, and consecutive spaces are rejected: they
+    are invisible in every serialized form, so admitting them would let two
+    visually identical identifiers (``"Scan"`` vs ``"Scan  "``) denote
+    different operations.
     """
     if not identifier:
         return False
     if not identifier[0].isalpha():
+        return False
+    if identifier.endswith(" ") or "  " in identifier:
         return False
     return all(ch in _IDENTIFIER_ALLOWED for ch in identifier)
 
@@ -57,6 +65,145 @@ def is_valid_keyword(identifier: str) -> bool:
 def is_valid_value(value: PropertyValue) -> bool:
     """Return whether *value* is within the grammar's value domain."""
     return value is None or isinstance(value, (str, int, float, bool))
+
+
+# ---------------------------------------------------------------------------
+# Canonical ordering and fingerprinting
+# ---------------------------------------------------------------------------
+
+_PROPERTY_CATEGORY_RANK = {
+    category: rank for rank, category in enumerate(PROPERTY_CATEGORY_ORDER)
+}
+
+#: Cache key under which the identity fingerprint is stored on nodes/plans.
+#: :mod:`repro.core.compare` stores its filtered structural fingerprints in
+#: the same per-node cache under its own keys.
+FINGERPRINT_IDENTITY = "identity"
+
+
+def value_token(value: PropertyValue) -> str:
+    """Render *value* as a type-tagged token for canonical ordering/hashing.
+
+    The tag keeps values of different types distinct even when their textual
+    forms coincide (the string ``"5"`` versus the integer ``5``), so the
+    fingerprint is injective over the grammar's value domain.
+    """
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "b:true" if value else "b:false"
+    if isinstance(value, (int, float)):
+        return f"n:{value!r}"
+    return f"s:{value}"
+
+
+def canonical_property_key(prop: "Property") -> Tuple[int, str, str]:
+    """The canonical sort key: grammar category order, then name, then value."""
+    return (
+        _PROPERTY_CATEGORY_RANK[prop.category],
+        prop.identifier,
+        value_token(prop.value),
+    )
+
+
+def canonical_properties(properties: Iterable["Property"]) -> List["Property"]:
+    """Return *properties* in canonical order (category rank, name, value)."""
+    return sorted(properties, key=canonical_property_key)
+
+
+def _property_line(prop: "Property") -> str:
+    return f"{prop.category.value}->{prop.identifier}={value_token(prop.value)}"
+
+
+def _update_framed(hasher, marker: bytes, text: str) -> None:
+    """Feed one variable-length component with explicit framing.
+
+    Length-prefixing keeps the digest injective: without it, a property
+    *value* containing a marker byte could forge component boundaries and
+    make two distinct plans hash alike.
+    """
+    encoded = text.encode("utf-8")
+    hasher.update(marker)
+    hasher.update(len(encoded).to_bytes(4, "big"))
+    hasher.update(encoded)
+
+
+class _ObservedList(list):
+    """A list that clears its owner's fingerprint cache on every mutation.
+
+    ``PlanNode.properties``/``children`` (and ``UnifiedPlan.properties``) are
+    stored in observed lists so that in-place mutation — ``append``, slice
+    assignment, ``sort`` — invalidates the *owning* node's cached
+    fingerprints.  Caches of already-fingerprinted ancestors cannot be
+    reached from here (nodes hold no parent pointers); mutating below a
+    fingerprinted ancestor requires `invalidate_fingerprints` on it.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner, iterable=()) -> None:
+        super().__init__(iterable)
+        self._owner = owner
+
+    def _touch(self) -> None:
+        cache = self._owner._fp_cache
+        if cache:
+            cache.clear()
+
+    def append(self, item):
+        super().append(item)
+        self._touch()
+
+    def extend(self, iterable):
+        super().extend(iterable)
+        self._touch()
+
+    def insert(self, index, item):
+        super().insert(index, item)
+        self._touch()
+
+    def remove(self, item):
+        super().remove(item)
+        self._touch()
+
+    def pop(self, index=-1):
+        item = super().pop(index)
+        self._touch()
+        return item
+
+    def clear(self):
+        super().clear()
+        self._touch()
+
+    def sort(self, **kwargs):
+        super().sort(**kwargs)
+        self._touch()
+
+    def reverse(self):
+        super().reverse()
+        self._touch()
+
+    def __setitem__(self, index, value):
+        super().__setitem__(index, value)
+        self._touch()
+
+    def __delitem__(self, index):
+        super().__delitem__(index)
+        self._touch()
+
+    def __iadd__(self, iterable):
+        result = super().__iadd__(iterable)
+        self._touch()
+        return result
+
+    def __imul__(self, count):
+        result = super().__imul__(count)
+        self._touch()
+        return result
+
+    def __reduce__(self):
+        # Pickle/deepcopy as a plain list; the owner re-wraps on assignment.
+        return (list, (list(self),))
 
 
 @dataclass(frozen=True)
@@ -83,6 +230,9 @@ class Operation:
             raise PlanValidationError(
                 f"invalid operation identifier: {self.identifier!r}"
             )
+        # Intern so repeated names across plans share one string object;
+        # equality then hits the pointer fast path (see core.naming).
+        object.__setattr__(self, "identifier", intern_identifier(self.identifier))
 
     def __str__(self) -> str:
         return f"{self.category.value}->{self.identifier}"
@@ -131,6 +281,7 @@ class Property:
             raise PlanValidationError(
                 f"invalid property value for {self.identifier!r}: {self.value!r}"
             )
+        object.__setattr__(self, "identifier", intern_identifier(self.identifier))
 
     def __str__(self) -> str:
         return f"{self.category.value}->{self.identifier}: {self.value!r}"
@@ -155,11 +306,49 @@ class Property:
 
 @dataclass
 class PlanNode:
-    """A node of the unified plan tree: one operation plus its properties."""
+    """A node of the unified plan tree: one operation plus its properties.
+
+    Nodes cache their Merkle fingerprints (see :meth:`fingerprint`) after
+    first computation.  The builder-style mutators below invalidate the
+    node's own cache; mutating ``properties``/``children`` directly, or
+    mutating a subtree after an *ancestor* was fingerprinted, requires
+    calling :meth:`invalidate_fingerprints` on the outermost modified tree.
+    The pipeline layer treats plans as frozen once ingested, which makes the
+    cache sound there by construction.
+    """
 
     operation: Operation
     properties: List[Property] = field(default_factory=list)
     children: List["PlanNode"] = field(default_factory=list)
+    #: Per-node fingerprint cache, keyed by fingerprint mode.
+    _fp_cache: Dict[str, str] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in ("properties", "children") and not (
+            isinstance(value, _ObservedList) and value._owner is self
+        ):
+            value = _ObservedList(self, value)
+        object.__setattr__(self, name, value)
+        if name != "_fp_cache":
+            cache = self.__dict__.get("_fp_cache")
+            if cache:
+                cache.clear()
+
+    def __getstate__(self):
+        # Pickle/deepcopy as plain lists and without cached fingerprints:
+        # the restored copy's lists would otherwise lose their invalidation
+        # hook while the stale cache survives.
+        state = dict(self.__dict__)
+        state["properties"] = list(state["properties"])
+        state["children"] = list(state["children"])
+        state["_fp_cache"] = {}
+        return state
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)  # re-wraps the lists via __setattr__
 
     # -- construction helpers -------------------------------------------------
 
@@ -171,11 +360,13 @@ class PlanNode:
     ) -> "PlanNode":
         """Append a property and return ``self`` for chaining."""
         self.properties.append(Property(category, identifier, value))
+        self._fp_cache.clear()
         return self
 
     def add_child(self, child: "PlanNode") -> "PlanNode":
         """Append a child node and return ``self`` for chaining."""
         self.children.append(child)
+        self._fp_cache.clear()
         return self
 
     # -- queries ---------------------------------------------------------------
@@ -228,6 +419,75 @@ class PlanNode:
             counts[node.operation.category] += 1
         return counts
 
+    # -- canonical form and fingerprinting --------------------------------------
+
+    def fingerprint(self) -> str:
+        """Return the cached Merkle identity fingerprint of the subtree.
+
+        The fingerprint hashes the operation, the properties in canonical
+        order, and the children's fingerprints, bottom-up.  Two subtrees have
+        the same fingerprint iff they are identical up to property order, so
+        the digest is stable under :meth:`canonicalize` and under every
+        serialization round-trip.  It depends only on plan content — no
+        process-specific state — so it is stable across processes and runs.
+        """
+        cached = self._fp_cache.get(FINGERPRINT_IDENTITY)
+        if cached is not None:
+            return cached
+        hasher = hashlib.blake2b(digest_size=16)
+        # Keywords cannot contain the separator (is_valid_keyword), so the
+        # operation needs no framing; property lines embed arbitrary values
+        # and are length-framed to keep the digest injective.
+        hasher.update(self.operation.category.value.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(self.operation.identifier.encode("utf-8"))
+        for prop in canonical_properties(self.properties):
+            _update_framed(hasher, b"\x01", _property_line(prop))
+        for child in self.children:
+            hasher.update(b"\x02")
+            hasher.update(child.fingerprint().encode("ascii"))
+        digest = hasher.hexdigest()
+        self._fp_cache[FINGERPRINT_IDENTITY] = digest
+        return digest
+
+    def invalidate_fingerprints(self) -> None:
+        """Clear every cached fingerprint in the subtree (after mutation)."""
+        for node in self.walk():
+            node._fp_cache.clear()
+
+    def canonicalize(self, sort_children: bool = False) -> "PlanNode":
+        """Return a copy of the subtree in canonical form.
+
+        Properties are ordered by the grammar's category order, then by
+        identifier and value.  Child order is preserved by default because it
+        is semantically significant (e.g. build vs. probe side of a join);
+        ``sort_children=True`` additionally orders children by fingerprint,
+        which yields an order-insensitive normal form for symmetric
+        comparisons.  The canonical copy has the same :meth:`fingerprint` as
+        the original (unless children were re-ordered).
+        """
+        children = [child.canonicalize(sort_children) for child in self.children]
+        if sort_children:
+            children.sort(key=lambda child: child.fingerprint())
+        return PlanNode(
+            operation=self.operation,
+            properties=canonical_properties(self.properties),
+            children=children,
+        )
+
+    def is_canonical(self) -> bool:
+        """Whether every node's properties are already canonically ordered."""
+        for node in self.walk():
+            keys = [canonical_property_key(prop) for prop in node.properties]
+            if keys != sorted(keys):
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        # Deep-equal nodes always share a fingerprint, so hashing the
+        # fingerprint is consistent with the dataclass-generated __eq__.
+        return hash(self.fingerprint())
+
     # -- serialization helpers --------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -248,11 +508,12 @@ class PlanNode:
         )
 
     def copy(self) -> "PlanNode":
-        """Return a deep copy of the subtree."""
+        """Return a deep copy of the subtree (cached fingerprints carry over)."""
         return PlanNode(
             operation=self.operation,
             properties=list(self.properties),
             children=[child.copy() for child in self.children],
+            _fp_cache=dict(self._fp_cache),
         )
 
     def __str__(self) -> str:
@@ -274,6 +535,35 @@ class UnifiedPlan:
     source_dbms: str = ""
     #: The query the plan belongs to, when known.
     query: str = ""
+    #: Plan-level fingerprint cache, keyed by fingerprint mode.  Each entry
+    #: stores ``(root_digest, plan_digest)`` so the cached value self-validates
+    #: against the tree's current digest (see :meth:`fingerprint`).
+    _fp_cache: Dict[str, Tuple[str, str]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name == "properties" and not (
+            isinstance(value, _ObservedList) and value._owner is self
+        ):
+            value = _ObservedList(self, value)
+        object.__setattr__(self, name, value)
+        # source_dbms/query do not contribute to the fingerprint, so only
+        # structural fields invalidate the plan-level cache.
+        if name in ("root", "properties"):
+            cache = self.__dict__.get("_fp_cache")
+            if cache:
+                cache.clear()
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["properties"] = list(state["properties"])
+        state["_fp_cache"] = {}
+        return state
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)  # re-wraps the list via __setattr__
 
     # -- construction helpers -------------------------------------------------
 
@@ -285,6 +575,7 @@ class UnifiedPlan:
     ) -> "UnifiedPlan":
         """Append a plan-associated property and return ``self``."""
         self.properties.append(Property(category, identifier, value))
+        self._fp_cache.clear()
         return self
 
     # -- queries ---------------------------------------------------------------
@@ -354,6 +645,61 @@ class UnifiedPlan:
             return []
         return self.root.find(lambda node: not node.children)
 
+    # -- canonical form and fingerprinting --------------------------------------
+
+    def fingerprint(self) -> str:
+        """Return the cached Merkle identity fingerprint of the whole plan.
+
+        The digest covers the tree (via :meth:`PlanNode.fingerprint`) and the
+        plan-associated properties in canonical order.  ``source_dbms`` and
+        ``query`` are deliberately excluded: the fingerprint identifies plan
+        *content*, so the same plan obtained for different queries — or
+        parsed back from any serialization format — deduplicates to one
+        entry.  Equality of fingerprints is the O(1) plan-identity check the
+        pipeline and the testing applications build on.
+
+        The plan-level cache entry records the root digest it was derived
+        from, so it transparently recomputes when the tree was mutated (and
+        the mutated node's own cache invalidated) underneath the plan.
+        """
+        root_digest = "<no-tree>" if self.root is None else self.root.fingerprint()
+        cached = self._fp_cache.get(FINGERPRINT_IDENTITY)
+        if cached is not None and cached[0] == root_digest:
+            return cached[1]
+        hasher = hashlib.blake2b(digest_size=16)
+        hasher.update(root_digest.encode("utf-8"))
+        for prop in canonical_properties(self.properties):
+            _update_framed(hasher, b"\x01", _property_line(prop))
+        digest = hasher.hexdigest()
+        self._fp_cache[FINGERPRINT_IDENTITY] = (root_digest, digest)
+        return digest
+
+    def invalidate_fingerprints(self) -> None:
+        """Clear every cached fingerprint in the plan (after mutation)."""
+        self._fp_cache.clear()
+        if self.root is not None:
+            self.root.invalidate_fingerprints()
+
+    def canonicalize(self, sort_children: bool = False) -> "UnifiedPlan":
+        """Return a copy of the plan in canonical form (see PlanNode)."""
+        return UnifiedPlan(
+            root=None if self.root is None else self.root.canonicalize(sort_children),
+            properties=canonical_properties(self.properties),
+            source_dbms=self.source_dbms,
+            query=self.query,
+        )
+
+    def is_canonical(self) -> bool:
+        """Whether plan and node properties are already canonically ordered."""
+        keys = [canonical_property_key(prop) for prop in self.properties]
+        if keys != sorted(keys):
+            return False
+        return self.root is None or self.root.is_canonical()
+
+    def __hash__(self) -> int:
+        # Deep-equal plans always share a fingerprint (see PlanNode.__hash__).
+        return hash(self.fingerprint())
+
     # -- serialization ----------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -377,12 +723,13 @@ class UnifiedPlan:
         )
 
     def copy(self) -> "UnifiedPlan":
-        """Return a deep copy of the plan."""
+        """Return a deep copy of the plan (cached fingerprints carry over)."""
         return UnifiedPlan(
             root=None if self.root is None else self.root.copy(),
             properties=list(self.properties),
             source_dbms=self.source_dbms,
             query=self.query,
+            _fp_cache=dict(self._fp_cache),
         )
 
     def __str__(self) -> str:

@@ -26,6 +26,63 @@ from repro.core.categories import OperationCategory, PropertyCategory
 from repro.errors import NamingError
 
 # ---------------------------------------------------------------------------
+# Identifier interning
+# ---------------------------------------------------------------------------
+
+
+class IdentifierPool:
+    """A bounded string-intern pool for operation and property identifiers.
+
+    Plans converted from the same DBMS repeat a small vocabulary of unified
+    names millions of times at scale; interning makes every occurrence share
+    one string object, so equality checks hit CPython's pointer fast path and
+    per-plan memory stays bounded by the vocabulary, not the corpus.  The
+    pipeline layer relies on this when deduplicating batches by fingerprint.
+
+    The pool is capped: high-cardinality names (auto-numbered operators like
+    TiDB's ``TableFullScan_5`` seen during day-long fuzzing campaigns) would
+    otherwise grow it without bound.  Once full, unseen names pass through
+    un-pooled — correctness is unaffected, they just don't share storage.
+    """
+
+    __slots__ = ("_pool", "max_size")
+
+    def __init__(self, max_size: int = 65536) -> None:
+        self._pool: Dict[str, str] = {}
+        self.max_size = max_size
+
+    def intern(self, text: str) -> str:
+        """Return the pooled instance of *text*, adding it while room remains."""
+        pooled = self._pool.get(text)
+        if pooled is not None:
+            return pooled
+        if len(self._pool) >= self.max_size:
+            return text
+        self._pool[text] = text
+        return text
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._pool
+
+
+#: Process-wide pool shared by the model layer and the name registry.
+_IDENTIFIER_POOL = IdentifierPool()
+
+
+def intern_identifier(text: str) -> str:
+    """Intern *text* in the process-wide identifier pool."""
+    return _IDENTIFIER_POOL.intern(text)
+
+
+def identifier_pool() -> IdentifierPool:
+    """Return the process-wide identifier pool (mainly for introspection)."""
+    return _IDENTIFIER_POOL
+
+
+# ---------------------------------------------------------------------------
 # Core unified vocabulary
 # ---------------------------------------------------------------------------
 
@@ -217,7 +274,7 @@ class NameRegistry:
         is how DBMS-specific operations without a cross-system counterpart are
         kept in the representation.
         """
-        unified = unified_name or clean_identifier(native_name)
+        unified = intern_identifier(unified_name or clean_identifier(native_name))
         mapping = OperationMapping(dbms.lower(), native_name, unified, category)
         self._operations[(dbms.lower(), native_name.lower())] = mapping
         return mapping
@@ -230,7 +287,7 @@ class NameRegistry:
         unified_name: Optional[str] = None,
     ) -> PropertyMapping:
         """Register a native property name for *dbms*."""
-        unified = unified_name or clean_identifier(native_name)
+        unified = intern_identifier(unified_name or clean_identifier(native_name))
         mapping = PropertyMapping(dbms.lower(), native_name, unified, category)
         self._properties[(dbms.lower(), native_name.lower())] = mapping
         return mapping
@@ -267,12 +324,13 @@ class NameRegistry:
         mapping = self._operations.get((dbms.lower(), native_name.lower()))
         if mapping is not None:
             return mapping.category, mapping.unified_name
-        fallback = UNIFIED_OPERATIONS.get(clean_identifier(native_name))
+        cleaned = intern_identifier(clean_identifier(native_name))
+        fallback = UNIFIED_OPERATIONS.get(cleaned)
         if fallback is not None:
-            return fallback, clean_identifier(native_name)
+            return fallback, cleaned
         if strict:
             raise NamingError(f"unknown operation {native_name!r} for DBMS {dbms!r}")
-        return OperationCategory.EXECUTOR, clean_identifier(native_name)
+        return OperationCategory.EXECUTOR, cleaned
 
     def resolve_property(
         self, dbms: str, native_name: str, strict: bool = False
@@ -285,12 +343,13 @@ class NameRegistry:
         mapping = self._properties.get((dbms.lower(), native_name.lower()))
         if mapping is not None:
             return mapping.category, mapping.unified_name
-        fallback = UNIFIED_PROPERTIES.get(clean_identifier(native_name))
+        cleaned = intern_identifier(clean_identifier(native_name))
+        fallback = UNIFIED_PROPERTIES.get(cleaned)
         if fallback is not None:
-            return fallback, clean_identifier(native_name)
+            return fallback, cleaned
         if strict:
             raise NamingError(f"unknown property {native_name!r} for DBMS {dbms!r}")
-        return PropertyCategory.STATUS, clean_identifier(native_name)
+        return PropertyCategory.STATUS, cleaned
 
     # -- introspection -------------------------------------------------------------
 

@@ -1,0 +1,348 @@
+"""Batched, cached, deduplicating ingestion of raw DBMS query plans.
+
+This module is the pipeline's application layer: it turns raw ``EXPLAIN``
+output from any supported DBMS into deduplicated
+:class:`~repro.core.model.UnifiedPlan` objects at batch granularity.
+The stages are:
+
+1. **Source dedup** — batch entries with an identical ``(dbms, format,
+   source-hash)`` key collapse to one conversion before any parsing happens.
+2. **Cached conversion** — unique sources convert through the
+   :class:`~repro.converters.base.ConverterHub`'s LRU cache (thread-pooled
+   when the batch warrants it), so sources seen in earlier batches are not
+   re-parsed either.
+3. **Fingerprint dedup** — converted plans with equal identity fingerprints
+   (see :meth:`~repro.core.model.UnifiedPlan.fingerprint`) collapse to one
+   representative, both within the batch and across the service's lifetime.
+
+Invariants the service relies on (and preserves):
+
+* plans returned by the service are **frozen** — they are shared between
+  duplicate entries and with the conversion cache, and their fingerprints
+  are pre-computed; callers that need to mutate must ``copy()`` first;
+* fingerprints are canonical (property-order independent) and stable across
+  processes, so coverage sets built from them can be merged between runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.converters.base import ConverterHub, default_hub, source_hash
+from repro.core.model import UnifiedPlan
+
+
+@dataclass(frozen=True)
+class PlanSource:
+    """One raw serialized plan awaiting ingestion."""
+
+    dbms: str
+    text: str
+    format: Optional[str] = None
+    query: str = ""
+
+
+@dataclass
+class IngestedPlan:
+    """The outcome of ingesting one :class:`PlanSource`."""
+
+    source: PlanSource
+    plan: Optional[UnifiedPlan] = None
+    fingerprint: str = ""
+    #: Whether this entry triggered an actual conversion (False for source
+    #: duplicates within the batch and for conversion-cache hits).
+    converted: bool = False
+    #: Index of the first batch entry with the same fingerprint, or None if
+    #: this entry introduced the fingerprint to the batch.
+    duplicate_of: Optional[int] = None
+    #: Conversion error message, when the source could not be parsed.
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class DbmsIngestStats:
+    """Per-DBMS counters of an ingest batch (or of the service lifetime)."""
+
+    sources: int = 0
+    conversions: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    unique_plans: int = 0
+
+    def merge(self, other: "DbmsIngestStats") -> None:
+        self.sources += other.sources
+        self.conversions += other.conversions
+        self.cache_hits += other.cache_hits
+        self.errors += other.errors
+        # unique_plans is a set size, not additive; the service recomputes it.
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "sources": self.sources,
+            "conversions": self.conversions,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+            "unique_plans": self.unique_plans,
+        }
+
+
+@dataclass
+class IngestReport:
+    """Everything :meth:`PlanIngestService.ingest_batch` produced."""
+
+    entries: List[IngestedPlan] = field(default_factory=list)
+    #: Number of conversions actually executed for this batch.
+    conversions: int = 0
+    #: Batch entries served without parsing (intra-batch source duplicates
+    #: plus conversion-cache hits from earlier batches).
+    cache_hits: int = 0
+    #: Distinct identity fingerprints in this batch.
+    unique_fingerprints: int = 0
+    #: Fingerprints this batch introduced that the service had never seen.
+    new_fingerprints: int = 0
+    errors: int = 0
+    per_dbms: Dict[str, DbmsIngestStats] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def plans(self) -> List[UnifiedPlan]:
+        """The batch's deduplicated plans, one per unique fingerprint."""
+        seen: Dict[str, UnifiedPlan] = {}
+        for entry in self.entries:
+            if entry.ok and entry.plan is not None and entry.fingerprint not in seen:
+                seen[entry.fingerprint] = entry.plan
+        return list(seen.values())
+
+    @property
+    def throughput(self) -> float:
+        """Ingested sources per second (0.0 for an empty/instant batch)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return len(self.entries) / self.elapsed_seconds
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative counters over every batch the service has ingested."""
+
+    batches: int = 0
+    sources: int = 0
+    conversions: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    unique_plans: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "batches": self.batches,
+            "sources": self.sources,
+            "conversions": self.conversions,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+            "unique_plans": self.unique_plans,
+        }
+
+
+def _default_worker_count() -> int:
+    return min(8, max(1, (os.cpu_count() or 2) - 1))
+
+
+class PlanIngestService:
+    """High-throughput ingestion of raw plans into deduplicated UPlans.
+
+    One service wraps one :class:`ConverterHub` (the process-wide default
+    unless given) and maintains the cumulative fingerprint index that QPG
+    and the testing campaign use as their coverage set.
+    """
+
+    def __init__(
+        self,
+        hub: Optional[ConverterHub] = None,
+        max_workers: Optional[int] = None,
+        parallel_threshold: int = 8,
+    ) -> None:
+        self.hub = hub or default_hub()
+        self.max_workers = max_workers or _default_worker_count()
+        #: Batches with fewer unique sources than this convert sequentially;
+        #: thread-pool startup would dominate for tiny batches.
+        self.parallel_threshold = parallel_threshold
+        self.stats = ServiceStats()
+        self._per_dbms: Dict[str, DbmsIngestStats] = {}
+        self._seen: Dict[str, UnifiedPlan] = {}
+
+    def _canonical_name(self, dbms: str) -> str:
+        """Resolve aliases so 'postgres' and 'postgresql' share one bucket."""
+        try:
+            return self.hub.resolve_name(dbms)
+        except Exception:
+            return dbms.strip().lower()
+
+    def _group_key(self, source: PlanSource):
+        """Source-identity key for pre-conversion dedup, alias-canonical.
+
+        Returns ``(key, hub_derived)``; hub-derived keys can be handed back
+        to :meth:`ConverterHub.convert_traced` to skip re-hashing the text.
+        """
+        try:
+            # The hub's own key also resolves the default format, so
+            # format=None and an explicit default-format spelling coincide.
+            return self.hub.cache_key(source.dbms, source.text, source.format), True
+        except Exception:
+            # Unregistered DBMS: group by the raw spelling; the conversion
+            # stage will record the per-entry error.
+            key = (source.dbms.strip().lower(), source.format, source_hash(source.text))
+            return key, False
+
+    # -- single-plan convenience -------------------------------------------------
+
+    def ingest(self, source: PlanSource) -> IngestedPlan:
+        """Ingest one source (a batch of one)."""
+        report = self.ingest_batch([source])
+        return report.entries[0]
+
+    # -- batch ingestion ----------------------------------------------------------
+
+    def ingest_batch(self, sources: Iterable[PlanSource]) -> IngestReport:
+        """Ingest *sources*, converting each unique source text exactly once."""
+        started = time.perf_counter()
+        batch: List[PlanSource] = list(sources)
+        report = IngestReport(entries=[IngestedPlan(source) for source in batch])
+
+        # Stage 1: collapse identical sources before converting anything.
+        groups: Dict[Tuple[str, Optional[str], str], List[int]] = {}
+        hub_derived: Dict[Tuple[str, Optional[str], str], bool] = {}
+        for index, source in enumerate(batch):
+            key, from_hub = self._group_key(source)
+            groups.setdefault(key, []).append(index)
+            hub_derived[key] = from_hub
+
+        # Stage 2: convert one representative per group through the hub,
+        # reusing the stage-1 key so the source text is hashed only once.
+        group_indexes = list(groups.values())
+        results = self._convert_many(
+            [
+                (batch[indexes[0]], key if hub_derived[key] else None)
+                for key, indexes in groups.items()
+            ]
+        )
+        for indexes, (plan, error, parsed) in zip(group_indexes, results):
+            for index in indexes:
+                entry = report.entries[index]
+                if error is not None:
+                    entry.error = error
+                    continue
+                entry.plan = plan
+                entry.fingerprint = plan.fingerprint()
+            # Only the group's representative can have triggered a parse.
+            if error is None:
+                report.entries[indexes[0]].converted = parsed
+
+        # Stage 3: fingerprint dedup within the batch and against history.
+        # Fingerprints new to the whole service are attributed to their
+        # (canonical) DBMS incrementally, so no full-index rescan is needed.
+        first_with: Dict[str, int] = {}
+        new_fingerprints = 0
+        new_by_dbms: Dict[str, int] = {}
+        for index, entry in enumerate(report.entries):
+            if not entry.ok or entry.plan is None:
+                continue
+            if entry.fingerprint in first_with:
+                entry.duplicate_of = first_with[entry.fingerprint]
+            else:
+                first_with[entry.fingerprint] = index
+                if entry.fingerprint not in self._seen:
+                    self._seen[entry.fingerprint] = entry.plan
+                    new_fingerprints += 1
+                    name = self._canonical_name(entry.source.dbms)
+                    new_by_dbms[name] = new_by_dbms.get(name, 0) + 1
+
+        # Per-DBMS breakdown (exact: `converted`/`error` are per-entry facts).
+        per_dbms_fingerprints: Dict[str, set] = {}
+        for entry in report.entries:
+            name = self._canonical_name(entry.source.dbms)
+            stats = report.per_dbms.setdefault(name, DbmsIngestStats())
+            stats.sources += 1
+            if not entry.ok:
+                stats.errors += 1
+            elif entry.converted:
+                stats.conversions += 1
+            else:
+                stats.cache_hits += 1
+            if entry.ok:
+                per_dbms_fingerprints.setdefault(name, set()).add(entry.fingerprint)
+        for name, fingerprints in per_dbms_fingerprints.items():
+            report.per_dbms[name].unique_plans = len(fingerprints)
+
+        # Batch-level counters.
+        report.errors = sum(stats.errors for stats in report.per_dbms.values())
+        report.conversions = sum(stats.conversions for stats in report.per_dbms.values())
+        report.cache_hits = sum(stats.cache_hits for stats in report.per_dbms.values())
+        report.unique_fingerprints = len(first_with)
+        report.new_fingerprints = new_fingerprints
+        report.elapsed_seconds = time.perf_counter() - started
+
+        # Cumulative service stats.
+        self.stats.batches += 1
+        self.stats.sources += len(batch)
+        self.stats.conversions += report.conversions
+        self.stats.cache_hits += report.cache_hits
+        self.stats.errors += report.errors
+        self.stats.unique_plans = len(self._seen)
+        for name, stats in report.per_dbms.items():
+            cumulative = self._per_dbms.setdefault(name, DbmsIngestStats())
+            cumulative.merge(stats)
+        for name, increment in new_by_dbms.items():
+            self._per_dbms.setdefault(name, DbmsIngestStats()).unique_plans += increment
+        return report
+
+    def _convert_many(
+        self, jobs: Sequence[Tuple[PlanSource, Optional[Tuple[str, str, str]]]]
+    ) -> List[Tuple[Optional[UnifiedPlan], Optional[str], bool]]:
+        """Convert unique ``(source, precomputed_key)`` jobs, thread-pooled
+        for large batches.
+
+        Returns ``(plan, error, parsed)`` triples, where *parsed* records
+        whether the hub actually ran a converter (False on a cache hit).
+        """
+
+        def convert_one(
+            job: Tuple[PlanSource, Optional[Tuple[str, str, str]]],
+        ) -> Tuple[Optional[UnifiedPlan], Optional[str], bool]:
+            source, key = job
+            try:
+                plan, parsed = self.hub.convert_traced(
+                    source.dbms, source.text, source.format, key=key
+                )
+                return plan, None, parsed
+            except Exception as exc:  # conversion errors become per-entry data
+                return None, str(exc), False
+
+        if len(jobs) < self.parallel_threshold or self.max_workers <= 1:
+            return [convert_one(job) for job in jobs]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as executor:
+            return list(executor.map(convert_one, jobs))
+
+    # -- coverage index -----------------------------------------------------------
+
+    def unique_plan_count(self) -> int:
+        """Number of distinct plan fingerprints ever ingested."""
+        return len(self._seen)
+
+    def fingerprints(self) -> List[str]:
+        """Every identity fingerprint the service has seen."""
+        return list(self._seen)
+
+    def plan_for(self, fingerprint: str) -> Optional[UnifiedPlan]:
+        """The representative plan for *fingerprint*, if ever ingested."""
+        return self._seen.get(fingerprint)
+
+    def per_dbms_stats(self) -> Dict[str, DbmsIngestStats]:
+        """Cumulative per-DBMS counters (shared objects; do not mutate)."""
+        return dict(self._per_dbms)

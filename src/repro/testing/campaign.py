@@ -11,9 +11,10 @@ report has the same rows as Table V.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.dialects import create_dialect
+from repro.pipeline import PlanIngestService
 from repro.testing.bugs import FaultyDialect, KnownBug, bugs_for
 from repro.testing.cert import CardinalityRestrictionTester
 from repro.testing.generator import GeneratorConfig, RandomQueryGenerator
@@ -34,12 +35,22 @@ class BugReport:
 
 @dataclass
 class CampaignResult:
-    """Everything a campaign produced."""
+    """Everything a campaign produced.
+
+    ``unique_plans`` counts *globally* distinct structural fingerprints — the
+    union of every QPG round's coverage set, not the per-DBMS sum — which is
+    possible because fingerprints are canonical and stable across DBMS runs.
+    """
 
     reports: List[BugReport] = field(default_factory=list)
     queries_generated: int = 0
     unique_plans: int = 0
     cert_pairs_checked: int = 0
+    #: The union of the per-round structural-fingerprint coverage sets.
+    plan_fingerprints: Set[str] = field(default_factory=set)
+    #: Conversions actually parsed vs. served from the conversion cache.
+    conversions: int = 0
+    conversion_cache_hits: int = 0
 
     def by_dbms(self) -> Dict[str, int]:
         """Bug counts per DBMS."""
@@ -94,6 +105,11 @@ class TestingCampaign:
     def run(self) -> CampaignResult:
         """Run the campaign and return the aggregated result."""
         result = CampaignResult()
+        # One ingest service shared by every round, over a private hub so
+        # the reported conversion/cache counters are truly per-campaign.
+        from repro.converters import ConverterHub
+
+        ingest_service = PlanIngestService(hub=ConverterHub())
         for index, dbms_name in enumerate(self.dbms_names):
             logic_bugs = bugs_for(dbms_name, "logic")
             performance_bugs = bugs_for(dbms_name, "performance")
@@ -111,10 +127,11 @@ class TestingCampaign:
                 dialect,
                 generator,
                 config=QPGConfig(queries_per_round=self.queries_per_dbms),
+                ingest_service=ingest_service,
             )
             statistics = qpg.run()
             result.queries_generated += statistics.queries_generated
-            result.unique_plans += statistics.unique_plans
+            result.plan_fingerprints |= qpg.seen_fingerprints
             if statistics.oracle_violations and logic_bugs:
                 for position, query in enumerate(statistics.violating_queries):
                     bug = logic_bugs[min(position, len(logic_bugs) - 1)]
@@ -155,6 +172,9 @@ class TestingCampaign:
                         )
                     )
 
+        result.unique_plans = len(result.plan_fingerprints)
+        result.conversions = ingest_service.stats.conversions
+        result.conversion_cache_hits = ingest_service.stats.cache_hits
         result.reports = _dedupe(result.reports)
         # Order like Table V: MySQL, PostgreSQL, TiDB; QPG before CERT.
         order = {name: position for position, name in enumerate(self.dbms_names)}

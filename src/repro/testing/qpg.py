@@ -11,6 +11,12 @@ top of UPlan a single implementation covers every convertible DBMS
 (Figure 2).  The plan fingerprint ignores unstable information — estimated
 costs, runtime metrics, and auto-generated operator identifiers — which is
 precisely where the original TiDB-specific parser had a bug.
+
+Coverage is tracked with the cached Merkle *structural fingerprints* from
+:mod:`repro.core.compare` (not whole-plan string keys), and raw plans are
+converted through a :class:`~repro.pipeline.PlanIngestService`, so repeated
+plan texts are parsed once and campaigns can merge coverage sets across
+DBMSs and runs (fingerprints are process-stable).
 """
 
 from __future__ import annotations
@@ -18,9 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Set
 
-from repro.converters import converter_for
 from repro.core.compare import structural_fingerprint
 from repro.core.model import UnifiedPlan
+from repro.errors import ConversionError
+from repro.pipeline import PlanIngestService, PlanSource
 from repro.testing.generator import RandomQueryGenerator
 from repro.testing.tlp import TLPResult, check_tlp
 
@@ -56,11 +63,15 @@ class QueryPlanGuidance:
         generator: RandomQueryGenerator,
         config: Optional[QPGConfig] = None,
         oracle: Optional[Callable[[str], bool]] = None,
+        ingest_service: Optional[PlanIngestService] = None,
     ) -> None:
         self.dialect = dialect
         self.generator = generator
         self.config = config or QPGConfig()
-        self.converter = converter_for(dialect.name)
+        #: Conversion goes through the (optionally shared) ingest service so
+        #: repeated plan texts parse once and conversion stats are observable.
+        self.ingest_service = ingest_service or PlanIngestService()
+        self.converter = self.ingest_service.hub.converter(dialect.name)
         self.seen_fingerprints: Set[str] = set()
         self.statistics = QPGStatistics()
         #: Optional external oracle: called with the query, returns True when OK.
@@ -69,13 +80,18 @@ class QueryPlanGuidance:
     # ------------------------------------------------------------------ plan handling
 
     def observe_plan(self, query: str) -> bool:
-        """EXPLAIN *query*, convert the plan, and record its fingerprint.
+        """EXPLAIN *query*, ingest the plan, and record its fingerprint.
 
         Returns whether the plan was structurally new.
         """
         explain_format = self.config.explain_format or self.converter.formats[0]
         output = self.dialect.explain(query, format=explain_format)
-        plan: UnifiedPlan = self.converter.convert(output.text, format=explain_format)
+        entry = self.ingest_service.ingest(
+            PlanSource(self.dialect.name, output.text, explain_format, query=query)
+        )
+        if not entry.ok:
+            raise ConversionError(self.dialect.name, entry.error)
+        plan: UnifiedPlan = entry.plan
         fingerprint = structural_fingerprint(plan)
         is_new = fingerprint not in self.seen_fingerprints
         self.seen_fingerprints.add(fingerprint)

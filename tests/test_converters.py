@@ -3,6 +3,7 @@
 import json
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.converters import available_converters, converter_for
 from repro.core import OperationCategory, PropertyCategory, structural_fingerprint, validate_plan
@@ -197,3 +198,39 @@ class TestNoSQLConversion:
         assert plan.node_count() == 0
         assert len(plan.properties) >= 5
         assert validate_plan(plan) == []
+
+
+class TestUnknownNameFallback:
+    """Every dialect converter must map unknown operations to the generic
+    category without raising — the forward-compatibility guarantee of
+    Section IV-B — property-based over random native names."""
+
+    weird_names = st.text(min_size=1, max_size=40)
+
+    @given(name=weird_names)
+    @settings(max_examples=60, deadline=None)
+    def test_operation_resolution_never_raises(self, name):
+        from repro.core import OperationCategory
+
+        for dbms in available_converters():
+            operation = converter_for(dbms).operation(name)
+            assert isinstance(operation.category, OperationCategory)
+            assert operation.identifier
+
+    @given(name=weird_names, value=st.one_of(st.none(), st.integers(), st.text(max_size=10), st.booleans()))
+    @settings(max_examples=60, deadline=None)
+    def test_property_resolution_never_raises(self, name, value):
+        from repro.core import PropertyCategory as PC
+
+        for dbms in available_converters():
+            prop = converter_for(dbms).property(name, value)
+            assert isinstance(prop.category, PC)
+            assert prop.identifier
+
+    def test_definitely_unknown_names_get_generic_category(self):
+        for dbms in available_converters():
+            converter = converter_for(dbms)
+            operation = converter.operation("Frobnicate Quux Step 7")
+            assert operation.category is OperationCategory.EXECUTOR
+            prop = converter.property("Imaginary Metric Xyz", 1)
+            assert prop.category is PropertyCategory.STATUS

@@ -273,3 +273,73 @@ class TestComparison:
         assert not diff.identical_structure
         assert "Executor->Gather" in diff.only_in_right
         assert diff.category_delta[OperationCategory.EXECUTOR] == -1
+
+
+class TestRoundTripFingerprints:
+    """serialize -> parse -> fingerprint must equal the original fingerprint.
+
+    This is the pipeline's round-trip invariant, checked for every parseable
+    serialization format in ``core/formats`` (plus the grammar form).
+    """
+
+    PARSEABLE = ("json", "text", "xml", "yaml", "grammar")
+
+    def rich_plan(self) -> UnifiedPlan:
+        return (
+            PlanBuilder(source_dbms="postgresql")
+            .operation(OperationCategory.COMBINATOR, "Sort")
+            .configuration("Sort Key", "c0")
+            .cost("Total Cost", 17.25)
+            .child(OperationCategory.JOIN, "Hash Join")
+            .configuration("Join Condition", 'x = "quoted" AND y < 3')
+            .cardinality("Estimated Rows", 42)
+            .child(OperationCategory.PRODUCER, "Full Table Scan")
+            .configuration("name object", "t0")
+            .status("Flag", True)
+            .end()
+            .child(OperationCategory.PRODUCER, "Index Scan")
+            .configuration("index name", "i0")
+            .end()
+            .end()
+            .plan_prop(PropertyCategory.STATUS, "Planning Time", 0.125)
+            .plan_prop(PropertyCategory.STATUS, "Version String", "5")
+            .plan_prop(PropertyCategory.STATUS, "Nothing", None)
+            .build()
+        )
+
+    def test_registered_parseable_formats(self):
+        for name in self.PARSEABLE:
+            assert name in formats.parseable_formats()
+
+    @pytest.mark.parametrize("format_name", PARSEABLE)
+    def test_round_trip_preserves_fingerprint(self, format_name):
+        plan = self.rich_plan()
+        restored = formats.deserialize(formats.serialize(plan, format_name), format_name)
+        assert restored.fingerprint() == plan.fingerprint()
+        # The structural fingerprint (QPG's identity) survives as well.
+        assert structural_fingerprint(restored) == structural_fingerprint(plan)
+
+    @pytest.mark.parametrize("format_name", PARSEABLE)
+    def test_round_trip_preserves_value_types(self, format_name):
+        plan = self.rich_plan()
+        restored = formats.deserialize(formats.serialize(plan, format_name), format_name)
+        values = {p.identifier: p.value for p in restored.properties}
+        assert values["Planning Time"] == 0.125
+        assert values["Version String"] == "5"  # string, not the number 5
+        assert values["Nothing"] is None
+
+    @pytest.mark.parametrize("format_name", PARSEABLE)
+    def test_round_trip_treeless_plan(self, format_name):
+        plan = UnifiedPlan(source_dbms="influxdb")
+        plan.add_property(PropertyCategory.COST, "Estimated Cost", 3)
+        restored = formats.deserialize(formats.serialize(plan, format_name), format_name)
+        assert restored.fingerprint() == plan.fingerprint()
+
+    def test_plan_property_flag_round_trips(self):
+        plan = self.rich_plan()
+        for format_name in self.PARSEABLE:
+            restored = formats.deserialize(
+                formats.serialize(plan, format_name), format_name
+            )
+            node = restored.root.children[0].children[0]
+            assert node.property_value("Flag") is True

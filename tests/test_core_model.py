@@ -98,6 +98,24 @@ class TestOperationAndProperty:
         assert not is_valid_keyword("")
         assert not is_valid_keyword("has-dash")
 
+    def test_is_valid_keyword_rejects_irregular_spacing(self):
+        # Regression: "Scan  " used to pass, making visually identical
+        # identifiers denote different operations.
+        assert not is_valid_keyword("Scan  ")
+        assert not is_valid_keyword("Scan ")
+        assert not is_valid_keyword("Full  Table Scan")
+        assert not is_valid_keyword(" Scan")
+        assert is_valid_keyword("Scan")
+
+    def test_operation_rejects_irregular_spacing(self):
+        from repro.core import Operation, OperationCategory
+        from repro.errors import PlanValidationError
+
+        with pytest.raises(PlanValidationError):
+            Operation(OperationCategory.PRODUCER, "Scan  ")
+        with pytest.raises(PlanValidationError):
+            Operation(OperationCategory.PRODUCER, "Full  Table Scan")
+
     def test_is_valid_value(self):
         assert is_valid_value(None)
         assert is_valid_value("text")
