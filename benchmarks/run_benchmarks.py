@@ -1,16 +1,25 @@
-"""Benchmark driver: run the pipeline bench suite and write a perf snapshot.
+"""Benchmark driver: run the bench suites and write the perf snapshots.
 
 Usage (from the repository root)::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py            # snapshot only
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # snapshots only
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI smoke (small corpora)
     PYTHONPATH=src python benchmarks/run_benchmarks.py --suite    # + full pytest-benchmark run
     PYTHONPATH=src python benchmarks/run_benchmarks.py --output somewhere.json
 
-The snapshot (``BENCH_pipeline.json`` by default) records the pipeline's two
-headline numbers — batched-vs-single ingestion and fingerprint-vs-deep-compare
-speedup — together with the service statistics proving the dedup invariant
-(conversions happen only for unique source texts).  The tier-1 test suite the
-snapshot should always be accompanied by is::
+Two snapshots are written:
+
+* ``BENCH_pipeline.json`` — batched-vs-single ingestion and
+  fingerprint-vs-deep-compare speedup, with the service statistics proving
+  the dedup invariant (conversions happen only for unique source texts);
+* ``BENCH_coverage.json`` — warm-start ingest over a persisted
+  :class:`~repro.pipeline.CoverageStore` (how many conversions the
+  persistent source index skips) and process-pool vs single-thread
+  conversion throughput on a CPU-heavy batch.
+
+``--quick`` shrinks the corpora so the whole driver finishes in seconds —
+that is the mode CI smoke-runs.  The tier-1 test suite the snapshots should
+always be accompanied by is::
 
     PYTHONPATH=src python -m pytest -x -q
 """
@@ -35,6 +44,7 @@ from repro import __version__  # noqa: E402
 from repro.converters import ConverterHub  # noqa: E402
 from repro.pipeline import PlanIngestService, PlanSource  # noqa: E402
 
+import bench_coverage  # noqa: E402
 import bench_pipeline  # noqa: E402
 
 
@@ -57,11 +67,16 @@ def _time_ingest(batched: bool, raws, repeats: int = 5) -> dict:
     return {"seconds": best, "plans_per_second": len(raws) / best, "stats": stats}
 
 
-def collect_snapshot() -> dict:
+def collect_snapshot(quick: bool = False) -> dict:
     raws, unique_count = bench_pipeline._raw_corpus()
-    single = _time_ingest(batched=False, raws=raws)
-    batched = _time_ingest(batched=True, raws=raws)
-    fingerprint = bench_pipeline.measure_fingerprint_speedup()
+    if quick:
+        raws = raws[: max(unique_count, len(raws) // 5)]
+    repeats = 1 if quick else 5
+    single = _time_ingest(batched=False, raws=raws, repeats=repeats)
+    batched = _time_ingest(batched=True, raws=raws, repeats=repeats)
+    fingerprint = bench_pipeline.measure_fingerprint_speedup(
+        iterations=200 if quick else 2000
+    )
     return {
         "benchmark": "pipeline",
         "version": __version__,
@@ -107,16 +122,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         default=os.path.join(os.path.dirname(_HERE), "BENCH_pipeline.json"),
-        help="where to write the perf snapshot (default: repo root)",
+        help="where to write the pipeline perf snapshot (default: repo root)",
+    )
+    parser.add_argument(
+        "--coverage-output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_coverage.json"),
+        help="where to write the coverage perf snapshot (default: repo root)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpora / single repeats — the CI smoke mode",
     )
     parser.add_argument(
         "--suite",
         action="store_true",
-        help="also run the full pytest-benchmark suite after the snapshot",
+        help="also run the full pytest-benchmark suite after the snapshots",
     )
     args = parser.parse_args(argv)
 
-    snapshot = collect_snapshot()
+    snapshot = collect_snapshot(quick=args.quick)
     with open(args.output, "w") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -127,8 +152,37 @@ def main(argv=None) -> int:
             snapshot["batched_speedup"], snapshot["fingerprint_equality"]["speedup"]
         )
     )
+
+    coverage_snapshot = bench_coverage.collect_snapshot(quick=args.quick)
+    with open(args.coverage_output, "w") as handle:
+        json.dump(coverage_snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.coverage_output}")
+    warm = coverage_snapshot["warm_start"]
+    pool = coverage_snapshot["process_pool"]
+    print(
+        "warm-start ingest: skipped {:.0f}% of conversions ({:.1f}x faster); "
+        "process pool: {:.2f}x vs single thread on {} cpu(s)".format(
+            warm["skip_ratio"] * 100,
+            warm["warm_speedup"],
+            pool["speedup"],
+            coverage_snapshot["cpus"],
+        )
+    )
+
+    violated = False
     if not all(snapshot["invariants"].values()):
         print("PIPELINE INVARIANTS VIOLATED:", snapshot["invariants"], file=sys.stderr)
+        violated = True
+    coverage_invariants = dict(coverage_snapshot["invariants"])
+    coverage_invariants.pop("process_pool_gated", None)  # informational
+    if not all(coverage_invariants.values()):
+        print(
+            "COVERAGE INVARIANTS VIOLATED:", coverage_snapshot["invariants"],
+            file=sys.stderr,
+        )
+        violated = True
+    if violated:
         return 1
     if args.suite:
         return run_full_suite()

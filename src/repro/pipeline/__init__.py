@@ -8,10 +8,15 @@ plans from any mix of the nine DBMSs into a deduplicated corpus:
 * :class:`PlanSource` — one raw serialized plan plus its provenance,
 * :class:`PlanIngestService` — batched ingestion with source-level dedup,
   LRU-cached conversion (via the
-  :class:`~repro.converters.base.ConverterHub`), thread-pooled parsing, and
-  fingerprint-level dedup,
+  :class:`~repro.converters.base.ConverterHub`), thread- or process-pooled
+  parsing, and fingerprint-level dedup,
+* :class:`CoverageStore` — the durable, sharded fingerprint/coverage index
+  (append-only JSONL segments keyed by fingerprint prefix, atomic
+  save/load, exact cross-process merge) that lets coverage survive
+  restarts and campaigns resume,
 * :class:`IngestReport` / :class:`ServiceStats` — per-batch and cumulative
-  observability (conversions, cache hits, unique plans, per-DBMS splits).
+  observability (conversions, cache hits, index hits, unique plans,
+  per-DBMS splits).
 
 Pipeline invariants:
 
@@ -26,6 +31,13 @@ Pipeline invariants:
   ``copy()`` first if mutation is needed.
 """
 
+from repro.pipeline.coverage import (
+    CoverageSnapshot,
+    CoverageStore,
+    CoverageStoreError,
+    shard_for,
+    source_key_digest,
+)
 from repro.pipeline.ingest import (
     DbmsIngestStats,
     IngestReport,
@@ -36,10 +48,15 @@ from repro.pipeline.ingest import (
 )
 
 __all__ = [
+    "CoverageSnapshot",
+    "CoverageStore",
+    "CoverageStoreError",
     "DbmsIngestStats",
     "IngestReport",
     "IngestedPlan",
     "PlanIngestService",
     "PlanSource",
     "ServiceStats",
+    "shard_for",
+    "source_key_digest",
 ]

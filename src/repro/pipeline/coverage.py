@@ -1,0 +1,592 @@
+"""Durable, sharded coverage store for plan fingerprints.
+
+The pipeline's fingerprints are canonical and process-stable by design (see
+:meth:`repro.core.model.UnifiedPlan.fingerprint`), which makes coverage sets
+mergeable between campaign runs — but the :class:`~repro.pipeline.ingest.PlanIngestService`
+index used to die with the process.  :class:`CoverageStore` makes that index
+durable and sharded:
+
+* **Shards** — entries are partitioned into ``shard_count`` buckets keyed by
+  the fingerprint's leading hex digits, so large corpora split into many
+  small segment files and two stores merge shard-by-shard.
+* **Append-only segments** — each shard persists as one JSONL segment file
+  (``shard-000.jsonl`` …).  A store opened with a directory path appends
+  every new record immediately, so a crashed campaign loses at most the
+  unflushed tail of each segment; :meth:`load` tolerates a torn final line.
+* **Atomic save/load** — :meth:`save` rewrites every segment to a temporary
+  file and ``os.replace``-s it into place, then writes the manifest last, so
+  a reader never observes a half-written store and two campaign runs in
+  different processes can merge their coverage exactly.
+* **Record kinds** — besides plan fingerprints (with optional metadata such
+  as the structural fingerprint and source DBMS), the store holds a
+  *source index* mapping raw-source digests to fingerprints — this is what
+  lets a warm-started ingest service skip conversions for already-seen raw
+  plans — and *marks*, free-form labels campaigns use to record completed
+  rounds for resume.
+
+The store is thread-safe; all mutating operations take an internal lock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+#: Default number of shards; a power of two so hex-prefix keys spread evenly.
+DEFAULT_SHARD_COUNT = 16
+
+#: Schema version recorded in the manifest.
+_MANIFEST_VERSION = 1
+
+_MANIFEST_NAME = "MANIFEST.json"
+
+
+def shard_for(key: str, shard_count: int) -> int:
+    """Map *key* (a fingerprint or digest) to its shard index.
+
+    Fingerprints are hex digests, so the leading four hex digits are a
+    uniform shard key; non-hex keys (marks, foreign identifiers) fall back
+    to hashing so every string routes deterministically.
+    """
+    try:
+        prefix = int(key[:4], 16)
+    except (ValueError, IndexError):
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=4).hexdigest()
+        prefix = int(digest, 16)
+    return prefix % shard_count
+
+
+def source_key_digest(dbms: str, format: str, text_hash: str) -> str:
+    """Collapse a conversion-cache key into one stable digest string.
+
+    The ingest service keys conversions by ``(canonical dbms, resolved
+    format, sha1(source))``; the store persists the triple as a single
+    digest so the source index stays one flat mapping.
+    """
+    joined = "\x00".join((dbms, format, text_hash))
+    return hashlib.blake2b(joined.encode("utf-8"), digest_size=16).hexdigest()
+
+
+@dataclass
+class CoverageSnapshot:
+    """An immutable summary of a store's current contents."""
+
+    entries: int = 0
+    sources: int = 0
+    marks: int = 0
+    shard_count: int = 0
+    shard_sizes: List[int] = field(default_factory=list)
+    per_dbms: Dict[str, int] = field(default_factory=dict)
+    path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "entries": self.entries,
+            "sources": self.sources,
+            "marks": self.marks,
+            "shard_count": self.shard_count,
+            "shard_sizes": list(self.shard_sizes),
+            "per_dbms": dict(self.per_dbms),
+            "path": self.path,
+        }
+
+
+class CoverageStoreError(Exception):
+    """Raised for unrecoverable store problems (e.g. shard-count mismatch)."""
+
+
+class CoverageStore:
+    """A sharded, optionally durable fingerprint/coverage index.
+
+    Parameters
+    ----------
+    path:
+        Directory to persist into.  ``None`` keeps the store purely
+        in-memory (``save`` then requires an explicit path).  When the
+        directory already holds a store, its contents are loaded and new
+        records are appended to the existing segments.
+    shard_count:
+        Number of segment files.  Must match an existing store's manifest.
+    """
+
+    def __init__(
+        self, path: Optional[str] = None, shard_count: int = DEFAULT_SHARD_COUNT
+    ) -> None:
+        if shard_count <= 0:
+            raise ValueError("shard_count must be positive")
+        self.path = path
+        self.shard_count = shard_count
+        self._lock = threading.RLock()
+        #: fingerprint -> metadata dict (may be empty), per shard.
+        self._shards: List[Dict[str, Dict[str, object]]] = []
+        #: source digest -> fingerprint, per shard (sharded by the digest).
+        self._sources: List[Dict[str, str]] = []
+        #: free-form labels (completed campaign rounds etc.), per shard.
+        self._marks: List[Set[str]] = []
+        self._handles: List[Optional[io.TextIOBase]] = []
+        #: Whether records were appended since the last flush (makes
+        #: flush() a no-op on the hot path when there is nothing to do).
+        self._dirty = False
+        self._reset_in_memory()
+        if path is not None:
+            self._attach(path)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _reset_in_memory(self) -> None:
+        self._shards = [dict() for _ in range(self.shard_count)]
+        self._sources = [dict() for _ in range(self.shard_count)]
+        self._marks = [set() for _ in range(self.shard_count)]
+        self._close_handles()
+        self._handles = [None] * self.shard_count
+
+    def _attach(self, path: str) -> None:
+        """Bind the store to *path*, loading any existing segments."""
+        os.makedirs(path, exist_ok=True)
+        manifest_path = os.path.join(path, _MANIFEST_NAME)
+        if os.path.exists(manifest_path):
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            stored = int(manifest.get("shard_count", self.shard_count))
+            if stored != self.shard_count:
+                raise CoverageStoreError(
+                    f"store at {path!r} has {stored} shards, "
+                    f"requested {self.shard_count}"
+                )
+        else:
+            # A store that crashed before its first save has segments but
+            # no manifest; a wrong shard_count would silently drop the
+            # out-of-range segments.  Detect stray segments, then write
+            # the manifest immediately so future opens validate normally.
+            for name in os.listdir(path):
+                if not (name.startswith("shard-") and name.endswith(".jsonl")):
+                    continue
+                try:
+                    index = int(name[len("shard-"): -len(".jsonl")])
+                except ValueError:
+                    continue
+                if index >= self.shard_count:
+                    raise CoverageStoreError(
+                        f"store at {path!r} has segment {name} outside the "
+                        f"requested {self.shard_count} shards"
+                    )
+            self._write_manifest(path)
+        self.path = path
+        for shard in range(self.shard_count):
+            segment = self._segment_path(shard)
+            if not os.path.exists(segment):
+                continue
+            with open(segment, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        # A torn tail from a crashed writer; everything
+                        # before it already loaded.  compact() heals it.
+                        continue
+                    self._apply_record(shard, record)
+
+    @classmethod
+    def open(
+        cls, path: str, shard_count: int = DEFAULT_SHARD_COUNT
+    ) -> "CoverageStore":
+        """Open (creating if absent) the store persisted at *path*."""
+        return cls(path=path, shard_count=shard_count)
+
+    def close(self) -> None:
+        """Flush and close the segment file handles."""
+        with self._lock:
+            self._close_handles()
+            self._handles = [None] * self.shard_count
+
+    def _close_handles(self) -> None:
+        for handle in getattr(self, "_handles", []):
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "CoverageStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self._close_handles()
+        except Exception:
+            pass
+
+    # -- record plumbing -------------------------------------------------------
+
+    def _segment_path(self, shard: int, root: Optional[str] = None) -> str:
+        return os.path.join(root or self.path, f"shard-{shard:03d}.jsonl")
+
+    def _apply_record(self, shard: int, record: Dict[str, object]) -> bool:
+        """Apply one decoded record to the in-memory index.  True if new."""
+        kind = record.get("t")
+        if kind == "p":
+            fingerprint = record.get("f")
+            if not isinstance(fingerprint, str):
+                return False
+            meta = record.get("m") or {}
+            existing = self._shards[shard].get(fingerprint)
+            if existing is None:
+                self._shards[shard][fingerprint] = dict(meta)
+                return True
+            # Later records may carry richer metadata (e.g. a structural
+            # fingerprint added by a newer writer); merge, never drop.
+            for key, value in meta.items():
+                existing.setdefault(key, value)
+            return False
+        if kind == "s":
+            digest, fingerprint = record.get("k"), record.get("f")
+            if not isinstance(digest, str) or not isinstance(fingerprint, str):
+                return False
+            if digest in self._sources[shard]:
+                return False
+            self._sources[shard][digest] = fingerprint
+            return True
+        if kind == "m":
+            label = record.get("k")
+            if not isinstance(label, str) or label in self._marks[shard]:
+                return False
+            self._marks[shard].add(label)
+            return True
+        return False
+
+    def _append(self, shard: int, record: Dict[str, object]) -> None:
+        """Append one record to the shard's segment (durable stores only)."""
+        if self.path is None:
+            return
+        handle = self._handles[shard]
+        if handle is None:
+            handle = open(self._segment_path(shard), "a", encoding="utf-8")
+            self._handles[shard] = handle
+        handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        handle.write("\n")
+        self._dirty = True
+
+    # -- core API --------------------------------------------------------------
+
+    def add(self, fingerprint: str, meta: Optional[Dict[str, object]] = None) -> bool:
+        """Record *fingerprint*; returns True when it was not yet covered.
+
+        Re-adding a covered fingerprint with richer metadata merges the new
+        fields (existing fields win) and — for durable stores — appends the
+        enriched record, so learned metadata survives a reload even when no
+        explicit :meth:`save` follows.
+        """
+        with self._lock:
+            shard = shard_for(fingerprint, self.shard_count)
+            existing = self._shards[shard].get(fingerprint)
+            if existing is None:
+                self._shards[shard][fingerprint] = dict(meta or {})
+                record: Dict[str, object] = {"t": "p", "f": fingerprint}
+                if meta:
+                    record["m"] = meta
+                self._append(shard, record)
+                return True
+            enriched = False
+            for key, value in (meta or {}).items():
+                if key not in existing:
+                    existing[key] = value
+                    enriched = True
+            if enriched:
+                self._append(shard, {"t": "p", "f": fingerprint, "m": existing})
+            return False
+
+    def contains(self, fingerprint: str) -> bool:
+        """Whether *fingerprint* is covered."""
+        with self._lock:
+            shard = shard_for(fingerprint, self.shard_count)
+            return fingerprint in self._shards[shard]
+
+    __contains__ = contains
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """The metadata recorded for *fingerprint* (None if not covered)."""
+        with self._lock:
+            shard = shard_for(fingerprint, self.shard_count)
+            meta = self._shards[shard].get(fingerprint)
+            return None if meta is None else dict(meta)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(shard) for shard in self._shards)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.fingerprints())
+
+    def fingerprints(self) -> List[str]:
+        """Every covered fingerprint (shard-major order)."""
+        with self._lock:
+            collected: List[str] = []
+            for shard in self._shards:
+                collected.extend(shard)
+            return collected
+
+    def structural_fingerprints(self) -> Set[str]:
+        """The set of structural fingerprints recorded in entry metadata."""
+        with self._lock:
+            found: Set[str] = set()
+            for shard in self._shards:
+                for meta in shard.values():
+                    structural = meta.get("s")
+                    if isinstance(structural, str):
+                        found.add(structural)
+            return found
+
+    # -- source index ----------------------------------------------------------
+
+    def map_source(self, digest: str, fingerprint: str) -> bool:
+        """Record that the raw source identified by *digest* converts to
+        *fingerprint*; returns True when the mapping is new."""
+        record = {"t": "s", "k": digest, "f": fingerprint}
+        with self._lock:
+            shard = shard_for(digest, self.shard_count)
+            is_new = self._apply_record(shard, record)
+            if is_new:
+                self._append(shard, record)
+            return is_new
+
+    def lookup_source(self, digest: str) -> Optional[str]:
+        """The fingerprint a previously-seen source converts to, if known."""
+        with self._lock:
+            shard = shard_for(digest, self.shard_count)
+            return self._sources[shard].get(digest)
+
+    def source_count(self) -> int:
+        """Number of raw-source → fingerprint mappings held."""
+        with self._lock:
+            return sum(len(shard) for shard in self._sources)
+
+    # -- marks -----------------------------------------------------------------
+
+    def mark(self, label: str) -> bool:
+        """Record a free-form completion label; True when newly marked."""
+        record = {"t": "m", "k": label}
+        with self._lock:
+            shard = shard_for(label, self.shard_count)
+            is_new = self._apply_record(shard, record)
+            if is_new:
+                self._append(shard, record)
+            return is_new
+
+    def is_marked(self, label: str) -> bool:
+        """Whether *label* was previously marked."""
+        with self._lock:
+            shard = shard_for(label, self.shard_count)
+            return label in self._marks[shard]
+
+    def marks(self) -> Set[str]:
+        """Every recorded mark."""
+        with self._lock:
+            collected: Set[str] = set()
+            for shard in self._marks:
+                collected |= shard
+            return collected
+
+    # -- merge -----------------------------------------------------------------
+
+    def merge(
+        self,
+        other: Union["CoverageStore", Iterable[str], Dict[str, Dict[str, object]]],
+    ) -> int:
+        """Union *other* into this store; returns newly covered fingerprints.
+
+        Merging is exact set union: fingerprints present in both stores are
+        never double-counted, source mappings and marks carry over, and
+        metadata merges field-wise (existing fields win).  *other* may be
+        another store, a ``fingerprint -> meta`` mapping, or a plain
+        iterable of fingerprints.
+        """
+        added = 0
+        if isinstance(other, CoverageStore):
+            with other._lock:
+                entries = [
+                    (fingerprint, dict(meta))
+                    for shard in other._shards
+                    for fingerprint, meta in shard.items()
+                ]
+                sources = [
+                    (digest, fingerprint)
+                    for shard in other._sources
+                    for digest, fingerprint in shard.items()
+                ]
+                marks = [label for shard in other._marks for label in shard]
+            for fingerprint, meta in entries:
+                if self.add(fingerprint, meta or None):
+                    added += 1
+            for digest, fingerprint in sources:
+                self.map_source(digest, fingerprint)
+            for label in marks:
+                self.mark(label)
+            return added
+        if isinstance(other, dict):
+            for fingerprint, meta in other.items():
+                if self.add(fingerprint, meta or None):
+                    added += 1
+            return added
+        for fingerprint in other:
+            if self.add(fingerprint):
+                added += 1
+        return added
+
+    # -- snapshot / persistence ------------------------------------------------
+
+    def snapshot(self) -> CoverageSnapshot:
+        """An independent summary of the store's current contents."""
+        with self._lock:
+            per_dbms: Dict[str, int] = {}
+            for shard in self._shards:
+                for meta in shard.values():
+                    dbms = meta.get("d")
+                    if isinstance(dbms, str):
+                        per_dbms[dbms] = per_dbms.get(dbms, 0) + 1
+            return CoverageSnapshot(
+                entries=sum(len(shard) for shard in self._shards),
+                sources=sum(len(shard) for shard in self._sources),
+                marks=sum(len(shard) for shard in self._marks),
+                shard_count=self.shard_count,
+                shard_sizes=[len(shard) for shard in self._shards],
+                per_dbms=per_dbms,
+                path=self.path,
+            )
+
+    def flush(self) -> None:
+        """Flush buffered appends to disk.
+
+        A cheap no-op for in-memory stores and when nothing was appended
+        since the last flush — the ingest service calls this once per
+        batch, which for single-plan batches is a hot path.
+        """
+        if self.path is None or not self._dirty:
+            return
+        with self._lock:
+            for handle in self._handles:
+                if handle is not None:
+                    handle.flush()
+            self._dirty = False
+
+    def _shard_records(self, shard: int) -> List[Dict[str, object]]:
+        records: List[Dict[str, object]] = []
+        for fingerprint in sorted(self._shards[shard]):
+            meta = self._shards[shard][fingerprint]
+            record: Dict[str, object] = {"t": "p", "f": fingerprint}
+            if meta:
+                record["m"] = meta
+            records.append(record)
+        for digest in sorted(self._sources[shard]):
+            records.append(
+                {"t": "s", "k": digest, "f": self._sources[shard][digest]}
+            )
+        for label in sorted(self._marks[shard]):
+            records.append({"t": "m", "k": label})
+        return records
+
+    def _write_segment_atomic(self, shard: int, root: str) -> int:
+        """Write one deduplicated segment via tmp-file + rename; line count."""
+        records = self._shard_records(shard)
+        target = self._segment_path(shard, root)
+        tmp = target + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(
+                    json.dumps(record, sort_keys=True, separators=(",", ":"))
+                )
+                handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        return len(records)
+
+    def _write_manifest(self, root: str) -> None:
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "shard_count": self.shard_count,
+            "entries": sum(len(shard) for shard in self._shards),
+            "sources": sum(len(shard) for shard in self._sources),
+            "marks": sum(len(shard) for shard in self._marks),
+        }
+        target = os.path.join(root, _MANIFEST_NAME)
+        tmp = target + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Atomically persist the whole store; returns the directory written.
+
+        Every segment is rewritten deduplicated (tmp file + ``os.replace``)
+        and the manifest is written last, so concurrent readers either see
+        the previous complete state or the new one — never a torn mix.
+        Saving to a new *path* re-binds a previously in-memory store —
+        but only into an empty/fresh directory: saving over a *different*
+        existing store would silently destroy its contents, so that fails
+        loudly (load-and-:meth:`merge` it instead).
+        """
+        with self._lock:
+            root = path or self.path
+            if root is None:
+                raise CoverageStoreError("in-memory store: save() needs a path")
+            if root != self.path and os.path.exists(
+                os.path.join(root, _MANIFEST_NAME)
+            ):
+                raise CoverageStoreError(
+                    f"{root!r} already holds a coverage store; open it and "
+                    "merge() instead of overwriting"
+                )
+            os.makedirs(root, exist_ok=True)
+            if root == self.path:
+                # The append handles hold positions inside files we are about
+                # to replace; close them so later appends reopen fresh.
+                self._close_handles()
+                self._handles = [None] * self.shard_count
+            for shard in range(self.shard_count):
+                self._write_segment_atomic(shard, root)
+            self._write_manifest(root)
+            if self.path is None:
+                self.path = root
+            return root
+
+    def compact(self) -> Tuple[int, int]:
+        """Rewrite segments dropping duplicate/torn lines.
+
+        Returns ``(lines_before, lines_after)`` summed over all segments.
+        For a durable store this is also how append-only segments that
+        accumulated re-merged records are shrunk back to one line per fact.
+        """
+        with self._lock:
+            if self.path is None:
+                total = sum(
+                    len(self._shard_records(shard))
+                    for shard in range(self.shard_count)
+                )
+                return (total, total)
+            before = 0
+            for shard in range(self.shard_count):
+                segment = self._segment_path(shard)
+                if os.path.exists(segment):
+                    with open(segment, "r", encoding="utf-8") as handle:
+                        before += sum(1 for _ in handle)
+            after = 0
+            self._close_handles()
+            self._handles = [None] * self.shard_count
+            for shard in range(self.shard_count):
+                after += self._write_segment_atomic(shard, self.path)
+            self._write_manifest(self.path)
+            return (before, after)

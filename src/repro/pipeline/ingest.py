@@ -15,11 +15,30 @@ The stages are:
    (see :meth:`~repro.core.model.UnifiedPlan.fingerprint`) collapse to one
    representative, both within the batch and across the service's lifetime.
 
+On top of the in-process stages, the service integrates the persistent
+coverage layer (:mod:`repro.pipeline.coverage`):
+
+* **Warm starts** — with ``persist_to=`` (or an explicit ``coverage=``
+  store) the coverage index and a raw-source → fingerprint index survive
+  the process.  A warm-started service recognises already-seen raw plans
+  *before* converting them and skips the parse entirely, so re-ingesting a
+  persisted corpus costs near zero conversions.
+* **Process pools** — ``executor="process"`` routes large batches through a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (conversion is
+  CPU-bound pure Python, so threads alone cannot scale it past the GIL).
+  Conversion tasks are picklable ``(dbms, text, format)`` triples handled
+  by a per-worker :class:`ConverterHub`; returned plans are seeded back
+  into the parent hub's cache.  Small batches fall back to threads.
+
 Invariants the service relies on (and preserves):
 
 * plans returned by the service are **frozen** — they are shared between
   duplicate entries and with the conversion cache, and their fingerprints
-  are pre-computed; callers that need to mutate must ``copy()`` first;
+  are pre-computed; callers that need to mutate must ``copy()`` first.
+  Mutating a returned plan in place invalidates its cached fingerprints:
+  the recomputed ``fingerprint()`` then no longer matches the index key
+  the plan is filed under (``plan_for``/coverage), silently corrupting
+  deduplication for every consumer sharing the object;
 * fingerprints are canonical (property-order independent) and stable across
   processes, so coverage sets built from them can be merged between runs.
 """
@@ -28,12 +47,35 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.converters.base import ConverterHub, default_hub, source_hash
+from repro.core.compare import structural_fingerprint
 from repro.core.model import UnifiedPlan
+from repro.pipeline.coverage import CoverageStore, source_key_digest
+
+
+#: Per-worker-process converter hub for the process-pool conversion path.
+#: Each worker builds its own hub (and name registry) on first use; plans
+#: travel back to the parent by pickling, which drops their fingerprint
+#: caches, so the parent recomputes (stable) fingerprints on arrival.
+_WORKER_HUB: Optional[ConverterHub] = None
+
+
+def _pool_convert(
+    job: Tuple[str, str, Optional[str]],
+) -> Tuple[Optional[UnifiedPlan], Optional[str]]:
+    """Convert one ``(dbms, text, format)`` triple in a worker process."""
+    global _WORKER_HUB
+    if _WORKER_HUB is None:
+        _WORKER_HUB = ConverterHub()
+    dbms, text, format = job
+    try:
+        return _WORKER_HUB.convert(dbms, text, format), None
+    except Exception as exc:  # conversion errors become per-entry data
+        return None, str(exc)
 
 
 @dataclass(frozen=True)
@@ -59,6 +101,10 @@ class IngestedPlan:
     #: Index of the first batch entry with the same fingerprint, or None if
     #: this entry introduced the fingerprint to the batch.
     duplicate_of: Optional[int] = None
+    #: True when the fingerprint was resolved from the persistent coverage
+    #: index without converting (warm start); ``plan`` is then only set if a
+    #: representative was ingested earlier in this process.
+    from_index: bool = False
     #: Conversion error message, when the source could not be parsed.
     error: Optional[str] = None
 
@@ -101,9 +147,13 @@ class IngestReport:
     entries: List[IngestedPlan] = field(default_factory=list)
     #: Number of conversions actually executed for this batch.
     conversions: int = 0
-    #: Batch entries served without parsing (intra-batch source duplicates
-    #: plus conversion-cache hits from earlier batches).
+    #: Batch entries served without parsing (intra-batch source duplicates,
+    #: conversion-cache hits from earlier batches, and persistent-index hits).
     cache_hits: int = 0
+    #: The subset of ``cache_hits`` resolved from the persistent coverage
+    #: index (warm start): the raw source was seen by an earlier run, so the
+    #: fingerprint was known without any conversion.
+    index_hits: int = 0
     #: Distinct identity fingerprints in this batch.
     unique_fingerprints: int = 0
     #: Fingerprints this batch introduced that the service had never seen.
@@ -113,7 +163,16 @@ class IngestReport:
     elapsed_seconds: float = 0.0
 
     def plans(self) -> List[UnifiedPlan]:
-        """The batch's deduplicated plans, one per unique fingerprint."""
+        """The batch's deduplicated plans, one per unique fingerprint.
+
+        Warm-start caveat: entries resolved from the persistent coverage
+        index (``from_index``) carry no plan object unless a representative
+        was ingested earlier in this process, so on a warm start this list
+        can be shorter than ``unique_fingerprints`` — the whole point of the
+        index is that those plans were *not* parsed.  Ingest with a fresh
+        in-memory service (or consult ``plan_for``/the entries' fingerprints)
+        when the plan objects themselves are needed.
+        """
         seen: Dict[str, UnifiedPlan] = {}
         for entry in self.entries:
             if entry.ok and entry.plan is not None and entry.fingerprint not in seen:
@@ -136,6 +195,7 @@ class ServiceStats:
     sources: int = 0
     conversions: int = 0
     cache_hits: int = 0
+    index_hits: int = 0
     errors: int = 0
     unique_plans: int = 0
 
@@ -145,6 +205,7 @@ class ServiceStats:
             "sources": self.sources,
             "conversions": self.conversions,
             "cache_hits": self.cache_hits,
+            "index_hits": self.index_hits,
             "errors": self.errors,
             "unique_plans": self.unique_plans,
         }
@@ -159,7 +220,36 @@ class PlanIngestService:
 
     One service wraps one :class:`ConverterHub` (the process-wide default
     unless given) and maintains the cumulative fingerprint index that QPG
-    and the testing campaign use as their coverage set.
+    and the testing campaign use as their coverage set.  The index lives in
+    a :class:`~repro.pipeline.coverage.CoverageStore`; pass ``persist_to=``
+    (a directory) to make it durable across processes, in which case the
+    service also persists a raw-source index and *skips conversion
+    entirely* for sources an earlier run already ingested.
+
+    Parameters
+    ----------
+    hub:
+        The converter hub to parse through (process-wide default if None).
+    max_workers:
+        Worker count for both the thread and the process conversion path.
+    parallel_threshold:
+        Batches with fewer unique sources than this convert sequentially;
+        pool startup would dominate for tiny batches.
+    executor:
+        ``"thread"`` (default) or ``"process"``.  The process path parses
+        CPU-heavy batches in a :class:`ProcessPoolExecutor` (true
+        parallelism beyond the GIL) and falls back to threads for batches
+        below *process_threshold* or when no pool can be started.
+    process_threshold:
+        Minimum number of unconverted unique sources before the process
+        pool is engaged.
+    persist_to:
+        Directory for the durable coverage store.  Existing contents are
+        loaded (warm start); new fingerprints are appended per batch.
+    coverage:
+        An explicit :class:`CoverageStore` to use instead (e.g. one shared
+        by several services, or an in-memory store to merge later).  Takes
+        precedence over *persist_to*.
     """
 
     def __init__(
@@ -167,15 +257,64 @@ class PlanIngestService:
         hub: Optional[ConverterHub] = None,
         max_workers: Optional[int] = None,
         parallel_threshold: int = 8,
+        executor: str = "thread",
+        process_threshold: int = 32,
+        persist_to: Optional[str] = None,
+        coverage: Optional[CoverageStore] = None,
     ) -> None:
+        if executor not in ("thread", "process"):
+            raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
         self.hub = hub or default_hub()
         self.max_workers = max_workers or _default_worker_count()
         #: Batches with fewer unique sources than this convert sequentially;
         #: thread-pool startup would dominate for tiny batches.
         self.parallel_threshold = parallel_threshold
+        self.executor = executor
+        self.process_threshold = process_threshold
+        if coverage is not None:
+            self.coverage = coverage
+        else:
+            self.coverage = CoverageStore(path=persist_to)
         self.stats = ServiceStats()
         self._per_dbms: Dict[str, DbmsIngestStats] = {}
         self._seen: Dict[str, UnifiedPlan] = {}
+        #: Fingerprints whose coverage entry is known complete (metadata
+        #: includes the structural fingerprint), so the per-entry dedup
+        #: loop can skip the store entirely on repeats — the hot path for
+        #: QPG's one-plan-per-query ingests.
+        self._indexed: set = set()
+        self.stats.unique_plans = len(self.coverage)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Latched after the first pool failure so a restricted environment
+        #: pays the failed pool start-up at most once per service.
+        self._pool_broken = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the process pool (if any) and the coverage store."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self.coverage.close()
+
+    def __enter__(self) -> "PlanIngestService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def checkpoint(self) -> Optional[str]:
+        """Atomically save the coverage index (durable stores only).
+
+        Appends already flow to disk per batch; ``checkpoint()`` rewrites
+        the segments deduplicated and refreshes the manifest, giving other
+        processes a consistent point to load or merge from.  Returns the
+        directory written, or None for a purely in-memory store.
+        """
+        if self.coverage.path is None:
+            return None
+        return self.coverage.save()
 
     def _canonical_name(self, dbms: str) -> str:
         """Resolve aliases so 'postgres' and 'postgresql' share one bucket."""
@@ -223,16 +362,35 @@ class PlanIngestService:
             groups.setdefault(key, []).append(index)
             hub_derived[key] = from_hub
 
-        # Stage 2: convert one representative per group through the hub,
-        # reusing the stage-1 key so the source text is hashed only once.
-        group_indexes = list(groups.values())
-        results = self._convert_many(
-            [
-                (batch[indexes[0]], key if hub_derived[key] else None)
-                for key, indexes in groups.items()
-            ]
-        )
-        for indexes, (plan, error, parsed) in zip(group_indexes, results):
+        # Stage 2: resolve one representative per group — from the hub's
+        # conversion cache, from the persistent source index (warm start:
+        # the fingerprint is known without parsing at all), or by actually
+        # converting (thread-pooled, or process-pooled for heavy batches).
+        group_items = list(groups.items())
+        jobs: List[Tuple[PlanSource, Optional[Tuple[str, str, str]]]] = []
+        job_positions: List[int] = []
+        known_fingerprints: Dict[int, str] = {}
+        for position, (key, indexes) in enumerate(group_items):
+            if hub_derived[key] and not self.hub.contains_key(key):
+                known = self.coverage.lookup_source(source_key_digest(*key))
+                if known is not None:
+                    known_fingerprints[position] = known
+                    continue
+            jobs.append((batch[indexes[0]], key if hub_derived[key] else None))
+            job_positions.append(position)
+        resolved = dict(zip(job_positions, self._convert_many(jobs)))
+
+        for position, (key, indexes) in enumerate(group_items):
+            if position in known_fingerprints:
+                fingerprint = known_fingerprints[position]
+                plan = self._seen.get(fingerprint)
+                for index in indexes:
+                    entry = report.entries[index]
+                    entry.plan = plan
+                    entry.fingerprint = fingerprint
+                    entry.from_index = True
+                continue
+            plan, error, parsed = resolved[position]
             for index in indexes:
                 entry = report.entries[index]
                 if error is not None:
@@ -240,28 +398,54 @@ class PlanIngestService:
                     continue
                 entry.plan = plan
                 entry.fingerprint = plan.fingerprint()
-            # Only the group's representative can have triggered a parse.
             if error is None:
+                # Only the group's representative can have triggered a parse.
                 report.entries[indexes[0]].converted = parsed
+                if parsed and hub_derived[key]:
+                    # Remember which raw source this fingerprint came from,
+                    # so a future (warm-started) run skips the parse.  Hub
+                    # cache hits were mapped when they first parsed, so the
+                    # digest work is skipped on repeats.
+                    self.coverage.map_source(
+                        source_key_digest(*key), plan.fingerprint()
+                    )
 
-        # Stage 3: fingerprint dedup within the batch and against history.
-        # Fingerprints new to the whole service are attributed to their
+        # Stage 3: fingerprint dedup within the batch and against the
+        # coverage index (which includes fingerprints loaded from disk).
+        # Fingerprints new to the whole index are attributed to their
         # (canonical) DBMS incrementally, so no full-index rescan is needed.
         first_with: Dict[str, int] = {}
         new_fingerprints = 0
         new_by_dbms: Dict[str, int] = {}
+        # Capture representatives first: a parsed plan may share its
+        # fingerprint with an earlier index-hit entry that carried no plan
+        # object, and plan_for() must still find it.
+        for entry in report.entries:
+            if (
+                entry.ok
+                and entry.plan is not None
+                and entry.fingerprint not in self._seen
+            ):
+                self._seen[entry.fingerprint] = entry.plan
         for index, entry in enumerate(report.entries):
-            if not entry.ok or entry.plan is None:
+            if not entry.ok or not entry.fingerprint:
                 continue
             if entry.fingerprint in first_with:
                 entry.duplicate_of = first_with[entry.fingerprint]
-            else:
-                first_with[entry.fingerprint] = index
-                if entry.fingerprint not in self._seen:
-                    self._seen[entry.fingerprint] = entry.plan
-                    new_fingerprints += 1
-                    name = self._canonical_name(entry.source.dbms)
-                    new_by_dbms[name] = new_by_dbms.get(name, 0) + 1
+                continue
+            first_with[entry.fingerprint] = index
+            if entry.fingerprint in self._indexed:
+                continue  # store entry known complete: nothing to learn
+            name = self._canonical_name(entry.source.dbms)
+            meta: Dict[str, object] = {"d": name}
+            plan = self._seen.get(entry.fingerprint)
+            if plan is not None:
+                meta["s"] = structural_fingerprint(plan)
+            if self.coverage.add(entry.fingerprint, meta):
+                new_fingerprints += 1
+                new_by_dbms[name] = new_by_dbms.get(name, 0) + 1
+            if "s" in meta or "s" in (self.coverage.get(entry.fingerprint) or {}):
+                self._indexed.add(entry.fingerprint)
 
         # Per-DBMS breakdown (exact: `converted`/`error` are per-entry facts).
         per_dbms_fingerprints: Dict[str, set] = {}
@@ -284,6 +468,7 @@ class PlanIngestService:
         report.errors = sum(stats.errors for stats in report.per_dbms.values())
         report.conversions = sum(stats.conversions for stats in report.per_dbms.values())
         report.cache_hits = sum(stats.cache_hits for stats in report.per_dbms.values())
+        report.index_hits = sum(1 for entry in report.entries if entry.from_index)
         report.unique_fingerprints = len(first_with)
         report.new_fingerprints = new_fingerprints
         report.elapsed_seconds = time.perf_counter() - started
@@ -293,13 +478,19 @@ class PlanIngestService:
         self.stats.sources += len(batch)
         self.stats.conversions += report.conversions
         self.stats.cache_hits += report.cache_hits
+        self.stats.index_hits += report.index_hits
         self.stats.errors += report.errors
-        self.stats.unique_plans = len(self._seen)
+        # Incremental: len(coverage) walks every shard, which would be the
+        # dominant cost of single-plan batches.
+        self.stats.unique_plans += report.new_fingerprints
         for name, stats in report.per_dbms.items():
             cumulative = self._per_dbms.setdefault(name, DbmsIngestStats())
             cumulative.merge(stats)
         for name, increment in new_by_dbms.items():
             self._per_dbms.setdefault(name, DbmsIngestStats()).unique_plans += increment
+        # Checkpoint the (durable) coverage index: appended records flow to
+        # the OS per batch, so a crash costs at most the current batch.
+        self.coverage.flush()
         return report
 
     def _convert_many(
@@ -324,23 +515,102 @@ class PlanIngestService:
             except Exception as exc:  # conversion errors become per-entry data
                 return None, str(exc), False
 
+        if (
+            self.executor == "process"
+            and not self._pool_broken
+            and self.max_workers > 1
+            and len(jobs) >= self.process_threshold
+        ):
+            results = self._convert_via_processes(jobs)
+            if results is not None:
+                return results
+            # Pool unavailable (restricted environment): threads still work.
         if len(jobs) < self.parallel_threshold or self.max_workers <= 1:
             return [convert_one(job) for job in jobs]
         with ThreadPoolExecutor(max_workers=self.max_workers) as executor:
             return list(executor.map(convert_one, jobs))
 
+    def _convert_via_processes(
+        self, jobs: Sequence[Tuple[PlanSource, Optional[Tuple[str, str, str]]]]
+    ) -> Optional[List[Tuple[Optional[UnifiedPlan], Optional[str], bool]]]:
+        """Convert *jobs* in the process pool; None when no pool can run.
+
+        Jobs already present in the parent hub's cache resolve locally (a
+        cache hit, not a parse); the rest ship as picklable ``(dbms, text,
+        format)`` triples to worker processes, each owning a private
+        :class:`ConverterHub`.  Returned plans are re-fingerprinted (pickle
+        drops the caches; the digest is content-stable) and seeded into the
+        parent hub's cache so later batches and services hit it.
+        """
+        local: Dict[int, Tuple[Optional[UnifiedPlan], Optional[str], bool]] = {}
+        remote_positions: List[int] = []
+        payload: List[Tuple[str, str, Optional[str]]] = []
+        for position, (source, key) in enumerate(jobs):
+            if key is not None and self.hub.contains_key(key):
+                plan, parsed = self.hub.convert_traced(
+                    source.dbms, source.text, source.format, key=key
+                )
+                local[position] = (plan, None, parsed)
+                continue
+            remote_positions.append(position)
+            # The key's format component is already alias/default-resolved;
+            # fall back to the source's own spelling for keyless jobs.
+            payload.append(
+                (source.dbms, source.text, key[1] if key else source.format)
+            )
+        outcomes: List[Tuple[Optional[UnifiedPlan], Optional[str]]] = []
+        if payload:
+            try:
+                pool = self._ensure_pool()
+                chunksize = max(1, len(payload) // (self.max_workers * 4))
+                outcomes = list(
+                    pool.map(_pool_convert, payload, chunksize=chunksize)
+                )
+            except Exception:
+                # Pool start-up or dispatch failed (e.g. sandboxed
+                # environment without working multiprocessing); the caller
+                # falls back to the thread path, and the latch keeps later
+                # batches from re-paying the failed start-up.
+                self._pool_broken = True
+                if self._pool is not None:
+                    self._pool.shutdown()
+                    self._pool = None
+                return None
+        for position, (plan, error) in zip(remote_positions, outcomes):
+            if plan is not None:
+                key = jobs[position][1]
+                if key is not None:
+                    self.hub.put_cached(key, plan)
+                else:
+                    plan.fingerprint()
+            local[position] = (plan, error, plan is not None)
+        return [local[position] for position in range(len(jobs))]
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
     # -- coverage index -----------------------------------------------------------
 
     def unique_plan_count(self) -> int:
-        """Number of distinct plan fingerprints ever ingested."""
-        return len(self._seen)
+        """Number of distinct plan fingerprints covered.
+
+        Includes fingerprints loaded from (or merged into) the persistent
+        coverage store, not just plans ingested by this process.
+        """
+        return len(self.coverage)
 
     def fingerprints(self) -> List[str]:
-        """Every identity fingerprint the service has seen."""
-        return list(self._seen)
+        """Every identity fingerprint in the coverage index."""
+        return self.coverage.fingerprints()
 
     def plan_for(self, fingerprint: str) -> Optional[UnifiedPlan]:
-        """The representative plan for *fingerprint*, if ever ingested."""
+        """The representative plan for *fingerprint*.
+
+        Only plans actually ingested in this process are held in memory;
+        fingerprints known purely from the persistent index return None.
+        """
         return self._seen.get(fingerprint)
 
     def per_dbms_stats(self) -> Dict[str, DbmsIngestStats]:

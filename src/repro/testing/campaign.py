@@ -6,10 +6,27 @@ oracles against the simulated dialects with seeded faults
 (:mod:`repro.testing.bugs`) for a bounded number of iterations, attributing
 every detected violation to the corresponding known bug id, so the resulting
 report has the same rows as Table V.
+
+Campaigns are **resumable**.  With ``persist_to=`` the campaign's ingest
+service keeps its coverage index in a durable
+:class:`~repro.pipeline.CoverageStore`; each completed per-DBMS round is
+marked in the store, and the store is atomically checkpointed after every
+round.  A campaign stopped between rounds (``max_rounds=``, a crash after a
+checkpoint, or plain process exit) can be re-run with the *same
+configuration* — completed rounds are skipped (their persisted bug reports
+and counters fold back into the result), the remaining rounds execute with
+exactly the seeds they would have had in an uninterrupted run, and the
+final coverage set, ``unique_plans``, and Table V rows are identical to the
+uninterrupted campaign's.  Round seeds derive from each DBMS's position in the configured
+``dbms_names`` list, so the list (and seed) must be the same across the
+interrupted and resuming processes.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -46,11 +63,16 @@ class CampaignResult:
     queries_generated: int = 0
     unique_plans: int = 0
     cert_pairs_checked: int = 0
-    #: The union of the per-round structural-fingerprint coverage sets.
+    #: The union of the per-round structural-fingerprint coverage sets,
+    #: including coverage loaded from a persisted store when resuming.
     plan_fingerprints: Set[str] = field(default_factory=set)
     #: Conversions actually parsed vs. served from the conversion cache.
     conversions: int = 0
     conversion_cache_hits: int = 0
+    #: Rounds completed by this run vs. skipped because an earlier
+    #: (interrupted) run already marked them complete in the store.
+    rounds_completed: int = 0
+    rounds_skipped: int = 0
 
     def by_dbms(self) -> Dict[str, int]:
         """Bug counts per DBMS."""
@@ -96,11 +118,35 @@ class TestingCampaign:
         seed: int = 1,
         queries_per_dbms: int = 150,
         cert_pairs_per_dbms: int = 60,
+        persist_to: Optional[str] = None,
+        max_rounds: Optional[int] = None,
     ) -> None:
         self.dbms_names = dbms_names or ["mysql", "postgresql", "tidb"]
         self.seed = seed
         self.queries_per_dbms = queries_per_dbms
         self.cert_pairs_per_dbms = cert_pairs_per_dbms
+        #: Directory for the durable coverage store; None keeps it in memory.
+        self.persist_to = persist_to
+        #: Stop (gracefully, between rounds) after this many executed
+        #: rounds; a later run with the same configuration resumes.
+        self.max_rounds = max_rounds
+        if max_rounds is not None and persist_to is None:
+            # Without a durable store the completion marks die with the
+            # process, so the remaining rounds would be unreachable: every
+            # re-run would redo the same first rounds and stop again.
+            raise ValueError("max_rounds requires persist_to= (resume needs a durable store)")
+
+    def _round_label(self, index: int, dbms_name: str) -> str:
+        """The store mark identifying one completed per-DBMS round.
+
+        The label pins everything that determines the round's behaviour —
+        DBMS, derived seed, and workload sizes — so a resumed campaign only
+        skips rounds that an identically-configured run completed.
+        """
+        return (
+            f"round:{dbms_name}:{self.seed + index}"
+            f":{self.queries_per_dbms}:{self.cert_pairs_per_dbms}"
+        )
 
     def run(self) -> CampaignResult:
         """Run the campaign and return the aggregated result."""
@@ -109,8 +155,63 @@ class TestingCampaign:
         # the reported conversion/cache counters are truly per-campaign.
         from repro.converters import ConverterHub
 
-        ingest_service = PlanIngestService(hub=ConverterHub())
+        ingest_service = PlanIngestService(
+            hub=ConverterHub(), persist_to=self.persist_to
+        )
+        store = ingest_service.coverage
+        try:
+            self._run_rounds(result, ingest_service, store)
+        finally:
+            # Completed rounds were checkpointed; close the store handles
+            # (and any process pool) even when a round aborts mid-way.
+            ingest_service.close()
+        return result
+
+    def _round_report_path(self, label: str) -> Optional[str]:
+        """Where a completed round's results are persisted (durable only)."""
+        if self.persist_to is None:
+            return None
+        digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).hexdigest()
+        return os.path.join(self.persist_to, f"round-{digest}.json")
+
+    def _persist_round(self, label: str, payload: dict) -> None:
+        path = self._round_report_path(label)
+        if path is None:
+            return
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def _restore_round(self, result: CampaignResult, label: str) -> None:
+        """Fold a previously-completed round's persisted results into
+        *result*, so a resumed campaign returns the same Table V rows (not
+        just the same coverage) as an uninterrupted run."""
+        path = self._round_report_path(label)
+        if path is None or not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        result.queries_generated += payload.get("queries_generated", 0)
+        result.cert_pairs_checked += payload.get("cert_pairs_checked", 0)
+        for row in payload.get("reports", []):
+            result.reports.append(BugReport(**row))
+
+    def _run_rounds(self, result, ingest_service, store) -> None:
         for index, dbms_name in enumerate(self.dbms_names):
+            if self.max_rounds is not None and result.rounds_completed >= self.max_rounds:
+                break
+            label = self._round_label(index, dbms_name)
+            if store.is_marked(label):
+                result.rounds_skipped += 1
+                self._restore_round(result, label)
+                continue
+            round_start = {
+                "reports": len(result.reports),
+                "queries": result.queries_generated,
+                "pairs": result.cert_pairs_checked,
+            }
             logic_bugs = bugs_for(dbms_name, "logic")
             performance_bugs = bugs_for(dbms_name, "performance")
             dialect = FaultyDialect(
@@ -172,6 +273,31 @@ class TestingCampaign:
                         )
                     )
 
+            # The round is complete: persist its results, mark it, and
+            # atomically checkpoint the store, so a stop/crash from here on
+            # resumes after this round with nothing lost — coverage *and*
+            # the round's Table V rows.
+            self._persist_round(
+                label,
+                {
+                    "reports": [
+                        vars(report)
+                        for report in result.reports[round_start["reports"]:]
+                    ],
+                    "queries_generated": result.queries_generated
+                    - round_start["queries"],
+                    "cert_pairs_checked": result.cert_pairs_checked
+                    - round_start["pairs"],
+                },
+            )
+            store.mark(label)
+            result.rounds_completed += 1
+            ingest_service.checkpoint()
+
+        # Coverage is the union over every completed round, including
+        # rounds completed by earlier runs of an interrupted campaign
+        # (their structural fingerprints were persisted via the store).
+        result.plan_fingerprints |= store.structural_fingerprints()
         result.unique_plans = len(result.plan_fingerprints)
         result.conversions = ingest_service.stats.conversions
         result.conversion_cache_hits = ingest_service.stats.cache_hits
@@ -179,4 +305,3 @@ class TestingCampaign:
         # Order like Table V: MySQL, PostgreSQL, TiDB; QPG before CERT.
         order = {name: position for position, name in enumerate(self.dbms_names)}
         result.reports.sort(key=lambda report: (order.get(report.dbms, 9), report.found_by != "QPG", report.bug_id))
-        return result

@@ -17,6 +17,16 @@ Coverage is tracked with the cached Merkle *structural fingerprints* from
 converted through a :class:`~repro.pipeline.PlanIngestService`, so repeated
 plan texts are parsed once and campaigns can merge coverage sets across
 DBMSs and runs (fingerprints are process-stable).
+
+When the ingest service carries a persistent
+:class:`~repro.pipeline.CoverageStore`, every structural fingerprint QPG
+observes is durably recorded (the service stores it as entry metadata), and
+plans whose raw text an earlier run already ingested resolve from the
+persistent source index without re-parsing: ``observe_plan`` then reads the
+structural fingerprint straight from the store.  The per-round
+``seen_fingerprints`` set intentionally starts empty each round — round
+behaviour (stagnation, mutations) must not depend on which process runs the
+round, or an interrupted campaign would diverge from an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -82,7 +92,10 @@ class QueryPlanGuidance:
     def observe_plan(self, query: str) -> bool:
         """EXPLAIN *query*, ingest the plan, and record its fingerprint.
 
-        Returns whether the plan was structurally new.
+        Returns whether the plan was structurally new *to this round*.
+        Plans resolved from the persistent coverage index (warm start)
+        never re-parse: their structural fingerprint is read from the
+        store's entry metadata instead of the plan object.
         """
         explain_format = self.config.explain_format or self.converter.formats[0]
         output = self.dialect.explain(query, format=explain_format)
@@ -91,8 +104,27 @@ class QueryPlanGuidance:
         )
         if not entry.ok:
             raise ConversionError(self.dialect.name, entry.error)
-        plan: UnifiedPlan = entry.plan
-        fingerprint = structural_fingerprint(plan)
+        if entry.plan is not None:
+            fingerprint = structural_fingerprint(entry.plan)
+        else:
+            # Warm start: the identity fingerprint came from the persistent
+            # index without conversion; the structural fingerprint rides in
+            # the store's metadata.
+            meta = self.ingest_service.coverage.get(entry.fingerprint) or {}
+            structural = meta.get("s")
+            if isinstance(structural, str):
+                fingerprint = structural
+            else:
+                # A foreign/merged store may know the identity fingerprint
+                # but not the structural one; parse once to recover it and
+                # write it back so no later process repeats the work.
+                plan: UnifiedPlan = self.ingest_service.hub.convert(
+                    self.dialect.name, output.text, explain_format
+                )
+                fingerprint = structural_fingerprint(plan)
+                self.ingest_service.coverage.add(
+                    entry.fingerprint, {"s": fingerprint}
+                )
         is_new = fingerprint not in self.seen_fingerprints
         self.seen_fingerprints.add(fingerprint)
         return is_new

@@ -11,28 +11,9 @@ from repro.dialects import create_dialect
 from repro.errors import ConversionError
 from repro.storage.timeseries_store import Point
 
-SETUP = [
-    "CREATE TABLE t0 (c0 INT, c1 INT)",
-    "CREATE TABLE t1 (c0 INT)",
-    "CREATE TABLE t2 (c0 INT PRIMARY KEY)",
-    "INSERT INTO t0 (c0, c1) VALUES " + ", ".join(f"({i}, {i % 7})" for i in range(1, 201)),
-    "INSERT INTO t1 (c0) VALUES " + ", ".join(f"({i})" for i in range(1, 41)),
-    "INSERT INTO t2 (c0) VALUES " + ", ".join(f"({i})" for i in range(1, 101)),
-]
-
-QUERY = (
-    "SELECT t1.c0 FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0 WHERE t0.c0 < 100 "
-    "GROUP BY t1.c0 UNION SELECT c0 FROM t2 WHERE c0 < 10"
-)
-
-
-def relational(name):
-    dialect = create_dialect(name)
-    for statement in SETUP:
-        dialect.execute(statement)
-    dialect.analyze_tables()
-    return dialect
-
+# The schema/data/query the relational conversions run over live in the
+# shared ``tests/conftest.py`` (``relational_dialect`` / ``relational_query``
+# fixtures), deduplicated with the pipeline corpus helpers.
 
 RELATIONAL_FORMATS = [
     ("postgresql", "text"),
@@ -65,36 +46,36 @@ class TestRegistry:
 
 class TestRelationalConversion:
     @pytest.mark.parametrize("name,format_name", RELATIONAL_FORMATS)
-    def test_convert_produces_valid_plan(self, name, format_name):
-        dialect = relational(name)
-        serialized = dialect.explain(QUERY, format=format_name).text
+    def test_convert_produces_valid_plan(self, name, format_name, relational_dialect, relational_query):
+        dialect = relational_dialect(name)
+        serialized = dialect.explain(relational_query, format=format_name).text
         plan = converter_for(name).convert(serialized, format=format_name)
         assert plan.source_dbms == name
         assert plan.node_count() >= 2
         assert validate_plan(plan) == []
 
     @pytest.mark.parametrize("name,format_name", RELATIONAL_FORMATS)
-    def test_conversion_finds_producers(self, name, format_name):
-        dialect = relational(name)
-        serialized = dialect.explain(QUERY, format=format_name).text
+    def test_conversion_finds_producers(self, name, format_name, relational_dialect, relational_query):
+        dialect = relational_dialect(name)
+        serialized = dialect.explain(relational_query, format=format_name).text
         plan = converter_for(name).convert(serialized, format=format_name)
         counts = plan.count_categories()
         assert counts[OperationCategory.PRODUCER] >= 1
 
-    def test_postgresql_text_and_json_agree_structurally(self):
-        dialect = relational("postgresql")
+    def test_postgresql_text_and_json_agree_structurally(self, relational_dialect, relational_query):
+        dialect = relational_dialect("postgresql")
         converter = converter_for("postgresql")
-        text_plan = converter.convert(dialect.explain(QUERY, format="text").text, format="text")
-        json_plan = converter.convert(dialect.explain(QUERY, format="json").text, format="json")
+        text_plan = converter.convert(dialect.explain(relational_query, format="text").text, format="text")
+        json_plan = converter.convert(dialect.explain(relational_query, format="json").text, format="json")
         assert structural_fingerprint(text_plan) == structural_fingerprint(json_plan)
 
-    def test_figure2_full_table_scan_mapping(self):
+    def test_figure2_full_table_scan_mapping(self, relational_dialect):
         # Figure 2: EXPLAIN SELECT * FROM t0 WHERE c0 < 5 maps to a single
         # Producer->Full Table Scan for PostgreSQL/MySQL, plus an
         # Executor->Collect for TiDB's reader.
         query = "SELECT * FROM t0 WHERE c1 < 5"
         for name in ("postgresql", "mysql"):
-            dialect = relational(name)
+            dialect = relational_dialect(name)
             converter = converter_for(name)
             plan = converter.convert(
                 dialect.explain(query, format=converter.formats[0]).text,
@@ -102,24 +83,24 @@ class TestRelationalConversion:
             )
             names = [node.operation.identifier for node in plan.nodes()]
             assert "Full Table Scan" in names
-        tidb = relational("tidb")
+        tidb = relational_dialect("tidb")
         tidb_plan = converter_for("tidb").convert(tidb.explain(query, format="table").text, format="table")
         identifiers = [node.operation.identifier for node in tidb_plan.nodes()]
         assert "Full Table Scan" in identifiers
         assert "Collect" in identifiers
 
-    def test_tidb_unstable_suffix_stripped(self):
-        dialect = relational("tidb")
+    def test_tidb_unstable_suffix_stripped(self, relational_dialect, relational_query):
+        dialect = relational_dialect("tidb")
         converter = converter_for("tidb")
-        first = converter.convert(dialect.explain(QUERY, format="table").text, format="table")
-        second = converter.convert(dialect.explain(QUERY, format="table").text, format="table")
+        first = converter.convert(dialect.explain(relational_query, format="table").text, format="table")
+        second = converter.convert(dialect.explain(relational_query, format="table").text, format="table")
         # Different runs produce different operator ids, but the structural
         # fingerprint must be identical (the original QPG parser bug).
         assert structural_fingerprint(first) == structural_fingerprint(second)
         assert any(node.operation.identifier == "Full Table Scan" for node in first.nodes())
 
-    def test_postgresql_properties_categorised(self):
-        dialect = relational("postgresql")
+    def test_postgresql_properties_categorised(self, relational_dialect):
+        dialect = relational_dialect("postgresql")
         converter = converter_for("postgresql")
         plan = converter.convert(dialect.explain("SELECT * FROM t2 WHERE c0 < 10", format="text").text)
         scan = plan.root.walk().__next__()
@@ -129,8 +110,8 @@ class TestRelationalConversion:
         assert PropertyCategory.CONFIGURATION in categories
         assert PropertyCategory.STATUS in categories
 
-    def test_sqlite_index_condition_property(self):
-        dialect = relational("sqlite")
+    def test_sqlite_index_condition_property(self, relational_dialect):
+        dialect = relational_dialect("sqlite")
         plan = converter_for("sqlite").convert(dialect.explain("SELECT c0 FROM t2 WHERE c0 < 10").text)
         producers = plan.operations_in(OperationCategory.PRODUCER)
         assert producers

@@ -25,19 +25,6 @@ from repro.core.caching import LRUCache
 from repro.dialects import create_dialect
 from repro.pipeline import PlanIngestService, PlanSource
 
-SETUP = [
-    "CREATE TABLE t0 (c0 INT, c1 INT)",
-    "INSERT INTO t0 (c0, c1) VALUES " + ", ".join(f"({i}, {i % 5})" for i in range(1, 101)),
-]
-
-
-def pg_dialect():
-    dialect = create_dialect("postgresql")
-    for statement in SETUP:
-        dialect.execute(statement)
-    dialect.analyze_tables()
-    return dialect
-
 
 def sample_plan(flag="a") -> UnifiedPlan:
     return (
@@ -194,43 +181,41 @@ class TestLRUCache:
 
 
 class TestConverterHub:
-    def raw(self):
-        return pg_dialect().explain(
-            "SELECT c0 FROM t0 WHERE c1 < 3 ORDER BY c0", format="json"
-        ).text
-
-    def test_alias_resolution(self):
-        hub = ConverterHub()
+    def test_alias_resolution(self, hub):
         assert hub.resolve_name("postgres") == "postgresql"
         assert hub.resolve_name("PG") == "postgresql"
         assert hub.resolve_name("mssql") == "sqlserver"
         assert converter_for("mongo").dbms == "mongodb"
 
-    def test_conversion_cached_by_source_hash(self):
-        hub = ConverterHub()
-        raw = self.raw()
-        first = hub.convert("postgresql", raw, "json")
-        second = hub.convert("postgresql", raw, "json")
+    def test_conversion_cached_by_source_hash(self, hub, pg_raw):
+        first = hub.convert("postgresql", pg_raw, "json")
+        second = hub.convert("postgresql", pg_raw, "json")
         assert first is second  # shared frozen plan
         assert hub.cache_stats.hits == 1
         assert hub.cache_stats.misses == 1
-        assert hub.is_cached("postgresql", raw, "json")
+        assert hub.is_cached("postgresql", pg_raw, "json")
 
-    def test_copy_on_hit_returns_independent_plans(self):
+    def test_copy_on_hit_returns_independent_plans(self, pg_raw):
         hub = ConverterHub(copy_on_hit=True)
-        raw = self.raw()
-        first = hub.convert("postgresql", raw, "json")
-        second = hub.convert("postgresql", raw, "json")
+        first = hub.convert("postgresql", pg_raw, "json")
+        second = hub.convert("postgresql", pg_raw, "json")
         assert first is not second
         assert plans_equal(first, second)
 
-    def test_cached_plans_have_precomputed_fingerprints(self):
-        hub = ConverterHub()
-        plan = hub.convert("postgresql", self.raw(), "json")
+    def test_cached_plans_have_precomputed_fingerprints(self, hub, pg_raw):
+        plan = hub.convert("postgresql", pg_raw, "json")
         assert plan._fp_cache  # fingerprint computed at conversion time
 
-    def test_shared_converter_instances(self):
-        hub = ConverterHub()
+    def test_put_cached_seeds_external_conversions(self, hub, pg_raw):
+        plan = ConverterHub().convert("postgresql", pg_raw, "json")
+        key = hub.cache_key("postgresql", pg_raw, "json")
+        assert not hub.contains_key(key)
+        hub.put_cached(key, plan)
+        assert hub.contains_key(key)
+        seeded, parsed = hub.convert_traced("postgresql", pg_raw, "json")
+        assert seeded is plan and not parsed
+
+    def test_shared_converter_instances(self, hub):
         assert hub.converter("postgresql") is hub.converter("postgres")
 
     def test_default_hub_is_shared(self):
@@ -239,19 +224,9 @@ class TestConverterHub:
 
 
 class TestIngestService:
-    def sources(self, count=1000):
-        dialect = pg_dialect()
-        raws = [
-            dialect.explain(
-                f"SELECT c0 FROM t0 WHERE c1 = {i % 4} ORDER BY c0", format="json"
-            ).text
-            for i in range(count)
-        ]
-        return [PlanSource("postgresql", raw, "json") for raw in raws]
-
-    def test_batch_converts_only_unique_sources(self):
+    def test_batch_converts_only_unique_sources(self, sample_sources):
         service = PlanIngestService(hub=ConverterHub())
-        sources = self.sources(1000)
+        sources = sample_sources(1000)
         unique_texts = len({source.text for source in sources})
         report = service.ingest_batch(sources)
         assert len(report.entries) == 1000
@@ -261,9 +236,9 @@ class TestIngestService:
         assert service.stats.cache_hits == 1000 - unique_texts
         assert report.errors == 0
 
-    def test_fingerprint_dedup_within_batch(self):
+    def test_fingerprint_dedup_within_batch(self, sample_sources):
         service = PlanIngestService(hub=ConverterHub())
-        report = service.ingest_batch(self.sources(50))
+        report = service.ingest_batch(sample_sources(50))
         firsts = [e for e in report.entries if e.duplicate_of is None]
         duplicates = [e for e in report.entries if e.duplicate_of is not None]
         assert len(firsts) == report.unique_fingerprints
@@ -273,34 +248,34 @@ class TestIngestService:
             assert original.fingerprint == entry.fingerprint
             assert original.plan is entry.plan  # shared representative
 
-    def test_dedup_across_batches(self):
+    def test_dedup_across_batches(self, sample_sources):
         service = PlanIngestService(hub=ConverterHub())
-        first = service.ingest_batch(self.sources(40))
-        second = service.ingest_batch(self.sources(40))
+        first = service.ingest_batch(sample_sources(40))
+        second = service.ingest_batch(sample_sources(40))
         assert first.new_fingerprints > 0
         assert second.new_fingerprints == 0
         assert second.conversions == 0  # conversion cache already warm
         assert service.unique_plan_count() == first.unique_fingerprints
 
-    def test_report_plans_are_deduplicated(self):
+    def test_report_plans_are_deduplicated(self, sample_sources):
         service = PlanIngestService(hub=ConverterHub())
-        report = service.ingest_batch(self.sources(30))
+        report = service.ingest_batch(sample_sources(30))
         plans = report.plans()
         assert len(plans) == report.unique_fingerprints
         assert len({plan.fingerprint() for plan in plans}) == len(plans)
 
-    def test_per_dbms_stats(self):
+    def test_per_dbms_stats(self, sample_sources):
         service = PlanIngestService(hub=ConverterHub())
-        report = service.ingest_batch(self.sources(20))
+        report = service.ingest_batch(sample_sources(20))
         stats = report.per_dbms["postgresql"]
         assert stats.sources == 20
         assert stats.conversions + stats.cache_hits == 20
         assert stats.unique_plans == report.unique_fingerprints
         assert service.per_dbms_stats()["postgresql"].sources == 20
 
-    def test_conversion_errors_are_captured(self):
+    def test_conversion_errors_are_captured(self, sample_sources):
         service = PlanIngestService(hub=ConverterHub())
-        good = self.sources(2)
+        good = sample_sources(2)
         bad = PlanSource("postgresql", "definitely { not json", "json")
         report = service.ingest_batch(good + [bad])
         assert report.errors == 1
@@ -315,16 +290,16 @@ class TestIngestService:
         assert report.errors == 1
         assert "no converter registered" in report.entries[0].error
 
-    def test_single_ingest(self):
+    def test_single_ingest(self, sample_sources):
         service = PlanIngestService(hub=ConverterHub())
-        entry = service.ingest(self.sources(1)[0])
+        entry = service.ingest(sample_sources(1)[0])
         assert entry.ok and entry.converted
         again = service.ingest(entry.source)
         assert again.ok and not again.converted
         assert again.fingerprint == entry.fingerprint
 
-    def test_threaded_batch_matches_sequential(self):
-        sources = self.sources(64)
+    def test_threaded_batch_matches_sequential(self, sample_sources):
+        sources = sample_sources(64)
         sequential = PlanIngestService(hub=ConverterHub(), max_workers=1)
         threaded = PlanIngestService(
             hub=ConverterHub(), max_workers=4, parallel_threshold=2
@@ -337,8 +312,41 @@ class TestIngestService:
             e.fingerprint for e in right.entries
         ]
 
-    def test_mixed_dbms_batch(self):
-        pg = pg_dialect()
+    def test_process_pool_batch_matches_sequential(self, sample_sources):
+        sources = sample_sources(64)
+        sequential = PlanIngestService(hub=ConverterHub(), max_workers=1)
+        with PlanIngestService(
+            hub=ConverterHub(),
+            executor="process",
+            max_workers=2,
+            process_threshold=2,
+        ) as pooled:
+            left = sequential.ingest_batch(sources)
+            right = pooled.ingest_batch(sources)
+            assert left.conversions == right.conversions
+            assert left.unique_fingerprints == right.unique_fingerprints
+            assert [e.fingerprint for e in left.entries] == [
+                e.fingerprint for e in right.entries
+            ]
+            # The parent hub was seeded with the pool's conversions, so a
+            # second batch is served without parsing anywhere.
+            again = pooled.ingest_batch(sources)
+            assert again.conversions == 0
+
+    def test_process_pool_captures_conversion_errors(self, sample_sources):
+        with PlanIngestService(
+            hub=ConverterHub(),
+            executor="process",
+            max_workers=2,
+            process_threshold=1,
+        ) as service:
+            bad = PlanSource("postgresql", "definitely { not json", "json")
+            report = service.ingest_batch(sample_sources(4) + [bad])
+            assert report.errors == 1
+            assert not report.entries[4].ok
+
+    def test_mixed_dbms_batch(self, pg_dialect):
+        pg = pg_dialect
         sqlite = create_dialect("sqlite")
         sqlite.execute("CREATE TABLE t0 (c0 INT, c1 INT)")
         sqlite.execute("INSERT INTO t0 (c0, c1) VALUES (1, 2)")
@@ -356,6 +364,72 @@ class TestIngestService:
         assert report.conversions == 2
         assert report.per_dbms["postgresql"].conversions == 1
         assert report.per_dbms["sqlite"].conversions == 1
+
+
+class TestFrozenPlanContract:
+    """The documented frozen-plan invariant, tested as behaviour.
+
+    Plans returned by the hub/service are shared — between duplicate batch
+    entries, with the conversion cache, and with the service's coverage
+    index.  The contract (see ``repro/pipeline/ingest.py``): mutating a
+    returned plan without ``copy()`` invalidates its cached fingerprints,
+    so the recomputed fingerprint diverges from the index key the plan is
+    filed under, corrupting deduplication for every sharer.  Consumers that
+    need to mutate must ``copy()`` first.
+    """
+
+    def test_mutation_invalidates_the_returned_fingerprint(self, tiny_corpus):
+        service = PlanIngestService(hub=ConverterHub())
+        entry = service.ingest(tiny_corpus[0])
+        assert entry.plan.fingerprint() == entry.fingerprint
+        entry.plan.root.add_child(
+            PlanNode(Operation(OperationCategory.EXECUTOR, "Gather"))
+        )
+        # The invariant: in-place mutation does not go unnoticed — the
+        # plan's identity visibly diverges from the fingerprint it was
+        # ingested under (rather than silently keeping the stale digest).
+        assert entry.plan.fingerprint() != entry.fingerprint
+
+    def test_mutation_without_copy_corrupts_shared_state(self, tiny_corpus):
+        service = PlanIngestService(hub=ConverterHub())
+        entry = service.ingest(tiny_corpus[0])
+        shared = service.plan_for(entry.fingerprint)
+        assert shared is entry.plan  # the index holds the same object
+        entry.plan.root.add_child(
+            PlanNode(Operation(OperationCategory.EXECUTOR, "Gather"))
+        )
+        # The corruption the contract warns about: the indexed plan no
+        # longer hashes to the fingerprint it is filed under, and the
+        # conversion cache now returns the mutated object for the original
+        # raw text.
+        assert service.plan_for(entry.fingerprint).fingerprint() != entry.fingerprint
+        resurfaced = service.ingest(tiny_corpus[0])
+        assert resurfaced.plan is entry.plan
+
+    def test_copy_isolates_mutation(self, tiny_corpus):
+        service = PlanIngestService(hub=ConverterHub())
+        entry = service.ingest(tiny_corpus[0])
+        twin = entry.plan.copy()
+        twin.root.add_child(
+            PlanNode(Operation(OperationCategory.EXECUTOR, "Gather"))
+        )
+        assert twin.fingerprint() != entry.fingerprint
+        # The shared original (and therefore the index) is untouched.
+        assert entry.plan.fingerprint() == entry.fingerprint
+        assert service.plan_for(entry.fingerprint).fingerprint() == entry.fingerprint
+
+    def test_mutation_below_fingerprinted_ancestor_needs_invalidate(self, tiny_corpus):
+        service = PlanIngestService(hub=ConverterHub())
+        plan = service.ingest(tiny_corpus[0]).plan.copy()
+        before = plan.fingerprint()
+        leaf = plan.leaf_nodes()[0]
+        # Mutating a descendant clears only the descendant's cache; the
+        # already-fingerprinted ancestors keep their digests until
+        # invalidate_fingerprints() is called on the outermost tree.
+        leaf.add_property(PropertyCategory.CONFIGURATION, "Extra Flag", True)
+        assert plan.fingerprint() == before  # documented staleness
+        plan.invalidate_fingerprints()
+        assert plan.fingerprint() != before
 
 
 class TestQPGIntegration:
@@ -419,15 +493,13 @@ class TestReviewRegressions:
         )
         assert restored.fingerprint() != original
 
-    def test_alias_variants_dedupe_to_one_conversion(self):
-        dialect = pg_dialect()
-        raw = dialect.explain("SELECT c0 FROM t0 WHERE c1 < 2", format="json").text
+    def test_alias_variants_dedupe_to_one_conversion(self, pg_raw):
         service = PlanIngestService(hub=ConverterHub())
         report = service.ingest_batch(
             [
-                PlanSource("postgresql", raw, "json"),
-                PlanSource("postgres", raw, "json"),
-                PlanSource("PG", raw, "json"),
+                PlanSource("postgresql", pg_raw, "json"),
+                PlanSource("postgres", pg_raw, "json"),
+                PlanSource("PG", pg_raw, "json"),
             ]
         )
         assert report.conversions == 1
