@@ -7,7 +7,7 @@ Usage (from the repository root)::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --suite    # + full pytest-benchmark run
     PYTHONPATH=src python benchmarks/run_benchmarks.py --output somewhere.json
 
-Two snapshots are written:
+Three snapshots are written:
 
 * ``BENCH_pipeline.json`` — batched-vs-single ingestion and
   fingerprint-vs-deep-compare speedup, with the service statistics proving
@@ -15,8 +15,12 @@ Two snapshots are written:
 * ``BENCH_coverage.json`` — warm-start ingest over a persisted
   :class:`~repro.pipeline.CoverageStore` (how many conversions the
   persistent source index skips) and process-pool vs single-thread
-  conversion throughput on a CPU-heavy batch.
+  conversion throughput on a CPU-heavy batch;
+* ``BENCH_campaign.json`` — end-to-end QPG queries/sec with cold vs warm
+  prepared-query/conversion caches, a per-stage lifecycle profile, and the
+  cache-on vs cache-off campaign-equivalence check.
 
+``--only pipeline|coverage|campaign`` restricts the run to one snapshot.
 ``--quick`` shrinks the corpora so the whole driver finishes in seconds —
 that is the mode CI smoke-runs.  The tier-1 test suite the snapshots should
 always be accompanied by is::
@@ -44,6 +48,7 @@ from repro import __version__  # noqa: E402
 from repro.converters import ConverterHub  # noqa: E402
 from repro.pipeline import PlanIngestService, PlanSource  # noqa: E402
 
+import bench_campaign  # noqa: E402
 import bench_coverage  # noqa: E402
 import bench_pipeline  # noqa: E402
 
@@ -130,6 +135,17 @@ def main(argv=None) -> int:
         help="where to write the coverage perf snapshot (default: repo root)",
     )
     parser.add_argument(
+        "--campaign-output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_campaign.json"),
+        help="where to write the campaign perf snapshot (default: repo root)",
+    )
+    parser.add_argument(
+        "--only",
+        choices=["pipeline", "coverage", "campaign"],
+        default=None,
+        help="run just one snapshot instead of all three",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="small corpora / single repeats — the CI smoke mode",
@@ -141,47 +157,75 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    snapshot = collect_snapshot(quick=args.quick)
-    with open(args.output, "w") as handle:
-        json.dump(snapshot, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"wrote {args.output}")
-    print(
-        "batched ingest: {:.1f}x faster than single; fingerprint equality: "
-        "{:.0f}x faster than deep compare".format(
-            snapshot["batched_speedup"], snapshot["fingerprint_equality"]["speedup"]
-        )
-    )
-
-    coverage_snapshot = bench_coverage.collect_snapshot(quick=args.quick)
-    with open(args.coverage_output, "w") as handle:
-        json.dump(coverage_snapshot, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"wrote {args.coverage_output}")
-    warm = coverage_snapshot["warm_start"]
-    pool = coverage_snapshot["process_pool"]
-    print(
-        "warm-start ingest: skipped {:.0f}% of conversions ({:.1f}x faster); "
-        "process pool: {:.2f}x vs single thread on {} cpu(s)".format(
-            warm["skip_ratio"] * 100,
-            warm["warm_speedup"],
-            pool["speedup"],
-            coverage_snapshot["cpus"],
-        )
-    )
+    def write_snapshot(payload: dict, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path}")
 
     violated = False
-    if not all(snapshot["invariants"].values()):
-        print("PIPELINE INVARIANTS VIOLATED:", snapshot["invariants"], file=sys.stderr)
-        violated = True
-    coverage_invariants = dict(coverage_snapshot["invariants"])
-    coverage_invariants.pop("process_pool_gated", None)  # informational
-    if not all(coverage_invariants.values()):
+
+    if args.only in (None, "pipeline"):
+        snapshot = collect_snapshot(quick=args.quick)
+        write_snapshot(snapshot, args.output)
         print(
-            "COVERAGE INVARIANTS VIOLATED:", coverage_snapshot["invariants"],
-            file=sys.stderr,
+            "batched ingest: {:.1f}x faster than single; fingerprint equality: "
+            "{:.0f}x faster than deep compare".format(
+                snapshot["batched_speedup"], snapshot["fingerprint_equality"]["speedup"]
+            )
         )
-        violated = True
+        if not all(snapshot["invariants"].values()):
+            print(
+                "PIPELINE INVARIANTS VIOLATED:", snapshot["invariants"],
+                file=sys.stderr,
+            )
+            violated = True
+
+    if args.only in (None, "coverage"):
+        coverage_snapshot = bench_coverage.collect_snapshot(quick=args.quick)
+        write_snapshot(coverage_snapshot, args.coverage_output)
+        warm = coverage_snapshot["warm_start"]
+        pool = coverage_snapshot["process_pool"]
+        print(
+            "warm-start ingest: skipped {:.0f}% of conversions ({:.1f}x faster); "
+            "process pool: {:.2f}x vs single thread on {} cpu(s)".format(
+                warm["skip_ratio"] * 100,
+                warm["warm_speedup"],
+                pool["speedup"],
+                coverage_snapshot["cpus"],
+            )
+        )
+        coverage_invariants = dict(coverage_snapshot["invariants"])
+        coverage_invariants.pop("process_pool_gated", None)  # informational
+        if not all(coverage_invariants.values()):
+            print(
+                "COVERAGE INVARIANTS VIOLATED:", coverage_snapshot["invariants"],
+                file=sys.stderr,
+            )
+            violated = True
+
+    if args.only in (None, "campaign"):
+        campaign_snapshot = bench_campaign.collect_snapshot(quick=args.quick)
+        write_snapshot(campaign_snapshot, args.campaign_output)
+        loop = campaign_snapshot["qpg_loop"]
+        equivalence = campaign_snapshot["cache_equivalence"]
+        print(
+            "QPG loop: {:.0f} q/s cold, {:.0f} q/s warm ({:.2f}x); "
+            "cache-off campaign identical: coverage={} reports={}".format(
+                loop["cold"]["queries_per_second"],
+                loop["warm"]["queries_per_second"],
+                loop["warm_speedup"],
+                equivalence["coverage_identical"],
+                equivalence["reports_identical"],
+            )
+        )
+        if not all(campaign_snapshot["invariants"].values()):
+            print(
+                "CAMPAIGN INVARIANTS VIOLATED:", campaign_snapshot["invariants"],
+                file=sys.stderr,
+            )
+            violated = True
+
     if violated:
         return 1
     if args.suite:

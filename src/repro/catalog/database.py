@@ -25,6 +25,22 @@ class Database:
         self._tables: Dict[str, HeapTable] = {}
         self._indexes: Dict[str, OrderedIndex] = {}
         self._statistics: Dict[str, TableStatistics] = {}
+        #: Monotonic catalog/statistics version.  Every mutation that can
+        #: change how a statement parses into a *different best plan* — DDL,
+        #: DML (row counts feed the cost model), and statistics collection —
+        #: bumps it.  The prepared-query cache keys plans by this number, so
+        #: a mutated database can never serve a stale plan.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """The current catalog/statistics version (see ``__init__``)."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Advance the catalog version, invalidating cached prepared plans."""
+        self._version += 1
+        return self._version
 
     # -- DDL ------------------------------------------------------------------------
 
@@ -47,6 +63,7 @@ class Database:
             )
             self._indexes[definition.name.lower()] = OrderedIndex(definition)
         self._statistics[key] = TableStatistics(table=schema.name)
+        self.bump_version()
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         """Drop a table together with its indexes and statistics."""
@@ -63,6 +80,7 @@ class Database:
             if index.definition.table_name.lower() == key
         ]:
             del self._indexes[index_name]
+        self.bump_version()
 
     def create_index(
         self,
@@ -85,6 +103,7 @@ class Database:
         for row_id, row in table.scan():
             ordered.insert(tuple(row[column] for column in definition.columns), row_id)
         self._indexes[name.lower()] = ordered
+        self.bump_version()
         return definition
 
     def drop_index(self, name: str) -> None:
@@ -92,6 +111,7 @@ class Database:
         if name.lower() not in self._indexes:
             raise CatalogError(f"index {name!r} does not exist")
         del self._indexes[name.lower()]
+        self.bump_version()
 
     # -- access -----------------------------------------------------------------------
 
@@ -147,6 +167,8 @@ class Database:
                 key = tuple(stored[column] for column in index.definition.columns)
                 index.insert(key, row_id)
             inserted += 1
+        if inserted:
+            self.bump_version()
         return inserted
 
     def update_rows(self, table_name: str, row_ids: Sequence[int], changes_per_row: Sequence[Row]) -> int:
@@ -164,6 +186,8 @@ class Database:
                 if old_key != new_key:
                     index.remove(old_key, row_id)
                     index.insert(new_key, row_id)
+        if row_ids:
+            self.bump_version()
         return len(row_ids)
 
     def delete_rows(self, table_name: str, row_ids: Sequence[int]) -> int:
@@ -176,6 +200,8 @@ class Database:
                 key = tuple(row[column] for column in index.definition.columns)
                 index.remove(key, row_id)
             table.delete(row_id)
+        if row_ids:
+            self.bump_version()
         return len(row_ids)
 
     # -- statistics ---------------------------------------------------------------------
@@ -196,6 +222,7 @@ class Database:
                 numeric_columns,
                 table.schema.column_names(),
             )
+        self.bump_version()
 
     def statistics(self, table_name: str) -> TableStatistics:
         """Return the most recently collected statistics for *table_name*.

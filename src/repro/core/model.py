@@ -434,21 +434,40 @@ class PlanNode:
         cached = self._fp_cache.get(FINGERPRINT_IDENTITY)
         if cached is not None:
             return cached
-        hasher = hashlib.blake2b(digest_size=16)
-        # Keywords cannot contain the separator (is_valid_keyword), so the
-        # operation needs no framing; property lines embed arbitrary values
-        # and are length-framed to keep the digest injective.
-        hasher.update(self.operation.category.value.encode("utf-8"))
-        hasher.update(b"\x00")
-        hasher.update(self.operation.identifier.encode("utf-8"))
-        for prop in canonical_properties(self.properties):
-            _update_framed(hasher, b"\x01", _property_line(prop))
-        for child in self.children:
-            hasher.update(b"\x02")
-            hasher.update(child.fingerprint().encode("ascii"))
-        digest = hasher.hexdigest()
-        self._fp_cache[FINGERPRINT_IDENTITY] = digest
-        return digest
+        # Iterative post-order walk with hoisted bindings: plan fingerprints
+        # sit on the campaign hot path (one per explained query), and the
+        # recursive form paid a Python frame plus global lookups per node.
+        blake2b = hashlib.blake2b
+        framed = _update_framed
+        line = _property_line
+        key = FINGERPRINT_IDENTITY
+        stack = [self]
+        pending: List["PlanNode"] = []
+        while stack:
+            node = stack.pop()
+            if key in node._fp_cache:
+                continue
+            pending.append(node)
+            stack.extend(node.children)
+        for node in reversed(pending):  # children always precede parents
+            cache = node._fp_cache
+            if key in cache:
+                continue
+            hasher = blake2b(digest_size=16)
+            update = hasher.update
+            # Keywords cannot contain the separator (is_valid_keyword), so the
+            # operation needs no framing; property lines embed arbitrary values
+            # and are length-framed to keep the digest injective.
+            update(node.operation.category.value.encode("utf-8"))
+            update(b"\x00")
+            update(node.operation.identifier.encode("utf-8"))
+            for prop in canonical_properties(node.properties):
+                framed(hasher, b"\x01", line(prop))
+            for child in node.children:
+                update(b"\x02")
+                update(child._fp_cache[key].encode("ascii"))
+            cache[key] = hasher.hexdigest()
+        return self._fp_cache[key]
 
     def invalidate_fingerprints(self) -> None:
         """Clear every cached fingerprint in the subtree (after mutation)."""

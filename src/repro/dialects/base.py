@@ -26,13 +26,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.catalog.database import Database
+from repro.dialects.prepared import PreparedQueryCache, reset_runtime
 from repro.engine.executor import Executor, Row
-from repro.errors import DialectError, UnsupportedFormatError
+from repro.errors import DialectError, ParseError, UnsupportedFormatError
 from repro.optimizer.cost import CostModel
 from repro.optimizer.physical import PhysicalNode
 from repro.optimizer.planner import Planner, PlannerOptions
 from repro.sqlparser import ast_nodes as ast
-from repro.sqlparser.parser import parse_one, parse_sql
 
 
 @dataclass
@@ -116,13 +116,19 @@ class RelationalDialect(SimulatedDBMS):
     #: Counter seed for per-plan operator identifiers (e.g. TiDB's ``_5``).
     identifier_seed: int = 3
 
-    def __init__(self) -> None:
+    def __init__(self, prepared_cache: bool = True) -> None:
         self.database = Database(self.name)
         self.planner = Planner(
             self.database, cost_model=self.cost_model(), options=self.planner_options()
         )
         self.executor = Executor(self.database, self.planner)
         self._statements_executed = 0
+        #: Memoised lex→parse→plan results for the campaign hot path.  The
+        #: cache is keyed on the database's catalog version, so DDL / DML /
+        #: ``analyze_tables`` invalidate it implicitly; ``prepared_cache=False``
+        #: (or ``self.prepared.enabled = False``) turns it off with byte-for-
+        #: byte identical results — see tests/test_prepared_cache.py.
+        self.prepared = PreparedQueryCache(enabled=prepared_cache)
 
     # -- per-dialect configuration ------------------------------------------------
 
@@ -145,15 +151,28 @@ class RelationalDialect(SimulatedDBMS):
     # -- statement execution --------------------------------------------------------
 
     def execute(self, statement: str) -> List[Row]:
-        """Parse, plan, and execute one or more SQL statements."""
+        """Parse, plan, and execute one or more SQL statements.
+
+        Parsing and planning go through :attr:`prepared`: repeated statement
+        texts reuse their AST, and their physical plan too as long as the
+        database's catalog version is unchanged.  Plans for each statement of
+        a multi-statement script are keyed at the version current when that
+        statement runs, so earlier statements' mutations are always seen.
+        """
         results: List[Row] = []
-        for parsed in parse_sql(statement):
+        text_key, statements = self.prepared.parse(statement)
+        for index, parsed in enumerate(statements):
             if isinstance(parsed, ast.Explain):
                 output = self.explain(
                     statement, format=parsed.format, analyze=parsed.analyze
                 )
                 return [{"QUERY PLAN": output.text}]
-            plan = self.planner.plan_statement(parsed)
+            plan = self.prepared.plan(
+                text_key,
+                index,
+                self.database.version,
+                lambda parsed=parsed: self.planner.plan_statement(parsed),
+            )
             results = self.executor.execute(plan)
             self._statements_executed += 1
             if isinstance(parsed, (ast.Insert, ast.Delete, ast.Update, ast.CreateIndex)):
@@ -172,15 +191,27 @@ class RelationalDialect(SimulatedDBMS):
     ) -> ExplainOutput:
         """Plan (and optionally execute) a statement, returning its native plan."""
         chosen = self._check_format(format)
-        parsed = parse_one(statement)
+        text_key, statements = self.prepared.parse(statement)
+        if len(statements) != 1:
+            raise ParseError(
+                f"expected exactly one statement, found {len(statements)}"
+            )
+        parsed = statements[0]
         if isinstance(parsed, ast.Explain):
             analyze = analyze or parsed.analyze
             if parsed.format:
                 chosen = self._check_format(parsed.format)
             parsed = parsed.statement
-        physical = self.planner.plan_statement(parsed)
+        physical = self.prepared.plan(
+            text_key,
+            0,
+            self.database.version,
+            lambda: self.planner.plan_statement(parsed),
+        )
         if analyze:
-            self.executor.execute(physical, analyze=True)
+            # The cached tree is shared across executions; report this run's
+            # statistics, not an accumulation over every run the tree saw.
+            self.executor.execute(reset_runtime(physical), analyze=True)
         raw = self.shape_plan(physical, analyze=analyze)
         text = self.serialize_plan(raw, chosen)
         return ExplainOutput(dbms=self.name, format=chosen, text=text, query=statement)

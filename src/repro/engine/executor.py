@@ -20,6 +20,7 @@ from repro.catalog.database import Database
 from repro.catalog.schema import Column, DataType, TableSchema
 from repro.engine.expressions import (
     EvaluationContext,
+    compile_predicate,
     evaluate,
     evaluate_predicate,
     resolve_column,
@@ -79,11 +80,32 @@ class Executor:
     def _context(self, row: Row, outer_row: Row) -> EvaluationContext:
         # The current row's columns take precedence over (and are listed
         # before) the outer query's columns, so unqualified references inside
-        # subqueries resolve to the inner scope first.
+        # subqueries resolve to the inner scope first.  Without an outer row
+        # (every top-level query) the row is used as-is: evaluation never
+        # mutates context rows, so the copy would be pure overhead.
+        if not outer_row:
+            return EvaluationContext(row, self._run_subquery)
         merged = dict(row)
         for key, value in outer_row.items():
             merged.setdefault(key, value)
-        return EvaluationContext(row=merged, subquery_executor=self._run_subquery)
+        return EvaluationContext(merged, self._run_subquery)
+
+    def _node_predicate(self, node: PhysicalNode, key: str):
+        """The compiled predicate for ``node.info[key]``, cached on the node.
+
+        Physical plans are shared across executions by the prepared-query
+        cache, so the compiled closure is computed once per (node, key) and
+        reused by every later execution of the same plan.
+        """
+        cache = getattr(node, "_compiled", None)
+        if cache is None:
+            cache = {}
+            node._compiled = cache
+        compiled = cache.get(key)
+        if compiled is None:
+            compiled = compile_predicate(node.info.get(key))
+            cache[key] = compiled
+        return compiled
 
     def _run_subquery(self, query: ast.SelectStatement, outer_row: Row) -> List[Row]:
         planner = self._get_planner()
@@ -102,12 +124,19 @@ class Executor:
     def _execute_seq_scan(self, node: PhysicalNode, analyze: bool, outer_row: Row) -> List[Row]:
         table = self.database.table(node.info["table"])
         alias = node.info.get("alias") or node.info["table"]
-        predicate = node.info.get("filter")
+        prefix = alias + "."
         output: List[Row] = []
+        append = output.append
+        if node.info.get("filter") is None:
+            for _, stored in table.scan():
+                append({prefix + column: value for column, value in stored.items()})
+            return output
+        check = self._node_predicate(node, "filter")
+        context = self._context
         for _, stored in table.scan():
-            row = {f"{alias}.{column}": value for column, value in stored.items()}
-            if predicate is None or evaluate_predicate(predicate, self._context(row, outer_row)):
-                output.append(row)
+            row = {prefix + column: value for column, value in stored.items()}
+            if check(context(row, outer_row)):
+                append(row)
         return output
 
     def _execute_index_scan(self, node: PhysicalNode, analyze: bool, outer_row: Row) -> List[Row]:
@@ -131,14 +160,24 @@ class Executor:
                 row_id
                 for _, row_id in index.range_scan(low, high, include_low, include_high)
             ]
+        check_index = (
+            self._node_predicate(node, "index_condition")
+            if index_condition is not None
+            else None
+        )
+        check_filter = (
+            self._node_predicate(node, "filter") if predicate is not None else None
+        )
+        prefix = alias + "."
+        append = output.append
         for row_id in row_ids:
             stored = table.get(row_id)
-            row = {f"{alias}.{column}": value for column, value in stored.items()}
+            row = {prefix + column: value for column, value in stored.items()}
             context = self._context(row, outer_row)
-            if index_condition is not None and not evaluate_predicate(index_condition, context):
+            if check_index is not None and not check_index(context):
                 continue
-            if predicate is None or evaluate_predicate(predicate, context):
-                output.append(row)
+            if check_filter is None or check_filter(context):
+                append(row)
         return output
 
     def _execute_values(self, node: PhysicalNode, analyze: bool, outer_row: Row) -> List[Row]:
@@ -180,13 +219,6 @@ class Executor:
 
     # ------------------------------------------------------------------ joins
 
-    def _join_condition_ok(
-        self, condition: Optional[ast.Expression], row: Row, outer_row: Row
-    ) -> bool:
-        if condition is None:
-            return True
-        return bool(evaluate_predicate(condition, self._context(row, outer_row)))
-
     def _execute_nested_loop_join(
         self, node: PhysicalNode, analyze: bool, outer_row: Row
     ) -> List[Row]:
@@ -201,10 +233,16 @@ class Executor:
         keys = _equi_join_keys(condition)
         if not keys:
             return self._join_rows(node, left_rows, right_rows, outer_row)
+        # Key references and the compiled join condition are hoisted out of
+        # the probe loop: they are per-node constants, not per-row facts.
+        right_references = [right_key for _, right_key in keys]
+        left_references = [left_key for left_key, _ in keys]
+        check = self._node_predicate(node, "condition")
+        context = self._context
         # Build a hash table on the right side.
         build: Dict[Tuple, List[Row]] = {}
         for right in right_rows:
-            key = _hash_key(right, [right_key for _, right_key in keys], outer_row)
+            key = _hash_key(right, right_references, outer_row)
             if key is None:
                 continue
             build.setdefault(key, []).append(right)
@@ -212,25 +250,27 @@ class Executor:
         right_null_row = _null_row_like(right_rows)
         left_null_row = _null_row_like(left_rows)
         output: List[Row] = []
+        append = output.append
+        empty: List[Row] = []
         for left in left_rows:
-            key = _hash_key(left, [left_key for left_key, _ in keys], outer_row)
-            matches = build.get(key, []) if key is not None else []
+            key = _hash_key(left, left_references, outer_row)
+            matches = build.get(key, empty) if key is not None else empty
             matched = False
             for right in matches:
                 combined = {**left, **right}
-                if self._join_condition_ok(condition, combined, outer_row):
+                if check(context(combined, outer_row)):
                     matched = True
-                    output.append(combined)
+                    append(combined)
             if not matched and join_type in ("LEFT", "FULL"):
-                output.append({**left, **right_null_row})
+                append({**left, **right_null_row})
         if join_type in ("RIGHT", "FULL"):
             for right in right_rows:
                 has_match = any(
-                    self._join_condition_ok(condition, {**left, **right}, outer_row)
+                    check(context({**left, **right}, outer_row))
                     for left in left_rows
                 )
                 if not has_match:
-                    output.append({**left_null_row, **right})
+                    append({**left_null_row, **right})
         return output
 
     def _execute_merge_join(self, node: PhysicalNode, analyze: bool, outer_row: Row) -> List[Row]:
@@ -244,7 +284,8 @@ class Executor:
         right_rows: List[Row],
         outer_row: Row,
     ) -> List[Row]:
-        condition = node.info.get("condition")
+        check = self._node_predicate(node, "condition")
+        context = self._context
         join_type = node.info.get("join_type", "INNER")
         right_null_row = _null_row_like(right_rows)
         left_null_row = _null_row_like(left_rows)
@@ -254,7 +295,7 @@ class Executor:
             matched = False
             for right in right_rows:
                 combined = {**left, **right}
-                if self._join_condition_ok(condition, combined, outer_row):
+                if check(context(combined, outer_row)):
                     matched = True
                     matched_right_ids.add(id(right))
                     output.append(combined)
@@ -426,12 +467,9 @@ class Executor:
 
     def _execute_filter(self, node: PhysicalNode, analyze: bool, outer_row: Row) -> List[Row]:
         rows = self._execute_node(node.children[0], analyze, outer_row)
-        predicate = node.info.get("predicate")
-        return [
-            row
-            for row in rows
-            if evaluate_predicate(predicate, self._context(row, outer_row))
-        ]
+        check = self._node_predicate(node, "predicate")
+        context = self._context
+        return [row for row in rows if check(context(row, outer_row))]
 
     def _execute_passthrough(self, node: PhysicalNode, analyze: bool, outer_row: Row) -> List[Row]:
         return self._execute_node(node.children[0], analyze, outer_row)
@@ -486,11 +524,10 @@ class Executor:
         alias = statement.table
         row_ids: List[int] = []
         changes: List[Row] = []
+        check = compile_predicate(statement.where)
         for row_id, stored in list(table.scan()):
             row = {f"{alias}.{column}": value for column, value in stored.items()}
-            if statement.where is None or evaluate_predicate(
-                statement.where, self._context(row, outer_row)
-            ):
+            if check(self._context(row, outer_row)):
                 new_values: Row = {}
                 for column, expression in statement.assignments:
                     new_values[column] = evaluate(expression, self._context(row, outer_row))
@@ -504,11 +541,10 @@ class Executor:
         table = self.database.table(statement.table)
         alias = statement.table
         row_ids: List[int] = []
+        check = compile_predicate(statement.where)
         for row_id, stored in list(table.scan()):
             row = {f"{alias}.{column}": value for column, value in stored.items()}
-            if statement.where is None or evaluate_predicate(
-                statement.where, self._context(row, outer_row)
-            ):
+            if check(self._context(row, outer_row)):
                 row_ids.append(row_id)
         deleted = self.database.delete_rows(statement.table, row_ids)
         return [{"deleted": deleted}]
@@ -556,6 +592,8 @@ class Executor:
 
 class _Bounds:
     """Bounds extracted from an index condition on the leading column."""
+
+    __slots__ = ("low", "high", "include_low", "include_high", "equality_values")
 
     def __init__(self) -> None:
         self.low: Optional[object] = None
@@ -656,9 +694,10 @@ def _hash_key(
     row: Row, references: Sequence[ast.ColumnRef], outer_row: Row
 ) -> Optional[Tuple]:
     values = []
+    source = {**outer_row, **row} if outer_row else row
     for reference in references:
         try:
-            value = resolve_column({**outer_row, **row}, reference)
+            value = resolve_column(source, reference)
         except ExecutionError:
             return None
         if value is None:

@@ -28,6 +28,8 @@ SubqueryExecutor = Callable[[ast.SelectStatement, Row], List[Row]]
 class EvaluationContext:
     """Carries the current row and the subquery-execution hook."""
 
+    __slots__ = ("row", "subquery_executor")
+
     def __init__(
         self,
         row: Optional[Row] = None,
@@ -411,3 +413,168 @@ def evaluate_predicate(
     if expression is None:
         return True
     return _to_bool(evaluate(expression, context))
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+#
+# :func:`evaluate` re-discovers an expression's shape — a chain of
+# ``isinstance`` checks plus operator-string dispatch — for *every row*.  The
+# executor's inner loops (scan filters, join conditions, WHERE clauses of
+# DML) evaluate one fixed expression over thousands of rows, so the dispatch
+# can be done once: :func:`compile_expression` walks the tree a single time
+# and returns a closure of closures that only performs the per-row work.
+#
+# The compiled form is semantically identical to :func:`evaluate` (including
+# three-valued logic, NULL propagation, and error behaviour); expression
+# kinds outside the hot set — subqueries, CASE, CAST, aggregates — fall back
+# to an ``evaluate`` closure, so compilation is total.
+
+_COMPARISON_OPERATORS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+
+#: Callable evaluating one compiled expression against a context.
+CompiledExpression = Callable[[EvaluationContext], object]
+
+
+def compile_expression(expression: ast.Expression) -> CompiledExpression:
+    """Compile *expression* into a closure equivalent to ``evaluate``."""
+    if isinstance(expression, ast.Literal):
+        value = expression.value
+        return lambda context: value
+    if isinstance(expression, ast.ColumnRef):
+        # Pre-compute the row key; fall back to the slow resolver only when
+        # the fast key is absent (case differences, unqualified references).
+        key = (
+            f"{expression.table}.{expression.column}"
+            if expression.table
+            else expression.column
+        )
+
+        def column(context, key=key, expression=expression):
+            row = context.row
+            if key in row:
+                return row[key]
+            return resolve_column(row, expression)
+
+        return column
+    if isinstance(expression, ast.BinaryOp):
+        operator = expression.operator.upper()
+        left = compile_expression(expression.left)
+        right = compile_expression(expression.right)
+        if operator == "AND":
+            return lambda context: _logical_and(
+                _to_bool(left(context)), _to_bool(right(context))
+            )
+        if operator == "OR":
+            return lambda context: _logical_or(
+                _to_bool(left(context)), _to_bool(right(context))
+            )
+        if operator in _COMPARISON_OPERATORS:
+            return lambda context: _compare(operator, left(context), right(context))
+        return lambda context: _arithmetic(operator, left(context), right(context))
+    if isinstance(expression, ast.UnaryOp):
+        operand = compile_expression(expression.operand)
+        if expression.operator.upper() == "NOT":
+
+            def negation(context):
+                value = _to_bool(operand(context))
+                return None if value is None else not value
+
+            return negation
+        negate = expression.operator == "-"
+
+        def sign(context):
+            value = operand(context)
+            if value is None:
+                return None
+            return -value if negate else +value
+
+        return sign
+    if isinstance(expression, ast.IsNull):
+        inner = compile_expression(expression.expression)
+        if expression.negated:
+            return lambda context: inner(context) is not None
+        return lambda context: inner(context) is None
+    if isinstance(expression, ast.Between):
+        value_fn = compile_expression(expression.expression)
+        low_fn = compile_expression(expression.low)
+        high_fn = compile_expression(expression.high)
+        negated = expression.negated
+
+        def between(context):
+            value = value_fn(context)
+            result = _logical_and(
+                _compare(">=", value, low_fn(context)),
+                _compare("<=", value, high_fn(context)),
+            )
+            if result is None:
+                return None
+            return (not result) if negated else result
+
+        return between
+    if isinstance(expression, ast.Like):
+        value_fn = compile_expression(expression.expression)
+        pattern_fn = compile_expression(expression.pattern)
+        negated = expression.negated
+
+        def like(context):
+            result = _like(value_fn(context), pattern_fn(context))
+            if result is None:
+                return None
+            return (not result) if negated else result
+
+        return like
+    if isinstance(expression, ast.InList):
+        value_fn = compile_expression(expression.expression)
+        item_fns = [compile_expression(item) for item in expression.items]
+        negated = expression.negated
+
+        def in_list(context):
+            value = value_fn(context)
+            if value is None:
+                return None
+            saw_null = False
+            for item_fn in item_fns:
+                candidate = item_fn(context)
+                if candidate is None:
+                    saw_null = True
+                    continue
+                if _compare("=", value, candidate):
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return in_list
+    if isinstance(expression, ast.FunctionCall):
+        name = expression.name.upper()
+        if name not in AGGREGATE_FUNCTIONS:
+            implementation = _SCALAR_FUNCTIONS.get(name)
+            if implementation is None:
+                message = f"unknown function {expression.name!r}"
+                def unknown(context):
+                    raise ExecutionError(message)
+                return unknown
+            argument_fns = [
+                compile_expression(argument) for argument in expression.arguments
+            ]
+            return lambda context: implementation(
+                *[argument_fn(context) for argument_fn in argument_fns]
+            )
+        # Aggregates read the pre-computed value out of the row; defer to the
+        # interpreter (which owns the printed-key protocol).
+    return lambda context: evaluate(expression, context)
+
+
+def compile_predicate(
+    expression: Optional[ast.Expression],
+) -> Callable[[EvaluationContext], Optional[bool]]:
+    """Compile a predicate into a ``context -> True/False/None`` closure.
+
+    Equivalent to :func:`evaluate_predicate` with the expression bound.
+    """
+    if expression is None:
+        return lambda context: True
+    compiled = compile_expression(expression)
+    return lambda context: _to_bool(compiled(context))

@@ -59,6 +59,9 @@ class QPGStatistics:
     queries_generated: int = 0
     unique_plans: int = 0
     mutations_applied: int = 0
+    #: Plans resolved via the hub's ``is_cached`` fast path (no PlanSource
+    #: built, no ingest-service bookkeeping) — still conversion-cache hits.
+    fast_path_hits: int = 0
     oracle_checks: int = 0
     oracle_violations: int = 0
     violating_queries: List[str] = field(default_factory=list)
@@ -99,6 +102,23 @@ class QueryPlanGuidance:
         """
         explain_format = self.config.explain_format or self.converter.formats[0]
         output = self.dialect.explain(query, format=explain_format)
+        hub = self.ingest_service.hub
+        # Fast path (PR-1 follow-up): raw plan texts a campaign has already
+        # converted in this process resolve straight from the hub's
+        # conversion cache — no PlanSource object, no ingest bookkeeping.
+        # Gated on the coverage index already holding the fingerprint, so
+        # the slow path below remains the only writer of coverage entries.
+        key = hub.cache_key(self.dialect.name, output.text, explain_format)
+        if hub.contains_key(key):
+            plan, _ = hub.convert_traced(
+                self.dialect.name, output.text, explain_format, key=key
+            )
+            if self.ingest_service.coverage.contains(plan.fingerprint()):
+                self.statistics.fast_path_hits += 1
+                fingerprint = structural_fingerprint(plan)
+                is_new = fingerprint not in self.seen_fingerprints
+                self.seen_fingerprints.add(fingerprint)
+                return is_new
         entry = self.ingest_service.ingest(
             PlanSource(self.dialect.name, output.text, explain_format, query=query)
         )
