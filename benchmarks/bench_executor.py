@@ -1,0 +1,218 @@
+"""E-EXEC — row vs vectorized executor throughput (the PR-4 batch engine).
+
+PR 3 cached the pure lex→parse→plan stages; the remaining warm-loop
+wall-clock lives in the executor, which materializes one dictionary, one
+evaluation context, and one closure call per row per operator.  The
+vectorized executor (:mod:`repro.engine.vectorized`) processes columnar
+chunks fed by cached table snapshots instead, and this benchmark measures
+what that buys:
+
+* **Operator microbenches** — scan+filter, projection arithmetic, hash
+  join, group-by aggregation, and sort/distinct/limit workloads over a
+  generated table, executed by both engines on identical plans.
+  Acceptance: vectorized ≥ 2x row throughput on the scan+filter microbench.
+* **Corpus pass** — the generator corpus end-to-end (``dialect.execute``)
+  under each executor, the campaign-shaped view of the same win.
+* **Equivalence** — every workload's result rows must be identical between
+  the engines (the fuzz harness in tests/test_vectorized_equivalence.py
+  asserts this far more broadly; the benchmark re-checks what it times).
+"""
+
+import random
+import time
+
+from repro.dialects import create_dialect
+from repro.engine import Executor, VectorizedExecutor
+from repro.sqlparser.parser import parse_sql
+
+#: The microbench workloads: (name, SQL) over the tables built below.
+WORKLOADS = [
+    (
+        "scan_filter",
+        "SELECT c0, c2 FROM big WHERE c1 BETWEEN 100 AND 300",
+    ),
+    (
+        "scan_project",
+        "SELECT c0 + c1, ABS(c2), c3 * 2 FROM big WHERE c2 > 0",
+    ),
+    (
+        "hash_join",
+        "SELECT big.c0, dim.d1 FROM big JOIN dim ON big.c3 = dim.d0 WHERE dim.d1 > 10",
+    ),
+    (
+        "aggregate",
+        "SELECT c3, COUNT(*), SUM(c1), AVG(c2), MIN(c0), MAX(c0) FROM big GROUP BY c3",
+    ),
+    (
+        "sort_distinct",
+        "SELECT DISTINCT c3 FROM big ORDER BY c3 DESC LIMIT 25",
+    ),
+]
+
+
+def build_database(rows: int = 20000, seed: int = 11):
+    """A PostgreSQL dialect with a fact table and a small dimension table."""
+    dialect = create_dialect("postgresql")
+    dialect.execute("CREATE TABLE big (c0 INT, c1 INT, c2 INT, c3 INT)")
+    dialect.execute("CREATE TABLE dim (d0 INT, d1 INT)")
+    rng = random.Random(seed)
+    dialect.database.insert_rows(
+        "big",
+        [
+            {
+                "c0": i,
+                "c1": rng.randint(0, 2000),
+                "c2": rng.randint(-500, 500),
+                "c3": rng.randint(0, 50),
+            }
+            for i in range(rows)
+        ],
+    )
+    dialect.database.insert_rows(
+        "dim", [{"d0": i, "d1": rng.randint(0, 100)} for i in range(51)]
+    )
+    dialect.analyze_tables()
+    return dialect
+
+
+def _time_plan(executor, plan, repeats: int) -> dict:
+    """Best-of-*repeats* wall-clock for one plan on one executor."""
+    best = None
+    rows = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        rows = executor.execute(plan)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return {"seconds": best, "rows_out": len(rows)}, rows
+
+
+def measure_workloads(table_rows: int = 20000, seed: int = 11, repeats: int = 5) -> dict:
+    """Run every microbench workload under both executors."""
+    dialect = build_database(rows=table_rows, seed=seed)
+    row_executor = Executor(dialect.database, dialect.planner)
+    vectorized_executor = VectorizedExecutor(dialect.database, dialect.planner)
+    results = {}
+    for name, query in WORKLOADS:
+        statement = parse_sql(query)[0]
+        # Each executor compiles (and caches) its closures on its own plan
+        # instance, exactly as the prepared-query cache shares plans within
+        # one dialect.
+        row_plan = dialect.planner.plan_statement(statement)
+        vectorized_plan = dialect.planner.plan_statement(statement)
+        row_timing, row_rows = _time_plan(row_executor, row_plan, repeats)
+        vectorized_timing, vectorized_rows = _time_plan(
+            vectorized_executor, vectorized_plan, repeats
+        )
+        results[name] = {
+            "query": query,
+            "row": row_timing,
+            "vectorized": vectorized_timing,
+            "speedup": row_timing["seconds"] / vectorized_timing["seconds"]
+            if vectorized_timing["seconds"]
+            else 0.0,
+            "results_identical": row_rows == vectorized_rows,
+        }
+    return {
+        "table_rows": table_rows,
+        "seed": seed,
+        "repeats": repeats,
+        "workloads": results,
+    }
+
+
+def measure_corpus(seed: int = 1, count: int = 120, repeats: int = 3) -> dict:
+    """The generator corpus end-to-end under each executor.
+
+    Uses ``dialect.execute`` (prepared cache on), so the numbers are the
+    campaign-shaped view: per-query wall-clock once parsing and planning
+    are cache hits, i.e. the execute stage dominates.
+    """
+    import bench_campaign
+
+    queries = bench_campaign.build_corpus(seed, count)
+    timings = {}
+    executed = {}
+    for kind in ("row", "vectorized"):
+        dialect, _ = bench_campaign._build_dialect(seed)
+        dialect.set_executor(kind)
+        best = None
+        for _ in range(repeats):
+            ok = 0
+            started = time.perf_counter()
+            for query in queries:
+                try:
+                    dialect.execute(query)
+                    ok += 1
+                except Exception:
+                    continue
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best:
+                best = elapsed
+            executed[kind] = ok
+        timings[kind] = best
+    assert executed["row"] == executed["vectorized"]
+    return {
+        "corpus": {"queries": len(queries), "executed": executed["row"], "seed": seed},
+        "row": {
+            "seconds": timings["row"],
+            "queries_per_second": executed["row"] / timings["row"]
+            if timings["row"]
+            else 0.0,
+        },
+        "vectorized": {
+            "seconds": timings["vectorized"],
+            "queries_per_second": executed["vectorized"] / timings["vectorized"]
+            if timings["vectorized"]
+            else 0.0,
+        },
+        "speedup": timings["row"] / timings["vectorized"]
+        if timings["vectorized"]
+        else 0.0,
+    }
+
+
+def collect_snapshot(quick: bool = False) -> dict:
+    """The BENCH_executor.json payload."""
+    if quick:
+        workloads = measure_workloads(table_rows=4000, repeats=2)
+        corpus = measure_corpus(count=40, repeats=1)
+    else:
+        workloads = measure_workloads()
+        corpus = measure_corpus()
+    per_workload = workloads["workloads"]
+    return {
+        "benchmark": "executor",
+        "quick": quick,
+        "workloads": workloads,
+        "corpus_execute": corpus,
+        "invariants": {
+            "scan_filter_at_least_2x": per_workload["scan_filter"]["speedup"] >= 2.0,
+            "all_results_identical": all(
+                entry["results_identical"] for entry in per_workload.values()
+            ),
+        },
+    }
+
+
+# -- pytest-benchmark entry points (the driver's --suite mode) ----------------
+
+
+def test_scan_filter_vectorized_speedup(benchmark):
+    dialect = build_database(rows=4000)
+    statement = parse_sql(WORKLOADS[0][1])[0]
+    plan = dialect.planner.plan_statement(statement)
+    executor = VectorizedExecutor(dialect.database, dialect.planner)
+    executor.execute(plan)  # warm the compiled-batch caches
+
+    rows = benchmark(lambda: executor.execute(plan))
+    oracle = Executor(dialect.database, dialect.planner)
+    assert rows == oracle.execute(dialect.planner.plan_statement(statement))
+
+
+def test_workload_results_identical():
+    snapshot = measure_workloads(table_rows=2000, repeats=1)
+    assert all(
+        entry["results_identical"] for entry in snapshot["workloads"].values()
+    )

@@ -7,7 +7,7 @@ Usage (from the repository root)::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --suite    # + full pytest-benchmark run
     PYTHONPATH=src python benchmarks/run_benchmarks.py --output somewhere.json
 
-Three snapshots are written:
+Four snapshots are written:
 
 * ``BENCH_pipeline.json`` — batched-vs-single ingestion and
   fingerprint-vs-deep-compare speedup, with the service statistics proving
@@ -18,9 +18,13 @@ Three snapshots are written:
   conversion throughput on a CPU-heavy batch;
 * ``BENCH_campaign.json`` — end-to-end QPG queries/sec with cold vs warm
   prepared-query/conversion caches, a per-stage lifecycle profile, and the
-  cache-on vs cache-off campaign-equivalence check.
+  cache-on vs cache-off campaign-equivalence check;
+* ``BENCH_executor.json`` — row vs vectorized executor throughput on
+  scan/filter/join/aggregate/sort workloads (vectorized must win the
+  scan+filter microbench by ≥ 2x) plus the generator-corpus execute pass.
 
-``--only pipeline|coverage|campaign`` restricts the run to one snapshot.
+``--only pipeline|coverage|campaign|executor`` restricts the run to one
+snapshot.
 ``--quick`` shrinks the corpora so the whole driver finishes in seconds —
 that is the mode CI smoke-runs.  The tier-1 test suite the snapshots should
 always be accompanied by is::
@@ -50,6 +54,7 @@ from repro.pipeline import PlanIngestService, PlanSource  # noqa: E402
 
 import bench_campaign  # noqa: E402
 import bench_coverage  # noqa: E402
+import bench_executor  # noqa: E402
 import bench_pipeline  # noqa: E402
 
 
@@ -140,10 +145,15 @@ def main(argv=None) -> int:
         help="where to write the campaign perf snapshot (default: repo root)",
     )
     parser.add_argument(
+        "--executor-output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_executor.json"),
+        help="where to write the executor perf snapshot (default: repo root)",
+    )
+    parser.add_argument(
         "--only",
-        choices=["pipeline", "coverage", "campaign"],
+        choices=["pipeline", "coverage", "campaign", "executor"],
         default=None,
-        help="run just one snapshot instead of all three",
+        help="run just one snapshot instead of all four",
     )
     parser.add_argument(
         "--quick",
@@ -222,6 +232,27 @@ def main(argv=None) -> int:
         if not all(campaign_snapshot["invariants"].values()):
             print(
                 "CAMPAIGN INVARIANTS VIOLATED:", campaign_snapshot["invariants"],
+                file=sys.stderr,
+            )
+            violated = True
+
+    if args.only in (None, "executor"):
+        executor_snapshot = bench_executor.collect_snapshot(quick=args.quick)
+        write_snapshot(executor_snapshot, args.executor_output)
+        scan_filter = executor_snapshot["workloads"]["workloads"]["scan_filter"]
+        corpus = executor_snapshot["corpus_execute"]
+        print(
+            "executor: scan+filter {:.2f}x, corpus execute {:.0f} q/s row vs "
+            "{:.0f} q/s vectorized ({:.2f}x)".format(
+                scan_filter["speedup"],
+                corpus["row"]["queries_per_second"],
+                corpus["vectorized"]["queries_per_second"],
+                corpus["speedup"],
+            )
+        )
+        if not all(executor_snapshot["invariants"].values()):
+            print(
+                "EXECUTOR INVARIANTS VIOLATED:", executor_snapshot["invariants"],
                 file=sys.stderr,
             )
             violated = True

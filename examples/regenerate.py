@@ -1,0 +1,30 @@
+"""Regenerate every committed artifact under ``examples/output/``.
+
+The checked-in HTML/DOT renderings (Figure 3's visualization outputs) are
+produced by deterministic, seeded pipelines, so regeneration must be a
+no-op on an unchanged tree.  CI runs this script and fails on any diff,
+which keeps the artifacts honest: they can never drift from the code that
+claims to produce them.
+
+Run with:  python examples/regenerate.py [output_dir]
+"""
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
+sys.path.insert(0, _HERE)
+
+import visualize_plans  # noqa: E402  (sibling example module)
+
+
+def main() -> None:
+    output_dir = sys.argv[1] if len(sys.argv) > 1 else os.path.join(_HERE, "output")
+    sys.argv = [sys.argv[0], output_dir]
+    visualize_plans.main()
+    print(f"\nregenerated artifacts in {output_dir}")
+
+
+if __name__ == "__main__":
+    main()

@@ -156,20 +156,32 @@ class Database:
     # -- DML -------------------------------------------------------------------------
 
     def insert_rows(self, table_name: str, rows: Iterable[Row]) -> int:
-        """Insert rows into *table_name*, maintaining its indexes."""
+        """Insert rows into *table_name*, maintaining its indexes.
+
+        Unindexed tables take the whole batch in one heap pass
+        (:meth:`~repro.storage.table.HeapTable.insert_many`); indexed tables
+        interleave heap and index inserts per row, preserving the historical
+        partial state when a unique index rejects a key mid-batch.  Either
+        way the catalog version is bumped exactly once per statement, so the
+        prepared-plan and columnar-snapshot caches see a single invalidation
+        per batch.
+        """
         table = self.table(table_name)
         indexes = self.indexes_for(table_name)
-        inserted = 0
-        for row in rows:
-            row_id = table.insert(row)
-            stored = table.get(row_id)
-            for index in indexes:
-                key = tuple(stored[column] for column in index.definition.columns)
-                index.insert(key, row_id)
-            inserted += 1
-        if inserted:
+        if not indexes:
+            row_ids = table.insert_many(rows)
+        else:
+            row_ids = []
+            for row in rows:
+                row_id = table.insert(row)
+                stored = table.get(row_id)
+                for index in indexes:
+                    key = tuple(stored[column] for column in index.definition.columns)
+                    index.insert(key, row_id)
+                row_ids.append(row_id)
+        if row_ids:
             self.bump_version()
-        return inserted
+        return len(row_ids)
 
     def update_rows(self, table_name: str, row_ids: Sequence[int], changes_per_row: Sequence[Row]) -> int:
         """Apply per-row changes, maintaining indexes."""

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.catalog.database import Database
 from repro.dialects.prepared import PreparedQueryCache, reset_runtime
+from repro.engine import create_executor
 from repro.engine.executor import Executor, Row
 from repro.errors import DialectError, ParseError, UnsupportedFormatError
 from repro.optimizer.cost import CostModel
@@ -116,12 +117,18 @@ class RelationalDialect(SimulatedDBMS):
     #: Counter seed for per-plan operator identifiers (e.g. TiDB's ``_5``).
     identifier_seed: int = 3
 
-    def __init__(self, prepared_cache: bool = True) -> None:
+    def __init__(self, prepared_cache: bool = True, executor: str = "vectorized") -> None:
         self.database = Database(self.name)
         self.planner = Planner(
             self.database, cost_model=self.cost_model(), options=self.planner_options()
         )
-        self.executor = Executor(self.database, self.planner)
+        #: Which executor implementation runs plans: ``"vectorized"`` (the
+        #: columnar batch engine, the default) or ``"row"`` (the row-at-a-
+        #: time interpreter, kept as the correctness oracle).  The two are
+        #: interchangeable — identical results, row order, and ``EXPLAIN
+        #: ANALYZE`` row counts (tests/test_vectorized_equivalence.py).
+        self.executor_kind = executor
+        self.executor = create_executor(executor, self.database, self.planner)
         self._statements_executed = 0
         #: Memoised lex→parse→plan results for the campaign hot path.  The
         #: cache is keyed on the database's catalog version, so DDL / DML /
@@ -131,6 +138,17 @@ class RelationalDialect(SimulatedDBMS):
         self.prepared = PreparedQueryCache(enabled=prepared_cache)
 
     # -- per-dialect configuration ------------------------------------------------
+
+    def set_executor(self, kind: str) -> None:
+        """Switch the executor implementation (``"row"`` / ``"vectorized"``).
+
+        Safe at any point: executors are stateless between statements (all
+        state lives in the database), so switching mid-stream only changes
+        *how* the next plan is interpreted, never what it returns.
+        """
+        if kind != self.executor_kind:
+            self.executor_kind = kind
+            self.executor = create_executor(kind, self.database, self.planner)
 
     def planner_options(self) -> PlannerOptions:
         """Planner options for this dialect (overridden by subclasses)."""

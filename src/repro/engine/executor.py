@@ -229,6 +229,17 @@ class Executor:
     def _execute_hash_join(self, node: PhysicalNode, analyze: bool, outer_row: Row) -> List[Row]:
         left_rows = self._execute_node(node.children[0], analyze, outer_row)
         right_rows = self._execute_node(node.children[1], analyze, outer_row)
+        return self._hash_join_rows(node, left_rows, right_rows, outer_row)
+
+    def _hash_join_rows(
+        self,
+        node: PhysicalNode,
+        left_rows: List[Row],
+        right_rows: List[Row],
+        outer_row: Row,
+    ) -> List[Row]:
+        """The hash-join core over materialized inputs (shared with the
+        vectorized executor's row-fallback path)."""
         condition = node.info.get("condition")
         keys = _equi_join_keys(condition)
         if not keys:
@@ -365,7 +376,6 @@ class Executor:
     def _compute_aggregate(
         self, aggregate: ast.FunctionCall, rows: List[Row], outer_row: Row
     ) -> object:
-        name = aggregate.name.upper()
         if aggregate.star:
             values: List[object] = [1] * len(rows)
         else:
@@ -376,29 +386,7 @@ class Executor:
                     values.append(1)
                 else:
                     values.append(evaluate(argument, self._context(row, outer_row)))
-        non_null = [value for value in values if value is not None]
-        if aggregate.distinct:
-            seen = set()
-            unique = []
-            for value in non_null:
-                marker = _normalise_value(value)
-                if marker not in seen:
-                    seen.add(marker)
-                    unique.append(value)
-            non_null = unique
-        if name == "COUNT":
-            return len(values) if aggregate.star else len(non_null)
-        if not non_null:
-            return None
-        if name == "SUM":
-            return sum(non_null)
-        if name == "AVG":
-            return sum(non_null) / len(non_null)
-        if name == "MIN":
-            return min(non_null)
-        if name == "MAX":
-            return max(non_null)
-        raise ExecutionError(f"unknown aggregate {aggregate.name!r}")
+        return fold_aggregate(aggregate, values)
 
     # ------------------------------------------------------------------ combinators
 
@@ -715,6 +703,40 @@ def _normalise_value(value: object) -> object:
     if value is None:
         return ("z", "")
     return ("s", str(value))
+
+
+def fold_aggregate(aggregate: ast.FunctionCall, values: List[object]) -> object:
+    """Fold one aggregate over its collected per-group argument values.
+
+    The single definition of DISTINCT normalisation, NULL handling, and the
+    numeric folds — shared by the row executor (which collects the values
+    per member row) and the vectorized executor (which slices them out of
+    batch-evaluated argument columns), so the two can never drift apart.
+    """
+    name = aggregate.name.upper()
+    non_null = [value for value in values if value is not None]
+    if aggregate.distinct:
+        seen = set()
+        unique = []
+        for value in non_null:
+            marker = _normalise_value(value)
+            if marker not in seen:
+                seen.add(marker)
+                unique.append(value)
+        non_null = unique
+    if name == "COUNT":
+        return len(values) if aggregate.star else len(non_null)
+    if not non_null:
+        return None
+    if name == "SUM":
+        return sum(non_null)
+    if name == "AVG":
+        return sum(non_null) / len(non_null)
+    if name == "MIN":
+        return min(non_null)
+    if name == "MAX":
+        return max(non_null)
+    raise ExecutionError(f"unknown aggregate {aggregate.name!r}")
 
 
 def _dedupe_rows(rows: List[Row]) -> List[Row]:

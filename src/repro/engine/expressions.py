@@ -578,3 +578,330 @@ def compile_predicate(
         return lambda context: True
     compiled = compile_expression(expression)
     return lambda context: _to_bool(compiled(context))
+
+
+# ---------------------------------------------------------------------------
+# Batch (vectorized) expression compilation
+# ---------------------------------------------------------------------------
+#
+# The compiled closures above still pay one closure call, one row dictionary,
+# and one :class:`EvaluationContext` per row.  The vectorized executor
+# (:mod:`repro.engine.vectorized`) processes whole column chunks, so
+# expressions are compiled once more into *batch* closures: each takes a
+# :class:`BatchContext` (parallel column lists) and returns one value list.
+# Column references resolve once per batch instead of once per row — batches
+# are uniform (a single key set), so per-batch resolution is exactly
+# per-row resolution amortised.
+#
+# Semantics are identical to :func:`evaluate` element-by-element: the same
+# three-valued logic, the same NULL propagation, the same error behaviour
+# (an error raised for element *i* is the error ``evaluate`` would raise for
+# row *i*).  Expression kinds outside the vectorized set — subqueries, CASE,
+# CAST, aggregates — fall back to per-row ``evaluate`` over materialized row
+# dictionaries, so batch compilation is total.
+
+
+class BatchContext:
+    """A chunk of rows in columnar form: parallel value lists per column.
+
+    ``columns`` maps row keys (``"alias.column"`` or output names) to value
+    lists; every list has ``length`` elements.  ``rows()`` materializes the
+    chunk as row dictionaries for the per-row fallback (built lazily, once).
+    """
+
+    __slots__ = ("columns", "length", "subquery_executor", "_rows")
+
+    def __init__(
+        self,
+        columns: Dict[str, List[object]],
+        length: int,
+        subquery_executor: Optional[SubqueryExecutor] = None,
+    ) -> None:
+        self.columns = columns
+        self.length = length
+        self.subquery_executor = subquery_executor
+        self._rows: Optional[List[Row]] = None
+
+    def rows(self) -> List[Row]:
+        """The chunk as row dictionaries (key order = column order)."""
+        if self._rows is None:
+            if not self.columns:
+                self._rows = [{} for _ in range(self.length)]
+            else:
+                keys = list(self.columns)
+                self._rows = [
+                    dict(zip(keys, values))
+                    for values in zip(*self.columns.values())
+                ]
+        return self._rows
+
+
+def resolve_batch_column(
+    context: BatchContext, reference: ast.ColumnRef
+) -> List[object]:
+    """Resolve a column reference against a batch (cf. :func:`resolve_column`).
+
+    Batches are uniform, so resolving against the key set once is equivalent
+    to resolving against each row; the fallback order (exact qualified,
+    case-insensitive qualified, exact bare, suffix match, case-insensitive
+    bare) mirrors :func:`resolve_column` including its first-match behaviour
+    for ambiguous unqualified references.
+    """
+    columns = context.columns
+    if reference.table:
+        qualified = f"{reference.table}.{reference.column}"
+        if qualified in columns:
+            return columns[qualified]
+        lowered = qualified.lower()
+        for key, values in columns.items():
+            if key.lower() == lowered:
+                return values
+        raise ExecutionError(f"unknown column {qualified!r}")
+    if reference.column in columns:
+        return columns[reference.column]
+    suffix = "." + reference.column.lower()
+    matches = [key for key in columns if key.lower().endswith(suffix)]
+    if matches:
+        return columns[matches[0]]
+    lowered_column = reference.column.lower()
+    for key, values in columns.items():
+        if key.lower() == lowered_column:
+            return values
+    raise ExecutionError(f"unknown column {reference.column!r}")
+
+
+#: Callable evaluating one compiled expression over a whole batch.
+CompiledBatchExpression = Callable[[BatchContext], List[object]]
+
+
+def compile_expression_batch(expression: ast.Expression) -> CompiledBatchExpression:
+    """Compile *expression* into a closure evaluating whole column chunks."""
+    if isinstance(expression, ast.Literal):
+        value = expression.value
+        return lambda context: [value] * context.length
+    if isinstance(expression, ast.ColumnRef):
+        key = (
+            f"{expression.table}.{expression.column}"
+            if expression.table
+            else expression.column
+        )
+
+        def column(context, key=key, reference=expression):
+            values = context.columns.get(key)
+            if values is not None:
+                return values
+            return resolve_batch_column(context, reference)
+
+        return column
+    if isinstance(expression, ast.BinaryOp):
+        operator = expression.operator.upper()
+        left = compile_expression_batch(expression.left)
+        right = compile_expression_batch(expression.right)
+        if operator == "AND":
+            return lambda context: [
+                _logical_and(_to_bool(l), _to_bool(r))
+                for l, r in zip(left(context), right(context))
+            ]
+        if operator == "OR":
+            return lambda context: [
+                _logical_or(_to_bool(l), _to_bool(r))
+                for l, r in zip(left(context), right(context))
+            ]
+        if operator in ("=", "<>"):
+            flip = operator == "<>"
+
+            def equality(context):
+                output = []
+                append = output.append
+                for l, r in zip(left(context), right(context)):
+                    if l is None or r is None:
+                        append(None)
+                    else:
+                        try:
+                            append((l != r) if flip else (l == r))
+                        except TypeError:
+                            append(None)
+                return output
+
+            return equality
+        if operator in _COMPARISON_OPERATORS:
+            return lambda context: [
+                _compare(operator, l, r)
+                for l, r in zip(left(context), right(context))
+            ]
+        return lambda context: [
+            _arithmetic(operator, l, r)
+            for l, r in zip(left(context), right(context))
+        ]
+    if isinstance(expression, ast.UnaryOp):
+        operand = compile_expression_batch(expression.operand)
+        if expression.operator.upper() == "NOT":
+
+            def negation(context):
+                output = []
+                append = output.append
+                for value in operand(context):
+                    truth = _to_bool(value)
+                    append(None if truth is None else not truth)
+                return output
+
+            return negation
+        negate = expression.operator == "-"
+
+        def sign(context):
+            return [
+                None if value is None else (-value if negate else +value)
+                for value in operand(context)
+            ]
+
+        return sign
+    if isinstance(expression, ast.IsNull):
+        inner = compile_expression_batch(expression.expression)
+        if expression.negated:
+            return lambda context: [value is not None for value in inner(context)]
+        return lambda context: [value is None for value in inner(context)]
+    if isinstance(expression, ast.Between):
+        value_fn = compile_expression_batch(expression.expression)
+        low_fn = compile_expression_batch(expression.low)
+        high_fn = compile_expression_batch(expression.high)
+        negated = expression.negated
+
+        def between(context):
+            output = []
+            append = output.append
+            for value, low, high in zip(
+                value_fn(context), low_fn(context), high_fn(context)
+            ):
+                result = _logical_and(
+                    _compare(">=", value, low), _compare("<=", value, high)
+                )
+                if result is None:
+                    append(None)
+                else:
+                    append((not result) if negated else result)
+            return output
+
+        return between
+    if isinstance(expression, ast.Like):
+        value_fn = compile_expression_batch(expression.expression)
+        pattern_fn = compile_expression_batch(expression.pattern)
+        negated = expression.negated
+
+        def like(context):
+            output = []
+            append = output.append
+            for value, pattern in zip(value_fn(context), pattern_fn(context)):
+                result = _like(value, pattern)
+                if result is None:
+                    append(None)
+                else:
+                    append((not result) if negated else result)
+            return output
+
+        return like
+    if isinstance(expression, ast.InList):
+        value_fn = compile_expression_batch(expression.expression)
+        item_fns = [compile_expression_batch(item) for item in expression.items]
+        negated = expression.negated
+
+        def in_list(context):
+            values = value_fn(context)
+            item_columns = [item_fn(context) for item_fn in item_fns]
+            output = []
+            append = output.append
+            for position, value in enumerate(values):
+                if value is None:
+                    append(None)
+                    continue
+                saw_null = False
+                matched = False
+                for item_column in item_columns:
+                    candidate = item_column[position]
+                    if candidate is None:
+                        saw_null = True
+                        continue
+                    if _compare("=", value, candidate):
+                        append(not negated)
+                        matched = True
+                        break
+                if matched:
+                    continue
+                append(None if saw_null else negated)
+            return output
+
+        return in_list
+    if isinstance(expression, ast.FunctionCall):
+        name = expression.name.upper()
+        if name not in AGGREGATE_FUNCTIONS:
+            implementation = _SCALAR_FUNCTIONS.get(name)
+            if implementation is None:
+                message = f"unknown function {expression.name!r}"
+
+                def unknown(context):
+                    if context.length:
+                        raise ExecutionError(message)
+                    return []
+
+                return unknown
+            argument_fns = [
+                compile_expression_batch(argument)
+                for argument in expression.arguments
+            ]
+            if not argument_fns:
+                return lambda context: [
+                    implementation() for _ in range(context.length)
+                ]
+            return lambda context: [
+                implementation(*values)
+                for values in zip(*[fn(context) for fn in argument_fns])
+            ]
+        # Aggregates read pre-computed values out of the rows; fall through.
+    # Everything else — subqueries, CASE, CAST, aggregates, parameters —
+    # evaluates per row over materialized dictionaries.
+    def fallback(context):
+        hook = context.subquery_executor
+        return [
+            evaluate(expression, EvaluationContext(row, hook))
+            for row in context.rows()
+        ]
+
+    return fallback
+
+
+#: Expression kinds whose batch evaluation yields only True / False / None.
+def _yields_boolean(expression: ast.Expression) -> bool:
+    if isinstance(expression, ast.BinaryOp):
+        operator = expression.operator.upper()
+        return operator in _COMPARISON_OPERATORS or operator in ("AND", "OR")
+    if isinstance(expression, ast.UnaryOp):
+        return expression.operator.upper() == "NOT"
+    return isinstance(
+        expression, (ast.IsNull, ast.Between, ast.Like, ast.InList)
+    )
+
+
+def compile_predicate_batch(
+    expression: Optional[ast.Expression],
+) -> Callable[[BatchContext], List[int]]:
+    """Compile a predicate into a **selection vector** builder.
+
+    The returned closure evaluates the predicate over a whole batch and
+    returns the positions whose three-valued result is true — exactly the
+    rows :func:`evaluate_predicate` would keep (``False`` and ``NULL`` rows
+    are filtered out alike).
+    """
+    if expression is None:
+        return lambda context: list(range(context.length))
+    compiled = compile_expression_batch(expression)
+    if _yields_boolean(expression):
+        # The compiled closure can only produce True / False / None.
+        return lambda context: [
+            position
+            for position, value in enumerate(compiled(context))
+            if value is True
+        ]
+    return lambda context: [
+        position
+        for position, value in enumerate(compiled(context))
+        if _to_bool(value)
+    ]

@@ -2,6 +2,13 @@
 
 Rows are stored as dictionaries keyed by column name.  The heap assigns each
 row a stable integer row id, which secondary indexes reference.
+
+For the vectorized executor the heap also serves **columnar snapshots**
+(:meth:`HeapTable.column_batch`): parallel per-column value lists plus a
+row-id vector.  A snapshot is cached on the table and keyed by the owning
+:attr:`repro.catalog.database.Database.version`, so the PR-3 version-bump
+rules (every DDL/DML/analyze mutation bumps) are the only freshness signal —
+a stale snapshot is unreachable exactly as a stale prepared plan is.
 """
 
 from __future__ import annotations
@@ -14,6 +21,38 @@ from repro.errors import StorageError
 Row = Dict[str, object]
 
 
+class TableSnapshot:
+    """A columnar snapshot of a heap table at one catalog version.
+
+    ``columns`` maps each column name (schema order) to a list of values;
+    all lists are parallel to ``row_ids``.  Snapshots are shared between
+    executions and must be treated as immutable by consumers.
+    """
+
+    __slots__ = ("version", "row_ids", "columns", "_positions")
+
+    def __init__(
+        self, version: int, row_ids: List[int], columns: Dict[str, List[object]]
+    ) -> None:
+        self.version = version
+        self.row_ids = row_ids
+        self.columns = columns
+        self._positions: Optional[Dict[int, int]] = None
+
+    @property
+    def length(self) -> int:
+        """The number of rows in the snapshot."""
+        return len(self.row_ids)
+
+    def position_of(self, row_id: int) -> int:
+        """Return the snapshot position of *row_id* (for index-scan gathers)."""
+        positions = self._positions
+        if positions is None:
+            positions = {row_id: i for i, row_id in enumerate(self.row_ids)}
+            self._positions = positions
+        return positions[row_id]
+
+
 class HeapTable:
     """A row store with stable row ids and tombstone-style deletes."""
 
@@ -21,8 +60,29 @@ class HeapTable:
         self.schema = schema
         self._rows: Dict[int, Row] = {}
         self._next_row_id = 1
+        # Hoisted per-schema insert metadata: the schema is fixed for the
+        # table's lifetime, so the known-column set and the default fill
+        # order are computed once, not once per inserted row.
+        self._column_names: List[str] = [column.name for column in schema.columns]
+        self._known = frozenset(self._column_names)
+        self._defaults: List[Tuple[str, object]] = [
+            (column.name, column.default) for column in schema.columns
+        ]
+        self._snapshot: Optional[TableSnapshot] = None
 
     # -- modification ------------------------------------------------------------
+
+    def _complete(self, row: Row) -> Row:
+        """Validate *row* and fill missing columns with their defaults."""
+        if not self._known.issuperset(row):
+            unknown = set(row) - self._known
+            raise StorageError(
+                f"unknown column(s) {sorted(unknown)} for table {self.schema.name!r}"
+            )
+        return {
+            name: row[name] if name in row else default
+            for name, default in self._defaults
+        }
 
     def insert(self, row: Row) -> int:
         """Insert *row* and return its row id.
@@ -30,26 +90,29 @@ class HeapTable:
         Missing columns are filled with the column default (or ``None``);
         unknown columns are rejected.
         """
-        known = {column.name for column in self.schema.columns}
-        unknown = set(row) - known
-        if unknown:
-            raise StorageError(
-                f"unknown column(s) {sorted(unknown)} for table {self.schema.name!r}"
-            )
-        complete: Row = {}
-        for column in self.schema.columns:
-            if column.name in row:
-                complete[column.name] = row[column.name]
-            else:
-                complete[column.name] = column.default
+        complete = self._complete(row)
         row_id = self._next_row_id
         self._next_row_id += 1
         self._rows[row_id] = complete
+        self._snapshot = None
         return row_id
 
     def insert_many(self, rows: Iterable[Row]) -> List[int]:
-        """Insert every row of *rows*, returning the assigned row ids."""
-        return [self.insert(row) for row in rows]
+        """Insert every row of *rows* in one pass, returning the row ids.
+
+        The batch path validates and completes all rows before touching the
+        heap, so a row with unknown columns leaves the heap unchanged
+        (per-row :meth:`insert` fails mid-way instead).
+        """
+        completed = [self._complete(row) for row in rows]
+        first_id = self._next_row_id
+        self._next_row_id += len(completed)
+        heap = self._rows
+        for offset, complete in enumerate(completed):
+            heap[first_id + offset] = complete
+        if completed:
+            self._snapshot = None
+        return list(range(first_id, self._next_row_id))
 
     def update(self, row_id: int, changes: Row) -> None:
         """Apply *changes* to the row identified by *row_id*."""
@@ -61,16 +124,19 @@ class HeapTable:
                     f"unknown column {column_name!r} for table {self.schema.name!r}"
                 )
         self._rows[row_id].update(changes)
+        self._snapshot = None
 
     def delete(self, row_id: int) -> None:
         """Delete the row identified by *row_id*."""
         if row_id not in self._rows:
             raise StorageError(f"row id {row_id} does not exist in {self.schema.name!r}")
         del self._rows[row_id]
+        self._snapshot = None
 
     def truncate(self) -> None:
         """Remove every row (row ids are not reused)."""
         self._rows.clear()
+        self._snapshot = None
 
     # -- access --------------------------------------------------------------------
 
@@ -99,6 +165,26 @@ class HeapTable:
     def row_count(self) -> int:
         """The number of live rows."""
         return len(self._rows)
+
+    def column_batch(self, version: int) -> TableSnapshot:
+        """Return the columnar snapshot of the table at catalog *version*.
+
+        The snapshot is cached: repeated scans at an unchanged catalog
+        version reuse it.  *version* should be the owning database's
+        :attr:`~repro.catalog.database.Database.version`; every mutation
+        that can change table contents bumps it (the PR-3 rules), and the
+        heap additionally drops the cache on direct mutation, so consumers
+        never observe stale data.
+        """
+        snapshot = self._snapshot
+        if snapshot is None or snapshot.version != version:
+            rows = list(self._rows.values())
+            columns = {
+                name: [row[name] for row in rows] for name in self._column_names
+            }
+            snapshot = TableSnapshot(version, list(self._rows.keys()), columns)
+            self._snapshot = snapshot
+        return snapshot
 
     def column_values(self, column: str) -> List[object]:
         """Return every value of *column* (in insertion order)."""

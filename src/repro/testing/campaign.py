@@ -121,6 +121,7 @@ class TestingCampaign:
         persist_to: Optional[str] = None,
         max_rounds: Optional[int] = None,
         prepared_cache: bool = True,
+        executor: str = "vectorized",
     ) -> None:
         self.dbms_names = dbms_names or ["mysql", "postgresql", "tidb"]
         self.seed = seed
@@ -132,6 +133,11 @@ class TestingCampaign:
         #: tests/test_prepared_cache.py) — so this exists for benchmarking
         #: and for the equivalence tests themselves.
         self.prepared_cache = prepared_cache
+        #: Which executor interprets plans (``"vectorized"`` / ``"row"``).
+        #: Like the prepared cache, the choice is semantically invisible:
+        #: row-executor campaigns produce byte-identical coverage sets and
+        #: Table V reports (tests/test_vectorized_equivalence.py).
+        self.executor = executor
         #: Directory for the durable coverage store; None keeps it in memory.
         self.persist_to = persist_to
         #: Stop (gracefully, between rounds) after this many executed
@@ -159,6 +165,8 @@ class TestingCampaign:
         dialect = create_dialect(dbms_name)
         if not self.prepared_cache and hasattr(dialect, "prepared"):
             dialect.prepared.enabled = False
+        if hasattr(dialect, "set_executor"):
+            dialect.set_executor(self.executor)
         return dialect
 
     def run(self) -> CampaignResult:

@@ -1,0 +1,341 @@
+"""The row-oracle equivalence harness for the vectorized executor.
+
+The row executor is the correctness oracle: the vectorized executor must be
+observationally identical — same result rows, same row order, same
+``EXPLAIN ANALYZE`` runtime row counts, same unified-plan fingerprints, and
+(at campaign level) byte-identical coverage sets and Table V reports.  This
+module fuzzes that equivalence over the generator corpus, interleaving QPG-
+style database mutations so both executors are exercised against evolving
+schemas, data, and indexes.
+"""
+
+import pytest
+
+from repro.catalog.schema import Column, DataType, TableSchema
+from repro.converters import ConverterHub
+from repro.core.compare import structural_fingerprint
+from repro.dialects import create_dialect
+from repro.dialects.prepared import reset_runtime
+from repro.engine import Executor, VectorizedExecutor, create_executor
+from repro.engine.expressions import (
+    BatchContext,
+    EvaluationContext,
+    compile_expression_batch,
+    compile_predicate_batch,
+    evaluate,
+    evaluate_predicate,
+)
+from repro.engine.vectorized import RowBatch, batches_from_rows, rows_from_batches
+from repro.sqlparser.parser import parse_sql
+from repro.storage.table import HeapTable
+from repro.testing.campaign import TestingCampaign
+from repro.testing.generator import GeneratorConfig, RandomQueryGenerator
+
+
+def _run(dialect, statement):
+    """Execute through the dialect, normalising failures for comparison."""
+    try:
+        return ("ok", dialect.execute(statement))
+    except Exception as exc:
+        return ("error", type(exc).__name__)
+
+
+def _paired_dialects(seed):
+    """Two PostgreSQL dialects over identical generated databases."""
+    row_dialect = create_dialect("postgresql")
+    row_dialect.set_executor("row")
+    vec_dialect = create_dialect("postgresql")
+    assert vec_dialect.executor_kind == "vectorized"
+    generator = RandomQueryGenerator(seed=seed, config=GeneratorConfig(max_tables=2))
+    for statement in generator.schema_statements():
+        assert _run(row_dialect, statement) == _run(vec_dialect, statement)
+    row_dialect.analyze_tables()
+    vec_dialect.analyze_tables()
+    return row_dialect, vec_dialect, generator
+
+
+class TestGeneratorCorpusFuzz:
+    """Every generated query through both executors, states kept in lockstep."""
+
+    SEEDS = (1, 2, 3, 4, 5, 7)
+    QUERIES_PER_SEED = 60
+    MUTATE_EVERY = 15
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_results_and_plans_identical(self, seed):
+        row_dialect, vec_dialect, generator = _paired_dialects(seed)
+        hub = ConverterHub()
+        compared = 0
+        for position in range(self.QUERIES_PER_SEED):
+            query = generator.select_query()
+            row_result = _run(row_dialect, query)
+            vec_result = _run(vec_dialect, query)
+            # Identical rows in identical order — or the same rejection.
+            assert row_result == vec_result, query
+            if row_result[0] == "ok":
+                compared += 1
+                if position % 5 == 0:
+                    self._compare_analyze(row_dialect, vec_dialect, query)
+                    self._compare_fingerprints(row_dialect, vec_dialect, hub, query)
+            if position and position % self.MUTATE_EVERY == 0:
+                mutation = generator.mutation_statement()
+                assert _run(row_dialect, mutation) == _run(vec_dialect, mutation)
+                row_dialect.analyze_tables()
+                vec_dialect.analyze_tables()
+        # The corpus must actually exercise the engine, not only rejects.
+        assert compared >= self.QUERIES_PER_SEED // 3
+
+    def _compare_analyze(self, row_dialect, vec_dialect, query):
+        """EXPLAIN ANALYZE runtime row counts must match node for node."""
+        statement = parse_sql(query)[0]
+        row_plan = row_dialect.planner.plan_statement(statement)
+        vec_plan = vec_dialect.planner.plan_statement(statement)
+        row_rows = row_dialect.executor.execute(reset_runtime(row_plan), analyze=True)
+        vec_rows = vec_dialect.executor.execute(reset_runtime(vec_plan), analyze=True)
+        assert row_rows == vec_rows, query
+        row_nodes = list(row_plan.walk())
+        vec_nodes = list(vec_plan.walk())
+        assert len(row_nodes) == len(vec_nodes), query
+        for row_node, vec_node in zip(row_nodes, vec_nodes):
+            assert row_node.kind is vec_node.kind
+            assert row_node.runtime.executed == vec_node.runtime.executed, query
+            assert row_node.runtime.actual_rows == vec_node.runtime.actual_rows, (
+                query,
+                row_node.kind,
+            )
+            assert row_node.runtime.loops == vec_node.runtime.loops, (
+                query,
+                row_node.kind,
+            )
+
+    def _compare_fingerprints(self, row_dialect, vec_dialect, hub, query):
+        """Serialized plans — and their unified fingerprints — must agree."""
+        row_output = row_dialect.explain(query, format="json")
+        vec_output = vec_dialect.explain(query, format="json")
+        assert row_output.text == vec_output.text, query
+        row_plan = hub.convert("postgresql", row_output.text, "json", use_cache=False)
+        vec_plan = hub.convert("postgresql", vec_output.text, "json", use_cache=False)
+        assert row_plan.fingerprint() == vec_plan.fingerprint()
+        assert structural_fingerprint(row_plan) == structural_fingerprint(vec_plan)
+
+
+class TestCampaignEquivalence:
+    """Row-path and cache-off campaigns stay byte-identical to the default."""
+
+    CONFIG = dict(
+        dbms_names=["postgresql", "mysql"],
+        queries_per_dbms=25,
+        cert_pairs_per_dbms=8,
+        seed=3,
+    )
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return TestingCampaign(**self.CONFIG).run()
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"executor": "row"},
+            {"executor": "row", "prepared_cache": False},
+            {"prepared_cache": False},
+        ],
+        ids=["row", "row-cache-off", "vectorized-cache-off"],
+    )
+    def test_coverage_and_reports_identical(self, baseline, options):
+        result = TestingCampaign(**self.CONFIG, **options).run()
+        assert result.plan_fingerprints == baseline.plan_fingerprints
+        assert result.unique_plans == baseline.unique_plans
+        assert result.table5_rows() == baseline.table5_rows()
+        assert result.queries_generated == baseline.queries_generated
+        assert result.cert_pairs_checked == baseline.cert_pairs_checked
+
+
+class TestBatchExpressionSemantics:
+    """Batch-compiled expressions mirror ``evaluate`` element for element."""
+
+    ROWS = [
+        {"t.a": 1, "t.b": 10, "t.c": None},
+        {"t.a": 2, "t.b": None, "t.c": 5},
+        {"t.a": None, "t.b": 3, "t.c": 0},
+        {"t.a": -4, "t.b": 0, "t.c": 7},
+    ]
+
+    EXPRESSIONS = [
+        "t.a = 2",
+        "t.a <> t.b",
+        "t.a < t.b",
+        "t.b >= 3",
+        "t.a + t.c",
+        "t.a * 2 - t.b",
+        "t.b / t.c",
+        "t.a % 2",
+        "-t.a",
+        "NOT t.a = 1",
+        "t.a IS NULL",
+        "t.b IS NOT NULL",
+        "t.a BETWEEN 0 AND 2",
+        "t.a NOT BETWEEN t.b AND t.c",
+        "t.a IN (1, 2, NULL)",
+        "t.a NOT IN (2, 3)",
+        "t.a = 1 AND t.b = 10",
+        "t.a = 1 OR t.c IS NULL",
+        "ABS(t.a)",
+        "COALESCE(t.b, t.c, 99)",
+        "GREATEST(t.a, t.b, t.c)",
+        "CASE WHEN t.a > 0 THEN 1 ELSE 0 END",
+        "CAST(t.a AS TEXT)",
+    ]
+
+    def _parse_expression(self, text):
+        statement = parse_sql(f"SELECT 1 FROM t WHERE {text}")[0]
+        return statement.cores()[0].where
+
+    def _batch(self):
+        keys = list(self.ROWS[0])
+        columns = {key: [row[key] for row in self.ROWS] for key in keys}
+        return BatchContext(columns, len(self.ROWS))
+
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_expression_matches_evaluate(self, text):
+        expression = self._parse_expression(text)
+        batch_values = compile_expression_batch(expression)(self._batch())
+        row_values = [
+            evaluate(expression, EvaluationContext(row)) for row in self.ROWS
+        ]
+        assert batch_values == row_values
+
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_selection_vector_matches_predicate(self, text):
+        expression = self._parse_expression(text)
+        selection = compile_predicate_batch(expression)(self._batch())
+        expected = [
+            position
+            for position, row in enumerate(self.ROWS)
+            if evaluate_predicate(expression, EvaluationContext(row))
+        ]
+        assert selection == expected
+
+    def test_empty_predicate_selects_everything(self):
+        assert compile_predicate_batch(None)(self._batch()) == [0, 1, 2, 3]
+
+
+class TestRowBatchRoundTrip:
+    def test_uniform_rows_round_trip(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}, {"a": None, "b": 6}]
+        batches = batches_from_rows(rows, batch_size=2)
+        assert [batch.length for batch in batches] == [2, 1]
+        assert rows_from_batches(batches) == rows
+
+    def test_heterogeneous_rows_split_into_uniform_batches(self):
+        rows = [{"a": 1}, {"a": 2}, {"b": 3}, {"a": 4, "b": 5}, {"a": 6, "b": 7}]
+        batches = batches_from_rows(rows)
+        assert [batch.schema() for batch in batches] == [
+            ("a",),
+            ("b",),
+            ("a", "b"),
+        ]
+        assert rows_from_batches(batches) == rows
+
+    def test_to_rows_returns_fresh_dicts(self):
+        batch = RowBatch({"a": [1, 2]}, 2)
+        first = batch.to_rows()
+        first[0]["a"] = 99
+        assert batch.to_rows()[0]["a"] == 1
+
+
+class TestColumnarSnapshots:
+    def _table(self):
+        return HeapTable(
+            TableSchema(
+                name="t",
+                columns=[
+                    Column(name="a", data_type=DataType.INTEGER),
+                    Column(name="b", data_type=DataType.INTEGER, default=7),
+                ],
+            )
+        )
+
+    def test_snapshot_matches_rows_and_is_cached(self):
+        table = self._table()
+        table.insert_many([{"a": 1, "b": 2}, {"a": 3}])
+        snapshot = table.column_batch(version=5)
+        assert snapshot.columns == {"a": [1, 3], "b": [2, 7]}
+        assert snapshot.row_ids == [1, 2]
+        assert table.column_batch(version=5) is snapshot
+
+    def test_version_bump_invalidates(self):
+        table = self._table()
+        table.insert({"a": 1})
+        old = table.column_batch(version=1)
+        assert table.column_batch(version=2) is not old
+
+    def test_direct_mutation_invalidates_even_without_bump(self):
+        table = self._table()
+        row_id = table.insert({"a": 1})
+        table.column_batch(version=1)
+        table.update(row_id, {"a": 10})
+        assert table.column_batch(version=1).columns["a"] == [10]
+        table.delete(row_id)
+        assert table.column_batch(version=1).length == 0
+
+    def test_insert_many_assigns_sequential_ids_and_validates_upfront(self):
+        table = self._table()
+        assert table.insert_many([{"a": 1}, {"a": 2}]) == [1, 2]
+        with pytest.raises(Exception):
+            table.insert_many([{"a": 3}, {"nope": 4}])
+        # The batch path validates before touching the heap.
+        assert table.row_count == 2
+
+
+class TestEdgeCaseParity:
+    """Hand-picked divergence candidates the generator corpus cannot reach."""
+
+    def _pair(self):
+        row_dialect = create_dialect("postgresql")
+        row_dialect.set_executor("row")
+        vec_dialect = create_dialect("postgresql")
+        for statement in (
+            "CREATE TABLE t (a INT, b INT)",
+            "INSERT INTO t (a, b) VALUES (1, 10), (2, 20), (3, 30), (4, NULL)",
+        ):
+            row_dialect.execute(statement)
+            vec_dialect.execute(statement)
+        return row_dialect, vec_dialect
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            # Negative TOP-N limits follow Python slice semantics in the
+            # row executor; the batch slice must match.
+            "SELECT a FROM t ORDER BY a LIMIT -1",
+            "SELECT a FROM t ORDER BY a LIMIT -10",
+            "SELECT a FROM t ORDER BY a DESC LIMIT 0",
+            "SELECT a FROM t LIMIT 2 OFFSET 3",
+            "SELECT b, a FROM t ORDER BY b DESC",
+            "SELECT a FROM t WHERE b IS NULL OR b > 15",
+        ],
+    )
+    def test_query_parity(self, query):
+        row_dialect, vec_dialect = self._pair()
+        assert _run(row_dialect, query) == _run(vec_dialect, query)
+
+
+class TestExecutorFactory:
+    def test_create_executor_by_name(self):
+        dialect = create_dialect("postgresql")
+        assert isinstance(create_executor("row", dialect.database), Executor)
+        assert isinstance(
+            create_executor("vectorized", dialect.database), VectorizedExecutor
+        )
+        with pytest.raises(ValueError):
+            create_executor("columnar-ish", dialect.database)
+
+    def test_set_executor_switches_and_is_idempotent(self):
+        dialect = create_dialect("postgresql")
+        vectorized = dialect.executor
+        dialect.set_executor("vectorized")
+        assert dialect.executor is vectorized
+        dialect.set_executor("row")
+        assert type(dialect.executor) is Executor
+        assert dialect.executor_kind == "row"
