@@ -1,0 +1,307 @@
+"""D-CORR — subquery decorrelation: hash semi/anti joins vs per-row subqueries.
+
+Before PR 5, every ``IN (SELECT …)`` / ``EXISTS`` predicate executed as a
+per-row subquery inside a filter: O(outer × inner) work for an uncorrelated
+subquery whose result never changes between rows.  The decorrelation rewrite
+plans those conjuncts as hash semi/anti joins that materialize the inner
+side once — O(outer + inner).  This benchmark measures:
+
+* **IN-subquery microbench** — the same query against the same data with
+  ``decorrelate=True`` vs ``decorrelate=False`` (the per-row oracle), for
+  both ``IN`` (semi join) and ``NOT IN`` (null-aware anti join).
+  Acceptance: the decorrelated ``IN`` plan is ≥ 5x faster, with identical
+  results — including the ``NOT IN`` + inner-NULL trap.
+* **Operator-name universe** — the set of unified operation names QPG's
+  coverage is built from, for a fixed query set across the campaign
+  dialects; decorrelation must make it *strictly larger* (semi/anti join
+  operators are new coverage, the paper's plan-diversity argument).
+* **Warm QPG rate** — the PR-3/PR-4 campaign loop over the generator corpus
+  (which now emits IN/EXISTS shapes), guarding the PR-4 throughput floor of
+  ~4.9k q/s warm.
+"""
+
+import time
+
+from repro.converters import ConverterHub
+from repro.dialects import create_dialect
+from repro.pipeline import PlanIngestService
+from repro.testing.generator import GeneratorConfig, RandomQueryGenerator
+
+import bench_campaign
+
+#: The warm steady-state QPG throughput recorded by PR 4 on this container
+#: (BENCH_campaign.json); the decorrelation PR must not regress it.
+PR4_WARM_FLOOR_QPS = 4900.0
+
+_MICRO_QUERIES = {
+    "in_semi_join": "SELECT COUNT(*) FROM o WHERE o.a IN (SELECT i.x FROM i)",
+    "not_in_anti_join": (
+        "SELECT COUNT(*) FROM o WHERE o.a NOT IN (SELECT i.x FROM i)"
+    ),
+}
+
+
+def _subquery_dialect(outer_rows, inner_rows, decorrelate):
+    dialect = create_dialect("postgresql", decorrelate=decorrelate)
+    dialect.execute("CREATE TABLE o (a INT)")
+    dialect.execute("CREATE TABLE i (x INT)")
+    outer_values = ", ".join(
+        f"({value % (inner_rows * 2)})" for value in range(outer_rows)
+    )
+    inner_values = ", ".join(f"({value * 2})" for value in range(inner_rows))
+    dialect.execute(f"INSERT INTO o (a) VALUES {outer_values}")
+    dialect.execute(f"INSERT INTO i (x) VALUES {inner_values}")
+    dialect.analyze_tables()
+    return dialect
+
+
+def measure_in_subquery(outer_rows=1500, inner_rows=300, repeats=3) -> dict:
+    """Decorrelated vs per-row timings for the IN / NOT IN microbench."""
+    workloads = {}
+    for name, query in _MICRO_QUERIES.items():
+        timings = {}
+        counts = {}
+        for label, decorrelate in (("decorrelated", True), ("per_row", False)):
+            dialect = _subquery_dialect(outer_rows, inner_rows, decorrelate)
+            best = None
+            count = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                rows = dialect.execute(query)
+                elapsed = time.perf_counter() - started
+                count = rows[0]["COUNT(*)"]
+                if best is None or elapsed < best:
+                    best = elapsed
+            timings[label] = best
+            counts[label] = count
+        workloads[name] = {
+            "decorrelated_seconds": timings["decorrelated"],
+            "per_row_seconds": timings["per_row"],
+            "speedup": timings["per_row"] / timings["decorrelated"],
+            "results_identical": counts["decorrelated"] == counts["per_row"],
+            "count": counts["decorrelated"],
+        }
+    return {
+        "outer_rows": outer_rows,
+        "inner_rows": inner_rows,
+        "repeats": repeats,
+        "workloads": workloads,
+    }
+
+
+def measure_null_trap() -> dict:
+    """NOT IN + inner NULL: both plan modes must return an empty result."""
+    results = {}
+    for label, decorrelate in (("decorrelated", True), ("per_row", False)):
+        dialect = create_dialect("postgresql", decorrelate=decorrelate)
+        dialect.execute("CREATE TABLE o (a INT)")
+        dialect.execute("CREATE TABLE i (x INT)")
+        dialect.execute("INSERT INTO o (a) VALUES (1), (2), (3)")
+        dialect.execute("INSERT INTO i (x) VALUES (1), (NULL)")
+        results[label] = dialect.execute(
+            "SELECT a FROM o WHERE a NOT IN (SELECT x FROM i)"
+        )
+    return {
+        "identical": results["decorrelated"] == results["per_row"],
+        "empty": results["decorrelated"] == [],
+    }
+
+
+_UNIVERSE_SETUP = (
+    "CREATE TABLE t (a INT, b INT)",
+    "CREATE TABLE s (x INT)",
+    "INSERT INTO t (a, b) VALUES (1, 10), (2, 20), (3, 30)",
+    "INSERT INTO s (x) VALUES (1), (3)",
+)
+_UNIVERSE_QUERIES = (
+    "SELECT a FROM t",
+    "SELECT a FROM t WHERE a IN (SELECT x FROM s)",
+    "SELECT a FROM t WHERE a NOT IN (SELECT x FROM s)",
+    "SELECT a FROM t WHERE EXISTS (SELECT x FROM s)",
+    "SELECT a FROM t WHERE NOT EXISTS (SELECT x FROM s WHERE x > 2)",
+    "SELECT t.a FROM t INNER JOIN s ON t.a = s.x",
+)
+
+
+def measure_operator_universe(dbms_names=("postgresql", "mysql", "tidb")) -> dict:
+    """Unified operator names reachable with decorrelation on vs off."""
+    universes = {}
+    for decorrelate in (True, False):
+        names = set()
+        hub = ConverterHub()
+        for dbms in dbms_names:
+            dialect = create_dialect(dbms, decorrelate=decorrelate)
+            for statement in _UNIVERSE_SETUP:
+                dialect.execute(statement)
+            converter = hub.converter(dbms)
+            for query in _UNIVERSE_QUERIES:
+                output = dialect.explain(query, format=converter.formats[0])
+                plan = hub.convert(dbms, output.text, converter.formats[0])
+                for node in plan.root.walk():
+                    names.add(node.operation.identifier)
+        universes[decorrelate] = names
+    new_names = sorted(universes[True] - universes[False])
+    return {
+        "dbms": list(dbms_names),
+        "decorrelated_size": len(universes[True]),
+        "per_row_size": len(universes[False]),
+        "new_operator_names": new_names,
+        "strictly_larger": universes[True] > universes[False],
+    }
+
+
+def _qpg_corpus(seed, count, allow_subqueries, decorrelate=True):
+    config = GeneratorConfig(max_tables=2, allow_subqueries=allow_subqueries)
+    generator = RandomQueryGenerator(seed=seed, config=config)
+    dialect = create_dialect("postgresql", decorrelate=decorrelate)
+    for statement in generator.schema_statements():
+        try:
+            dialect.execute(statement)
+        except Exception:
+            continue
+    dialect.analyze_tables()
+    queries = [generator.select_query() for _ in range(count)]
+    return dialect, queries
+
+
+def measure_warm_qpg(quick: bool = False) -> dict:
+    """Warm QPG throughput, on two corpus compositions.
+
+    ``pr4_corpus`` disables the generator's new subquery shapes and is the
+    like-for-like control against the PR-4 floor: the decorrelation
+    machinery must not slow down the existing lifecycle.  It is measured
+    with decorrelation on *and* off, warm passes interleaved, so the
+    overhead ratio is robust against host-level throughput drift (the
+    shared container varies run to run far more than any code effect) —
+    that relative check is the enforced invariant, while the absolute
+    PR-4 floor is additionally asserted on full runs.  ``subquery_corpus``
+    is the new default generator mix (IN/EXISTS shapes included) — a
+    heavier workload per query by construction, recorded for reference,
+    not gated on the old floor.
+    """
+    count = 60 if quick else 150
+    warm_repeats = 1 if quick else 6
+    # -- pr4 control: decorrelate on vs off over the identical corpus ----
+    loops = {}
+    for decorrelate in (True, False):
+        dialect, queries = _qpg_corpus(1, count, False, decorrelate)
+        service = PlanIngestService(hub=ConverterHub())
+        cold_seconds, executed, _ = bench_campaign._qpg_pass(
+            dialect, service, queries
+        )
+        loops[decorrelate] = {
+            "dialect": dialect,
+            "service": service,
+            "queries": queries,
+            "executed": executed,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": None,
+        }
+    for _ in range(warm_repeats):
+        for decorrelate in (True, False):
+            loop = loops[decorrelate]
+            elapsed, _, _ = bench_campaign._qpg_pass(
+                loop["dialect"], loop["service"], loop["queries"]
+            )
+            if loop["warm_seconds"] is None or elapsed < loop["warm_seconds"]:
+                loop["warm_seconds"] = elapsed
+    on_loop, off_loop = loops[True], loops[False]
+    on_rate = on_loop["executed"] / on_loop["warm_seconds"]
+    off_rate = off_loop["executed"] / off_loop["warm_seconds"]
+    results = {
+        "pr4_corpus": {
+            "queries": count,
+            "executed": on_loop["executed"],
+            "cold_queries_per_second": (
+                on_loop["executed"] / on_loop["cold_seconds"]
+            ),
+            "warm_queries_per_second": on_rate,
+            "decorrelate_off_warm_queries_per_second": off_rate,
+            #: >= 1.0 means the decorrelation machinery costs nothing on a
+            #: corpus it never fires on (plans are identical either way).
+            "overhead_ratio": on_rate / off_rate if off_rate else 0.0,
+            "meets_pr4_floor": on_rate >= PR4_WARM_FLOOR_QPS,
+        },
+    }
+    # -- the new default corpus (informational) --------------------------
+    dialect, queries = _qpg_corpus(1, count, True)
+    service = PlanIngestService(hub=ConverterHub())
+    cold_seconds, executed, _ = bench_campaign._qpg_pass(dialect, service, queries)
+    warm_seconds = None
+    for _ in range(warm_repeats):
+        elapsed, _, _ = bench_campaign._qpg_pass(dialect, service, queries)
+        if warm_seconds is None or elapsed < warm_seconds:
+            warm_seconds = elapsed
+    results["subquery_corpus"] = {
+        "queries": count,
+        "executed": executed,
+        "cold_queries_per_second": executed / cold_seconds if cold_seconds else 0.0,
+        "warm_queries_per_second": executed / warm_seconds if warm_seconds else 0.0,
+    }
+    return results
+
+
+def collect_snapshot(quick: bool = False) -> dict:
+    """The BENCH_decorrelate.json payload."""
+    if quick:
+        micro = measure_in_subquery(outer_rows=300, inner_rows=80, repeats=1)
+    else:
+        micro = measure_in_subquery()
+    null_trap = measure_null_trap()
+    universe = measure_operator_universe()
+    warm = measure_warm_qpg(quick=quick)
+    warm_qps = warm["pr4_corpus"]["warm_queries_per_second"]
+    in_workload = micro["workloads"]["in_semi_join"]
+    return {
+        "benchmark": "decorrelate",
+        "quick": quick,
+        "microbench": micro,
+        "null_trap": null_trap,
+        "operator_universe": universe,
+        "warm_qpg": warm,
+        "pr4_warm_floor_qps": PR4_WARM_FLOOR_QPS,
+        "invariants": {
+            "in_subquery_at_least_5x": in_workload["speedup"] >= 5.0,
+            "results_identical": all(
+                workload["results_identical"]
+                for workload in micro["workloads"].values()
+            ),
+            "null_trap_identical_and_empty": (
+                null_trap["identical"] and null_trap["empty"]
+            ),
+            "operator_universe_strictly_larger": universe["strictly_larger"],
+            # The robust regression guard: on a corpus without subqueries
+            # the plans are identical with decorrelation on or off, so the
+            # warm rates must match (ratio ≈ 1, 10% noise allowance) —
+            # measured interleaved, which holds even when the shared
+            # container's absolute throughput drifts between runs.
+            "no_warm_overhead_vs_decorrelate_off": (
+                warm["pr4_corpus"]["overhead_ratio"] >= 0.9
+            ),
+            # Absolute throughput is machine-dependent, so the PR-4 floor is
+            # only enforced on the reference container's full run; the quick
+            # (CI smoke) mode records the rate without gating on it.
+            "warm_qpg_at_least_pr4_floor": (
+                True if quick else warm_qps >= PR4_WARM_FLOOR_QPS
+            ),
+        },
+    }
+
+
+# -- pytest entry points (the driver's --suite mode) --------------------------
+
+
+def test_decorrelated_microbench_identical_results():
+    micro = measure_in_subquery(outer_rows=120, inner_rows=40, repeats=1)
+    assert all(
+        workload["results_identical"] for workload in micro["workloads"].values()
+    )
+
+
+def test_null_trap_identical_and_empty():
+    null_trap = measure_null_trap()
+    assert null_trap["identical"] and null_trap["empty"]
+
+
+def test_operator_universe_strictly_larger():
+    assert measure_operator_universe()["strictly_larger"]

@@ -7,7 +7,7 @@ Usage (from the repository root)::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --suite    # + full pytest-benchmark run
     PYTHONPATH=src python benchmarks/run_benchmarks.py --output somewhere.json
 
-Four snapshots are written:
+Five snapshots are written:
 
 * ``BENCH_pipeline.json`` — batched-vs-single ingestion and
   fingerprint-vs-deep-compare speedup, with the service statistics proving
@@ -21,10 +21,13 @@ Four snapshots are written:
   cache-on vs cache-off campaign-equivalence check;
 * ``BENCH_executor.json`` — row vs vectorized executor throughput on
   scan/filter/join/aggregate/sort workloads (vectorized must win the
-  scan+filter microbench by ≥ 2x) plus the generator-corpus execute pass.
+  scan+filter microbench by ≥ 2x) plus the generator-corpus execute pass;
+* ``BENCH_decorrelate.json`` — decorrelated hash semi/anti joins vs the
+  per-row subquery oracle (the IN-subquery microbench must win by ≥ 5x),
+  the operator-name universe growth, and the warm QPG floor.
 
-``--only pipeline|coverage|campaign|executor`` restricts the run to one
-snapshot.
+``--only pipeline|coverage|campaign|executor|decorrelate`` restricts the
+run to one snapshot.
 ``--quick`` shrinks the corpora so the whole driver finishes in seconds —
 that is the mode CI smoke-runs.  The tier-1 test suite the snapshots should
 always be accompanied by is::
@@ -54,6 +57,7 @@ from repro.pipeline import PlanIngestService, PlanSource  # noqa: E402
 
 import bench_campaign  # noqa: E402
 import bench_coverage  # noqa: E402
+import bench_decorrelate  # noqa: E402
 import bench_executor  # noqa: E402
 import bench_pipeline  # noqa: E402
 
@@ -150,10 +154,15 @@ def main(argv=None) -> int:
         help="where to write the executor perf snapshot (default: repo root)",
     )
     parser.add_argument(
+        "--decorrelate-output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_decorrelate.json"),
+        help="where to write the decorrelation perf snapshot (default: repo root)",
+    )
+    parser.add_argument(
         "--only",
-        choices=["pipeline", "coverage", "campaign", "executor"],
+        choices=["pipeline", "coverage", "campaign", "executor", "decorrelate"],
         default=None,
-        help="run just one snapshot instead of all four",
+        help="run just one snapshot instead of all five",
     )
     parser.add_argument(
         "--quick",
@@ -253,6 +262,33 @@ def main(argv=None) -> int:
         if not all(executor_snapshot["invariants"].values()):
             print(
                 "EXECUTOR INVARIANTS VIOLATED:", executor_snapshot["invariants"],
+                file=sys.stderr,
+            )
+            violated = True
+
+    if args.only in (None, "decorrelate"):
+        decorrelate_snapshot = bench_decorrelate.collect_snapshot(quick=args.quick)
+        write_snapshot(decorrelate_snapshot, args.decorrelate_output)
+        in_workload = decorrelate_snapshot["microbench"]["workloads"]["in_semi_join"]
+        universe = decorrelate_snapshot["operator_universe"]
+        print(
+            "decorrelate: IN-subquery {:.1f}x, NOT IN {:.1f}x; operator "
+            "universe {} -> {} names; warm QPG {:.0f} q/s".format(
+                in_workload["speedup"],
+                decorrelate_snapshot["microbench"]["workloads"][
+                    "not_in_anti_join"
+                ]["speedup"],
+                universe["per_row_size"],
+                universe["decorrelated_size"],
+                decorrelate_snapshot["warm_qpg"]["pr4_corpus"][
+                    "warm_queries_per_second"
+                ],
+            )
+        )
+        if not all(decorrelate_snapshot["invariants"].values()):
+            print(
+                "DECORRELATE INVARIANTS VIOLATED:",
+                decorrelate_snapshot["invariants"],
                 file=sys.stderr,
             )
             violated = True

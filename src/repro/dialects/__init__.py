@@ -36,12 +36,18 @@ DIALECTS: Dict[str, Type[SimulatedDBMS]] = {
 RELATIONAL_DIALECTS = ("mysql", "postgresql", "sqlite", "sqlserver", "sparksql", "tidb")
 
 
-def create_dialect(name: str) -> SimulatedDBMS:
-    """Instantiate the simulated DBMS called *name*."""
+def create_dialect(name: str, **options) -> SimulatedDBMS:
+    """Instantiate the simulated DBMS called *name*.
+
+    Keyword options (``prepared_cache=``, ``executor=``, ``decorrelate=``)
+    are forwarded to the dialect constructor — relational dialects accept
+    all three.
+    """
     try:
-        return DIALECTS[name.lower()]()
+        dialect_class = DIALECTS[name.lower()]
     except KeyError as exc:
         raise KeyError(f"unknown DBMS {name!r}; available: {sorted(DIALECTS)}") from exc
+    return dialect_class(**options)
 
 
 def available_dialects() -> List[str]:

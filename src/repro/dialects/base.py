@@ -117,10 +117,23 @@ class RelationalDialect(SimulatedDBMS):
     #: Counter seed for per-plan operator identifiers (e.g. TiDB's ``_5``).
     identifier_seed: int = 3
 
-    def __init__(self, prepared_cache: bool = True, executor: str = "vectorized") -> None:
+    def __init__(
+        self,
+        prepared_cache: bool = True,
+        executor: str = "vectorized",
+        decorrelate: bool = True,
+    ) -> None:
         self.database = Database(self.name)
+        #: Whether the planner rewrites uncorrelated ``IN`` / ``EXISTS``
+        #: predicates into hash semi/anti joins (the default) or keeps the
+        #: per-row subquery filter path (the correctness oracle).  The two
+        #: produce identical result rows and row order
+        #: (tests/test_decorrelate.py); only the plans differ.
         self.planner = Planner(
-            self.database, cost_model=self.cost_model(), options=self.planner_options()
+            self.database,
+            cost_model=self.cost_model(),
+            options=self.planner_options(),
+            decorrelate=decorrelate,
         )
         #: Which executor implementation runs plans: ``"vectorized"`` (the
         #: columnar batch engine, the default) or ``"row"`` (the row-at-a-
@@ -149,6 +162,17 @@ class RelationalDialect(SimulatedDBMS):
         if kind != self.executor_kind:
             self.executor_kind = kind
             self.executor = create_executor(kind, self.database, self.planner)
+
+    def set_decorrelate(self, enabled: bool) -> None:
+        """Toggle subquery decorrelation (plans change, results never do).
+
+        Cached physical plans were produced under the previous setting, so
+        the prepared-query cache is dropped on an actual switch — the
+        catalog version alone would not invalidate them.
+        """
+        if enabled != self.planner.decorrelate:
+            self.planner.decorrelate = enabled
+            self.prepared.clear()
 
     def planner_options(self) -> PlannerOptions:
         """Planner options for this dialect (overridden by subclasses)."""

@@ -126,6 +126,17 @@ class MySQLDialect(RelationalDialect):
                 raw.properties["join_condition"] = print_expression(node.info["condition"])
             return raw
 
+        if kind in (OpKind.SEMI_JOIN, OpKind.ANTI_JOIN):
+            # MySQL 8 FORMAT=TREE spells decorrelated IN/EXISTS like this.
+            label = "Hash semijoin" if kind is OpKind.SEMI_JOIN else "Hash antijoin"
+            raw = RawPlanNode(label, properties, children)
+            if node.info.get("probe") is not None:
+                raw.properties["join_condition"] = (
+                    f"{print_expression(node.info['probe'])} = "
+                    f"{node.info.get('inner_column')}"
+                )
+            return raw
+
         if kind in (OpKind.HASH_AGGREGATE, OpKind.SORT_AGGREGATE):
             group_keys = node.info.get("group_keys", [])
             if node.info.get("deduplicate") or node.info.get("set_operator") == "UNION":

@@ -134,6 +134,26 @@ class PostgreSQLDialect(RelationalDialect):
             raw.children.append(hash_node)
             return raw
 
+        if kind in (OpKind.SEMI_JOIN, OpKind.ANTI_JOIN):
+            # PostgreSQL displays decorrelated IN/EXISTS as semi/anti hash
+            # joins, with the inner side behind a Hash build, exactly like a
+            # plain hash join.
+            label = "Hash Semi Join" if kind is OpKind.SEMI_JOIN else "Hash Anti Join"
+            raw = RawPlanNode(label, properties)
+            raw.properties["Join Type"] = node.info.get("join_type", "Semi")
+            if node.info.get("probe") is not None:
+                raw.properties["Hash Cond"] = (
+                    f"{print_expression(node.info['probe'])} = "
+                    f"{node.info.get('inner_column')}"
+                )
+            raw.children.append(children[0])
+            hash_node = RawPlanNode(
+                "Hash", self._common_properties(node.children[1], analyze)
+            )
+            hash_node.children.append(children[1])
+            raw.children.append(hash_node)
+            return raw
+
         if kind is OpKind.MERGE_JOIN:
             raw = RawPlanNode("Merge Join", properties)
             raw.properties["Join Type"] = node.info.get("join_type", "Inner").title()

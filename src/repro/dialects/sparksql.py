@@ -120,6 +120,22 @@ class SparkSQLDialect(RelationalDialect):
                 properties,
                 [left_exchange, right_exchange],
             )
+        if kind in (OpKind.SEMI_JOIN, OpKind.ANTI_JOIN):
+            # Spark broadcasts the (typically small) subquery side and marks
+            # the join type LeftSemi / LeftAnti.
+            join_type = "LeftSemi" if kind is OpKind.SEMI_JOIN else "LeftAnti"
+            probe = node.info.get("probe")
+            condition = (
+                f"{print_expression(probe)} = {node.info.get('inner_column')}"
+                if probe is not None
+                else ""
+            )
+            exchange = RawPlanNode("BroadcastExchange", {}, [children[1]])
+            return RawPlanNode(
+                f"BroadcastHashJoin [{condition}] {join_type}",
+                properties,
+                [children[0], exchange],
+            )
         if kind is OpKind.MERGE_JOIN:
             condition = (
                 print_expression(node.info["condition"])

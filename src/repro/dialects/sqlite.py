@@ -96,6 +96,15 @@ class SQLiteDialect(RelationalDialect):
                     )
             return steps
 
+        if kind in (OpKind.SEMI_JOIN, OpKind.ANTI_JOIN):
+            # SQLite shows a decorrelated IN/EXISTS as the outer scan plus a
+            # LIST SUBQUERY step holding the materialized inner query.
+            steps = self._flatten(node.children[0])
+            steps.append(
+                RawPlanNode("LIST SUBQUERY", {}, self._flatten(node.children[1]))
+            )
+            return steps
+
         if kind in (OpKind.HASH_AGGREGATE, OpKind.SORT_AGGREGATE):
             steps = self._flatten(node.children[0]) if node.children else []
             if node.info.get("group_keys") or node.info.get("deduplicate"):

@@ -99,6 +99,14 @@ class SQLServerDialect(RelationalDialect):
             if node.info.get("condition") is not None:
                 raw.properties["HashKeysProbe"] = print_expression(node.info["condition"])
             return raw
+        if kind in (OpKind.SEMI_JOIN, OpKind.ANTI_JOIN):
+            raw = RawPlanNode("Hash Match", properties, children)
+            raw.properties["LogicalOp"] = (
+                "Left Semi Join" if kind is OpKind.SEMI_JOIN else "Left Anti Semi Join"
+            )
+            if node.info.get("probe") is not None:
+                raw.properties["HashKeysProbe"] = print_expression(node.info["probe"])
+            return raw
         if kind is OpKind.MERGE_JOIN:
             raw = RawPlanNode("Merge Join", properties, children)
             raw.properties["LogicalOp"] = f"{node.info.get('join_type', 'Inner').title()} Join"

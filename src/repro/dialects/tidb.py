@@ -37,8 +37,8 @@ class TiDBDialect(RelationalDialect):
     plan_formats = ("table", "text", "json")
     default_format = "table"
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, **options) -> None:
+        super().__init__(**options)
         self._identifier_counter = self.identifier_seed
 
     def planner_options(self) -> PlannerOptions:
@@ -162,6 +162,19 @@ class TiDBDialect(RelationalDialect):
                 f"{node.info.get('join_type', 'inner').lower()} join, equal:"
                 + (print_expression(node.info["condition"]) if node.info.get("condition") else "")
             )
+            return raw
+        if kind in (OpKind.SEMI_JOIN, OpKind.ANTI_JOIN):
+            # TiDB keeps the HashJoin operator and marks the semantics in
+            # the operator info, as the real system does.
+            raw = RawPlanNode(self._label("HashJoin"), properties, children)
+            semantics = "semi join" if kind is OpKind.SEMI_JOIN else "anti semi join"
+            probe = node.info.get("probe")
+            equal = (
+                f"{print_expression(probe)} = {node.info.get('inner_column')}"
+                if probe is not None
+                else ""
+            )
+            raw.properties["operator info"] = f"{semantics}, equal:{equal}"
             return raw
         if kind is OpKind.MERGE_JOIN:
             raw = RawPlanNode(self._label("MergeJoin"), properties, children)

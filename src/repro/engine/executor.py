@@ -20,6 +20,7 @@ from repro.catalog.database import Database
 from repro.catalog.schema import Column, DataType, TableSchema
 from repro.engine.expressions import (
     EvaluationContext,
+    compile_expression,
     compile_predicate,
     evaluate,
     evaluate_predicate,
@@ -107,9 +108,28 @@ class Executor:
             cache[key] = compiled
         return compiled
 
+    def _node_scalar(self, node: PhysicalNode, key: str):
+        """Like :meth:`_node_predicate` but compiling a scalar expression
+        (the semi-join probe); cached under a distinct key space."""
+        cache = getattr(node, "_compiled", None)
+        if cache is None:
+            cache = {}
+            node._compiled = cache
+        cache_key = ("scalar", key)
+        compiled = cache.get(cache_key)
+        if compiled is None:
+            compiled = compile_expression(node.info[key])
+            cache[cache_key] = compiled
+        return compiled
+
     def _run_subquery(self, query: ast.SelectStatement, outer_row: Row) -> List[Row]:
         planner = self._get_planner()
-        plan = planner.plan_select(query)
+        # Predicate subqueries may legally reference the outer row, so they
+        # plan through the scope-relaxed entry point.
+        if hasattr(planner, "plan_subquery"):
+            plan = planner.plan_subquery(query)
+        else:  # pragma: no cover - custom planner objects
+            plan = planner.plan_select(query)
         return self.execute(plan, analyze=False, outer_row=outer_row)
 
     def _get_planner(self):
@@ -288,6 +308,61 @@ class Executor:
         # Correctness first: a merge join produces the same rows as a hash join.
         return self._execute_hash_join(node, analyze, outer_row)
 
+    def _execute_semi_join(self, node: PhysicalNode, analyze: bool, outer_row: Row) -> List[Row]:
+        left_rows = self._execute_node(node.children[0], analyze, outer_row)
+        right_rows = self._execute_node(node.children[1], analyze, outer_row)
+        return self._semi_join_rows(node, left_rows, right_rows, outer_row)
+
+    def _semi_join_rows(
+        self,
+        node: PhysicalNode,
+        left_rows: List[Row],
+        right_rows: List[Row],
+        outer_row: Row,
+    ) -> List[Row]:
+        """Hash semi / null-aware anti join over materialized inputs.
+
+        Replicates the three-valued semantics of the per-row
+        ``IN`` / ``EXISTS`` predicate evaluation it decorrelates
+        (:func:`repro.engine.expressions._evaluate_in_subquery`), but builds
+        the inner key set once instead of re-running the subquery per outer
+        row.  Output order is the outer input's order, exactly as a filter
+        preserves it (shared with the vectorized executor's row fallback).
+        """
+        anti = node.kind is OpKind.ANTI_JOIN
+        if node.info.get("quantifier") == "exists":
+            # Uncorrelated EXISTS is a pure emptiness test on the inner side.
+            keep = bool(right_rows) != anti
+            return list(left_rows) if keep else []
+        inner_keys = set()
+        saw_null = False
+        for right in right_rows:
+            value = next(iter(right.values())) if right else None
+            if value is None:
+                saw_null = True
+            else:
+                inner_keys.add(_semi_join_key(value))
+        if anti and not right_rows:
+            # ``x NOT IN (empty)`` is TRUE for every x — even NULL.
+            return list(left_rows)
+        if anti and saw_null:
+            # The NOT IN + inner-NULL trap: with a NULL in the inner
+            # relation the predicate is never TRUE (matches are FALSE,
+            # non-matches are NULL), so the result is empty.
+            return []
+        probe = self._node_scalar(node, "probe")
+        context = self._context
+        output: List[Row] = []
+        append = output.append
+        for left in left_rows:
+            value = probe(context(left, outer_row))
+            if value is None:
+                # A NULL probe value never compares TRUE.
+                continue
+            if (_semi_join_key(value) in inner_keys) != anti:
+                append(left)
+        return output
+
     def _join_rows(
         self,
         node: PhysicalNode,
@@ -401,8 +476,10 @@ class Executor:
                 if limit_expression is not None
                 else None
             )
-            if isinstance(limit_value, (int, float)):
+            if isinstance(limit_value, (int, float)) and int(limit_value) >= 0:
                 return sorted_rows[: int(limit_value)]
+            # SQLite semantics (the dialect under test): a negative LIMIT
+            # means "no limit".
         return sorted_rows
 
     def _execute_limit(self, node: PhysicalNode, analyze: bool, outer_row: Row) -> List[Row]:
@@ -418,8 +495,10 @@ class Executor:
         end: Optional[int] = None
         if limit_expression is not None:
             limit_value = evaluate(limit_expression, context)
-            if isinstance(limit_value, (int, float)):
-                end = start + max(int(limit_value), 0)
+            # SQLite semantics (the dialect under test): a negative LIMIT
+            # means "no limit" — only non-negative values bound the slice.
+            if isinstance(limit_value, (int, float)) and int(limit_value) >= 0:
+                end = start + int(limit_value)
         return rows[start:end]
 
     def _execute_distinct(self, node: PhysicalNode, analyze: bool, outer_row: Row) -> List[Row]:
@@ -465,11 +544,31 @@ class Executor:
     def _execute_project(self, node: PhysicalNode, analyze: bool, outer_row: Row) -> List[Row]:
         rows = self._execute_node(node.children[0], analyze, outer_row)
         items: List[Tuple[ast.Expression, str]] = node.info.get("items", [])
+        # Grouped expression columns pass through by their printed text: an
+        # aggregation below keys each group-key value under
+        # ``print_expression(key)``, exactly as aggregate results are read
+        # back (see ``evaluate``'s aggregate case), so re-evaluating the
+        # expression against the aggregated row would wrongly look for its
+        # base columns.  The printed names are cached on the (shared) node
+        # like every other per-node compiled artifact.
+        cache = getattr(node, "_compiled", None)
+        if cache is None:
+            cache = {}
+            node._compiled = cache
+        printed = cache.get(("printed", "items"))
+        if printed is None:
+            printed = [
+                None
+                if isinstance(expression, ast.Star)
+                else print_expression(expression)
+                for expression, _ in items
+            ]
+            cache[("printed", "items")] = printed
         output: List[Row] = []
         for row in rows:
             context = self._context(row, outer_row)
             projected: Row = {}
-            for expression, name in items:
+            for (expression, name), text in zip(items, printed):
                 if isinstance(expression, ast.Star):
                     if expression.table:
                         prefix = expression.table + "."
@@ -478,6 +577,8 @@ class Executor:
                                 projected[key] = value
                     else:
                         projected.update(row)
+                elif text in row and not isinstance(expression, ast.ColumnRef):
+                    projected[name] = row[text]
                 else:
                     projected[name] = evaluate(expression, context)
             output.append(projected)
@@ -694,6 +795,20 @@ def _hash_key(
     return tuple(values)
 
 
+def _semi_join_key(value: object) -> object:
+    """Set key for semi/anti-join probes, matching ``_compare("=", …)``.
+
+    ``_compare`` implements SQL ``=`` as Python ``==``, and Python's own
+    hash/equality contract already gives exactly those equality classes for
+    the engine's scalar domain: ``1 == 1.0 == True`` across int/float/bool,
+    *exact* for integers beyond 2**53 (which a float coercion would
+    collide), and type-distinct for strings.  So the value itself is the
+    key — never :func:`_normalise_value`, whose float-coercing sort keys
+    serve ordering, not equality.  Callers handle NULL before keying.
+    """
+    return value
+
+
 def _normalise_value(value: object) -> object:
     """Make a value hashable and comparable across int/float."""
     if isinstance(value, bool):
@@ -834,6 +949,8 @@ _HANDLERS: Dict[OpKind, Callable[[Executor, PhysicalNode, bool, Row], List[Row]]
     OpKind.NESTED_LOOP_JOIN: Executor._execute_nested_loop_join,
     OpKind.HASH_JOIN: Executor._execute_hash_join,
     OpKind.MERGE_JOIN: Executor._execute_merge_join,
+    OpKind.SEMI_JOIN: Executor._execute_semi_join,
+    OpKind.ANTI_JOIN: Executor._execute_semi_join,
     OpKind.HASH_AGGREGATE: Executor._execute_aggregate,
     OpKind.SORT_AGGREGATE: Executor._execute_aggregate,
     OpKind.SORT: Executor._execute_sort,

@@ -40,6 +40,7 @@ from repro.engine.executor import (
     _equi_join_keys,
     _extract_bounds,
     _normalise_value,
+    _semi_join_key,
     fold_aggregate,
 )
 from repro.engine.expressions import (
@@ -368,9 +369,19 @@ class VectorizedExecutor(Executor):
             compiled = []
             for expression, name in node.info.get("items", []):
                 if isinstance(expression, ast.Star):
-                    compiled.append(("star", expression.table, None))
+                    compiled.append(("star", expression.table, None, None))
                 else:
-                    compiled.append(("expr", name, compile_expression_batch(expression)))
+                    # Non-column expressions pass through by printed text
+                    # when an aggregation below already produced the value —
+                    # the row executor's grouped-expression passthrough.
+                    printed = (
+                        None
+                        if isinstance(expression, ast.ColumnRef)
+                        else print_expression(expression)
+                    )
+                    compiled.append(
+                        ("expr", name, compile_expression_batch(expression), printed)
+                    )
             return compiled
 
         items = self._node_batch_compiled(node, "items", compile_items)
@@ -378,7 +389,7 @@ class VectorizedExecutor(Executor):
         for batch in batches:
             context = self._batch_context(batch)
             columns: Dict[str, List[object]] = {}
-            for kind, name, fn in items:
+            for kind, name, fn, printed in items:
                 if kind == "star":
                     if name:  # qualified star: name carries the table alias
                         prefix = name + "."
@@ -387,6 +398,8 @@ class VectorizedExecutor(Executor):
                                 columns[key] = values
                     else:
                         columns.update(batch.columns)
+                elif printed is not None and printed in batch.columns:
+                    columns[name] = batch.columns[printed]
                 else:
                     columns[name] = fn(context)
             output.append(RowBatch(columns, batch.length))
@@ -502,6 +515,58 @@ class VectorizedExecutor(Executor):
         # Correctness first, exactly as the row executor: a merge join
         # produces the same rows as a hash join.
         return self._batch_hash_join(node, analyze)
+
+    def _batch_semi_join(self, node: PhysicalNode, analyze: bool) -> List[RowBatch]:
+        """Hash semi / null-aware anti join over batches.
+
+        The inner side's first output column is collected into one key set,
+        then each outer batch evaluates the probe expression as a chunk and
+        keeps the matching (semi) or non-matching (anti) positions.  The
+        three-valued edge cases — NULL probes never TRUE, ``NOT IN`` against
+        an empty inner keeping everything, a single inner NULL emptying the
+        ``NOT IN`` result — mirror the row executor's ``_semi_join_rows``.
+        """
+        left_batches = self._execute_batches(node.children[0], analyze, _EMPTY_ROW)
+        right_batches = self._execute_batches(node.children[1], analyze, _EMPTY_ROW)
+        anti = node.kind is OpKind.ANTI_JOIN
+        if node.info.get("quantifier") == "exists":
+            has_rows = any(batch.length for batch in right_batches)
+            return left_batches if has_rows != anti else []
+        inner_keys = set()
+        saw_null = False
+        total_right = 0
+        for batch in right_batches:
+            total_right += batch.length
+            if not batch.columns:
+                # Rows without columns read as a NULL first value.
+                saw_null = saw_null or batch.length > 0
+                continue
+            for value in next(iter(batch.columns.values())):
+                if value is None:
+                    saw_null = True
+                else:
+                    inner_keys.add(_semi_join_key(value))
+        if anti and not total_right:
+            return left_batches
+        if anti and saw_null:
+            return []
+        probe = self._node_batch_compiled(
+            node, "probe", lambda: compile_expression_batch(node.info["probe"])
+        )
+        output: List[RowBatch] = []
+        for batch in left_batches:
+            values = probe(self._batch_context(batch))
+            selection = [
+                position
+                for position, value in enumerate(values)
+                if value is not None
+                and (_semi_join_key(value) in inner_keys) != anti
+            ]
+            if len(selection) == batch.length:
+                output.append(batch)
+            elif selection:
+                output.append(_gather(batch, selection))
+        return output
 
     def _batch_join_generic(
         self, node: PhysicalNode, left_batches: List[RowBatch], right_batches: List[RowBatch]
@@ -703,11 +768,9 @@ class VectorizedExecutor(Executor):
             if isinstance(limit_value, (int, float)):
                 end = int(limit_value)
                 if end < 0:
-                    # The row executor slices ``rows[:n]`` directly, so a
-                    # negative TOP-N limit keeps Python's semantics: count
-                    # from the end, clamped at zero.
-                    total = sum(batch.length for batch in sorted_batches)
-                    end = max(total + end, 0)
+                    # SQLite semantics (the dialect under test): a negative
+                    # LIMIT means "no limit", exactly as the row executor.
+                    return sorted_batches
                 return _slice_batches(sorted_batches, 0, end)
         return sorted_batches
 
@@ -744,8 +807,10 @@ class VectorizedExecutor(Executor):
         end: Optional[int] = None
         if limit_expression is not None:
             limit_value = evaluate(limit_expression, context)
-            if isinstance(limit_value, (int, float)):
-                end = start + max(int(limit_value), 0)
+            # A negative LIMIT means "no limit" (SQLite semantics), exactly
+            # as the row executor slices.
+            if isinstance(limit_value, (int, float)) and int(limit_value) >= 0:
+                end = start + int(limit_value)
         return _slice_batches(batches, start, end)
 
     def _batch_distinct(self, node: PhysicalNode, analyze: bool) -> List[RowBatch]:
@@ -915,6 +980,8 @@ _BATCH_HANDLERS: Dict[OpKind, Callable] = {
     OpKind.NESTED_LOOP_JOIN: VectorizedExecutor._batch_nested_loop_join,
     OpKind.HASH_JOIN: VectorizedExecutor._batch_hash_join,
     OpKind.MERGE_JOIN: VectorizedExecutor._batch_merge_join,
+    OpKind.SEMI_JOIN: VectorizedExecutor._batch_semi_join,
+    OpKind.ANTI_JOIN: VectorizedExecutor._batch_semi_join,
     OpKind.HASH_AGGREGATE: VectorizedExecutor._batch_aggregate,
     OpKind.SORT_AGGREGATE: VectorizedExecutor._batch_aggregate,
     OpKind.SORT: VectorizedExecutor._batch_sort,

@@ -25,6 +25,11 @@ DEFAULT_LIKE = 0.1
 DEFAULT_PREFIX_LIKE = 0.05
 DEFAULT_UNKNOWN = 0.33
 DEFAULT_IN_ITEM = 0.01
+#: Quantified (IN / EXISTS) subquery predicates, decorrelated or not, keep
+#: half of their input — the same magic number the residual-filter path uses,
+#: so toggling decorrelation never changes downstream row estimates.
+DEFAULT_SEMI_JOIN = 0.5
+DEFAULT_ANTI_JOIN = 0.5
 
 #: Callable that resolves a column reference to its statistics (or ``None``).
 StatisticsResolver = Callable[[ast.ColumnRef], Optional[ColumnStatistics]]
@@ -137,7 +142,7 @@ def estimate_selectivity(
         return (1.0 - selectivity) if expression.negated else selectivity
 
     if isinstance(expression, ast.InSubquery):
-        return 0.5 if not expression.negated else 0.5
+        return DEFAULT_ANTI_JOIN if expression.negated else DEFAULT_SEMI_JOIN
 
     if isinstance(expression, ast.Like):
         pattern = (
@@ -160,7 +165,7 @@ def estimate_selectivity(
         return (1.0 - null_fraction) if expression.negated else max(null_fraction, 1e-6)
 
     if isinstance(expression, ast.Exists):
-        return 0.5
+        return DEFAULT_ANTI_JOIN if expression.negated else DEFAULT_SEMI_JOIN
 
     if isinstance(expression, ast.Literal):
         if expression.value is None:
@@ -168,6 +173,20 @@ def estimate_selectivity(
         return 1.0 if bool(expression.value) else 0.0
 
     return DEFAULT_UNKNOWN
+
+
+def estimate_quantified_selectivity(
+    quantifier: str, negated: bool
+) -> float:
+    """Selectivity of a decorrelated ``IN`` / ``EXISTS`` conjunct.
+
+    Mirrors what :func:`estimate_selectivity` returns for the corresponding
+    :class:`~repro.sqlparser.ast_nodes.InSubquery` / ``Exists`` predicate, so
+    the semi/anti-join plan carries the same row estimate as the per-row
+    filter plan it replaces.
+    """
+    del quantifier  # "in" and "exists" share the textbook default today.
+    return DEFAULT_ANTI_JOIN if negated else DEFAULT_SEMI_JOIN
 
 
 def estimate_join_selectivity(

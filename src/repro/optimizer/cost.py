@@ -75,6 +75,20 @@ class CostModel:
         probe = outer.total + outer_rows * self.cpu_operator_cost * 2
         return CostEstimate(startup=build, total=build + probe)
 
+    def semi_join(
+        self, outer: CostEstimate, inner: CostEstimate, outer_rows: float, inner_rows: float
+    ) -> CostEstimate:
+        """Cost a hash semi (or null-aware anti) join.
+
+        The inner side is materialized once into a hash set — one entry per
+        row, cheaper than a full hash-join build because only the key is
+        kept — and every outer row performs a single O(1) probe.  This is the
+        O(n·m) → O(n+m) win over re-running the subquery per outer row.
+        """
+        build = inner.total + inner_rows * self.cpu_operator_cost * self.hash_mem_factor
+        probe = outer.total + outer_rows * self.cpu_operator_cost
+        return CostEstimate(startup=build, total=build + probe)
+
     def merge_join(
         self,
         outer: CostEstimate,

@@ -34,6 +34,8 @@ class OpKind(enum.Enum):
     NESTED_LOOP_JOIN = "NestedLoopJoin"
     HASH_JOIN = "HashJoin"
     MERGE_JOIN = "MergeJoin"
+    SEMI_JOIN = "SemiJoin"
+    ANTI_JOIN = "AntiJoin"
     # Folders
     HASH_AGGREGATE = "HashAggregate"
     SORT_AGGREGATE = "SortAggregate"
@@ -80,7 +82,13 @@ PRODUCER_KINDS = frozenset(
 
 #: Operator kinds implementing joins.
 JOIN_KINDS = frozenset(
-    {OpKind.NESTED_LOOP_JOIN, OpKind.HASH_JOIN, OpKind.MERGE_JOIN}
+    {
+        OpKind.NESTED_LOOP_JOIN,
+        OpKind.HASH_JOIN,
+        OpKind.MERGE_JOIN,
+        OpKind.SEMI_JOIN,
+        OpKind.ANTI_JOIN,
+    }
 )
 
 

@@ -34,6 +34,7 @@ from repro.errors import PlanningError
 from repro.optimizer.cardinality import (
     estimate_distinct_groups,
     estimate_join_selectivity,
+    estimate_quantified_selectivity,
     estimate_selectivity,
 )
 from repro.optimizer.cost import CostModel
@@ -83,6 +84,19 @@ class _JoinEdge:
     join_type: str = "INNER"
 
 
+@dataclass
+class _SemiJoinTarget:
+    """A WHERE conjunct the decorrelation rewrite turns into a semi/anti join."""
+
+    #: ``"in"`` (probe a key set) or ``"exists"`` (an emptiness test).
+    quantifier: str
+    #: True for ``NOT IN`` / ``NOT EXISTS`` (a null-aware anti join).
+    negated: bool
+    subquery: ast.SelectStatement
+    #: The outer-side probe expression (``None`` for EXISTS).
+    probe: Optional[ast.Expression] = None
+
+
 class Planner:
     """Plans statements for one :class:`~repro.catalog.database.Database`."""
 
@@ -91,10 +105,24 @@ class Planner:
         database: Database,
         cost_model: Optional[CostModel] = None,
         options: Optional[PlannerOptions] = None,
+        decorrelate: bool = True,
     ) -> None:
         self.database = database
         self.cost_model = cost_model or CostModel()
         self.options = options or PlannerOptions()
+        #: Rewrite uncorrelated ``IN`` / ``EXISTS`` WHERE conjuncts into hash
+        #: semi/anti joins (O(outer + inner)) instead of evaluating the
+        #: subquery once per outer row inside a filter predicate
+        #: (O(outer × inner)).  Semantically invisible: ``decorrelate=False``
+        #: keeps the per-row path as the correctness oracle
+        #: (tests/test_decorrelate.py fuzzes the equivalence).
+        self.decorrelate = decorrelate
+        #: Nesting depth of predicate-subquery planning.  Inside a subquery
+        #: the executor merges the outer row into every evaluation context,
+        #: so a column the subquery's own scope cannot resolve may still be
+        #: legal (correlation); plan-time unknown-column validation is
+        #: therefore restricted to depth 0.
+        self._subquery_depth = 0
 
     # ------------------------------------------------------------------ entry points
 
@@ -123,6 +151,20 @@ class Planner:
             return make_node(OpKind.DROP_TABLE, table=statement.name, statement=statement)
         raise PlanningError(f"cannot plan statement of type {type(statement).__name__}")
 
+    def plan_subquery(self, statement: ast.SelectStatement) -> PhysicalNode:
+        """Plan a predicate subquery (one that may see an outer row).
+
+        Identical to :meth:`plan_select` except that validations requiring
+        the statement to be self-contained — unknown grouping columns — are
+        suspended: a reference the subquery's own scope cannot resolve may
+        legally correlate to the enclosing query at execution time.
+        """
+        self._subquery_depth += 1
+        try:
+            return self.plan_select(statement)
+        finally:
+            self._subquery_depth -= 1
+
     def plan_select(self, statement: ast.SelectStatement) -> PhysicalNode:
         """Plan a SELECT statement including set operations and ORDER/LIMIT."""
         body = statement.body
@@ -133,9 +175,13 @@ class Planner:
 
         if statement.order_by:
             if statement.limit is not None and self.options.enable_top_n:
-                plan = self._add_sort(plan, statement.order_by, top_n=True, limit=statement.limit)
+                plan = self._add_sort(
+                    plan, statement.order_by, top_n=True, limit=statement.limit, body=body
+                )
             else:
-                plan = self._add_sort(plan, statement.order_by, top_n=False, limit=None)
+                plan = self._add_sort(
+                    plan, statement.order_by, top_n=False, limit=None, body=body
+                )
         if statement.limit is not None and not (
             statement.order_by and self.options.enable_top_n
         ):
@@ -218,16 +264,24 @@ class Planner:
             return self._plan_constant_select(core)
 
         relations, edges, outer_joins, residual = self._collect_relations(core)
+        group_by = self._resolve_group_by(core, relations)
 
         # Classify WHERE conjuncts.
         where_conjuncts = ast.split_conjuncts(core.where)
         join_conjuncts: List[ast.Expression] = []
         complex_conjuncts: List[ast.Expression] = list(residual)
+        semi_targets: List[_SemiJoinTarget] = []
         alias_names = {relation.alias for relation in relations}
         for conjunct in where_conjuncts:
             aliases = self._referenced_aliases(conjunct, alias_names)
             if self._contains_subquery(conjunct):
-                complex_conjuncts.append(conjunct)
+                target = (
+                    self._decorrelation_target(conjunct) if self.decorrelate else None
+                )
+                if target is not None:
+                    semi_targets.append(target)
+                else:
+                    complex_conjuncts.append(conjunct)
             elif len(aliases) == 1 and not outer_joins:
                 # With outer joins, pushing a predicate below the join would
                 # change null-extension semantics, so it stays above the join.
@@ -241,7 +295,7 @@ class Planner:
                 complex_conjuncts.append(conjunct)
 
         # Plan access paths and join order.
-        needed_columns = self._compute_needed_columns(core, relations, edges)
+        needed_columns = self._compute_needed_columns(core, relations, edges, group_by)
         if outer_joins:
             plan = self._plan_syntactic_joins(
                 core.from_clause, relations, alias_names, needed_columns
@@ -249,14 +303,18 @@ class Planner:
         else:
             plan = self._plan_join_order(relations, edges, needed_columns)
 
+        # Decorrelated IN / EXISTS conjuncts become hash semi/anti joins.
+        for target in semi_targets:
+            plan = self._add_semi_join(plan, target)
+
         # Residual predicates that could not be pushed down.
         if complex_conjuncts:
             plan = self._add_filter(plan, ast.conjoin(complex_conjuncts))
 
         # Aggregation.
         aggregates = self._collect_aggregates(core)
-        if core.group_by or aggregates:
-            plan = self._add_aggregate(plan, core, aggregates)
+        if group_by or aggregates:
+            plan = self._add_aggregate(plan, core, aggregates, group_by)
             if core.having is not None:
                 plan = self._add_filter(plan, core.having, is_having=True)
         elif core.having is not None:
@@ -382,6 +440,386 @@ class Planner:
             isinstance(e, (ast.ScalarSubquery, ast.InSubquery, ast.Exists))
             for e in ast.iter_expressions(expression)
         )
+
+    # ------------------------------------------------------------------ decorrelation
+
+    def _decorrelation_target(
+        self, conjunct: ast.Expression
+    ) -> Optional[_SemiJoinTarget]:
+        """The semi/anti-join rewrite of *conjunct*, or ``None``.
+
+        A conjunct qualifies when it is an ``IN (SELECT …)`` / ``EXISTS``
+        predicate (possibly under ``NOT``) whose subquery is *uncorrelated* —
+        every column it references resolves within its own scope.  ``NOT`` is
+        sound to fold into the anti flag because under three-valued logic it
+        maps ``TRUE ↔ FALSE`` and preserves ``NULL``, and a filter keeps only
+        ``TRUE`` rows either way.
+        """
+        negated = False
+        expression = conjunct
+        while (
+            isinstance(expression, ast.UnaryOp)
+            and expression.operator.upper() == "NOT"
+        ):
+            negated = not negated
+            expression = expression.operand
+        if isinstance(expression, ast.InSubquery) and expression.subquery is not None:
+            if self._contains_subquery(expression.expression):
+                return None
+            if not self._subquery_is_uncorrelated(expression.subquery):
+                return None
+            return _SemiJoinTarget(
+                quantifier="in",
+                negated=negated != expression.negated,
+                subquery=expression.subquery,
+                probe=expression.expression,
+            )
+        if isinstance(expression, ast.Exists) and expression.query is not None:
+            if not self._subquery_is_uncorrelated(expression.query):
+                return None
+            return _SemiJoinTarget(
+                quantifier="exists",
+                negated=negated != expression.negated,
+                subquery=expression.query,
+            )
+        return None
+
+    def _subquery_is_uncorrelated(self, query: ast.SelectStatement) -> bool:
+        """Whether every column *query* references resolves in its own scope.
+
+        Scoping is checked **per SELECT core**: a reference is resolvable
+        only against the relations of the core it appears in — exactly the
+        rows the per-row path would see first — never against relations of
+        sibling cores or of derived tables' *internals* (a column visible
+        only inside a nested derived table is out of scope at the level
+        above, so such a reference correlates outward).  Conservative by
+        design: a qualified reference must name an own-scope alias whose
+        column list is provable (base-table schema, or a derived table's
+        enumerable select list) and contain the column; an unqualified
+        reference must be provably a column of an own-scope relation.
+        Anything unprovable keeps the per-row correlated path, which is
+        always correct.  Nested subqueries are checked against their own
+        scope the same way (so a subquery correlated to a *mid* level also
+        falls back — stricter than necessary, never wrong).
+        """
+        pending = [query]
+        while pending:
+            statement = pending.pop()
+            statement_scope: Dict[str, Optional[List[str]]] = {}
+            for core in statement.cores():
+                scope, join_conditions = self._core_scope(core, pending)
+                sources: List[Optional[ast.Expression]] = [
+                    item.expression for item in core.items
+                ]
+                sources.append(core.where)
+                sources.extend(core.group_by)
+                sources.append(core.having)
+                sources.extend(join_conditions)
+                for source in sources:
+                    if not self._expressions_resolve(source, scope, pending):
+                        return False
+                for alias, columns in scope.items():
+                    statement_scope.setdefault(alias, columns)
+            # Statement-level ORDER BY / LIMIT / OFFSET see the union of the
+            # statement's core scopes (output-name references fall back).
+            tail: List[Optional[ast.Expression]] = [
+                item.expression for item in statement.order_by
+            ]
+            tail.append(statement.limit)
+            tail.append(statement.offset)
+            for source in tail:
+                if not self._expressions_resolve(source, statement_scope, pending):
+                    return False
+        return True
+
+    def _core_scope(
+        self, core: ast.SelectCore, pending: List[ast.SelectStatement]
+    ) -> Tuple[Dict[str, Optional[List[str]]], List[ast.Expression]]:
+        """``alias → provable column names (or None)`` for one core's FROM,
+        plus its join conditions; derived-table queries are queued onto
+        *pending* for their own scope check."""
+        scope: Dict[str, Optional[List[str]]] = {}
+        conditions: List[ast.Expression] = []
+        stack: List[Optional[ast.TableExpression]] = [core.from_clause]
+        while stack:
+            table_expression = stack.pop()
+            if table_expression is None:
+                continue
+            if isinstance(table_expression, ast.TableRef):
+                columns: Optional[List[str]] = None
+                if self.database.has_table(table_expression.name):
+                    columns = list(
+                        self.database.schema(table_expression.name).column_names()
+                    )
+                scope[table_expression.effective_name] = columns
+            elif isinstance(table_expression, ast.SubqueryRef):
+                scope[table_expression.alias] = self._derived_columns(
+                    table_expression.query
+                )
+                pending.append(table_expression.query)
+            elif isinstance(table_expression, ast.Join):
+                if table_expression.condition is not None:
+                    conditions.append(table_expression.condition)
+                stack.append(table_expression.left)
+                stack.append(table_expression.right)
+        return scope, conditions
+
+    def _derived_columns(self, query: ast.SelectStatement) -> Optional[List[str]]:
+        """The enumerable output column names of a derived table, or ``None``
+        when they cannot be proven (a star, or an empty body)."""
+        cores = query.cores()
+        if not cores:
+            return None
+        names: List[str] = []
+        for item in cores[0].items:
+            if isinstance(item.expression, ast.Star):
+                return None
+            name = item.alias or print_expression(item.expression)
+            names.append(name.split(".", 1)[1] if "." in name else name)
+        return names
+
+    def _expressions_resolve(
+        self,
+        source: Optional[ast.Expression],
+        scope: Dict[str, Optional[List[str]]],
+        pending: List[ast.SelectStatement],
+    ) -> bool:
+        """Whether every column reference in *source* provably resolves in
+        *scope*; nested subqueries are queued for their own check."""
+        if source is None:
+            return True
+        for expression in ast.iter_expressions(source):
+            if isinstance(expression, ast.ScalarSubquery):
+                if expression.query is not None:
+                    pending.append(expression.query)
+            elif isinstance(expression, ast.InSubquery):
+                if expression.subquery is not None:
+                    pending.append(expression.subquery)
+            elif isinstance(expression, ast.Exists):
+                if expression.query is not None:
+                    pending.append(expression.query)
+            elif isinstance(expression, ast.ColumnRef):
+                if not self._reference_in_scope(expression, scope):
+                    return False
+        return True
+
+    def _reference_in_scope(
+        self, reference: ast.ColumnRef, scope: Dict[str, Optional[List[str]]]
+    ) -> bool:
+        lowered = reference.column.lower()
+        if reference.table is not None:
+            if reference.table not in scope:
+                return False
+            columns = scope[reference.table]
+            # An unprovable column list (unknown table, starred derived
+            # table) cannot prove the reference resolves here — and the
+            # outer query may own an identically-named alias.
+            return columns is not None and any(
+                name.lower() == lowered for name in columns
+            )
+        return any(
+            columns is not None
+            and any(name.lower() == lowered for name in columns)
+            for columns in scope.values()
+        )
+
+    def _add_semi_join(
+        self, child: PhysicalNode, target: _SemiJoinTarget
+    ) -> PhysicalNode:
+        inner = self.plan_subquery(target.subquery)
+        kind = OpKind.ANTI_JOIN if target.negated else OpKind.SEMI_JOIN
+        selectivity = estimate_quantified_selectivity(
+            target.quantifier, target.negated
+        )
+        output_rows = max(child.estimated_rows * selectivity, 1.0)
+        cost = self.cost_model.semi_join(
+            child.cost, inner.cost, child.estimated_rows, inner.estimated_rows
+        )
+        info: Dict[str, object] = {
+            "quantifier": target.quantifier,
+            "join_type": "Anti" if target.negated else "Semi",
+        }
+        if target.probe is not None:
+            info["probe"] = target.probe
+            info["inner_column"] = self._subquery_output_name(target.subquery)
+        return make_node(
+            kind,
+            children=[child, inner],
+            estimated_rows=output_rows,
+            startup_cost=cost.startup,
+            total_cost=cost.total,
+            width=child.width,
+            **info,
+        )
+
+    def _subquery_output_name(self, query: ast.SelectStatement) -> str:
+        """A display name for the subquery's first output column."""
+        cores = query.cores()
+        if not cores or not cores[0].items:
+            return "column1"
+        item = cores[0].items[0]
+        if isinstance(item.expression, ast.Star):
+            return "*"
+        return item.alias or print_expression(item.expression)
+
+    # ------------------------------------------------------------------ ordinals
+
+    def _ordinal(self, expression: ast.Expression) -> Optional[int]:
+        """The 1-based output-column ordinal *expression* denotes, if any.
+
+        Per SQL, a bare positive integer literal in ORDER BY / GROUP BY is a
+        positional reference to the select list, not a constant.
+        """
+        if (
+            isinstance(expression, ast.Literal)
+            and isinstance(expression.value, int)
+            and not isinstance(expression.value, bool)
+            and expression.value >= 1
+        ):
+            return expression.value
+        return None
+
+    def _resolve_group_by(
+        self, core: ast.SelectCore, relations: Sequence[_Relation]
+    ) -> List[ast.Expression]:
+        """GROUP BY keys with ordinals resolved to select-list expressions.
+
+        Also validates plain column references against the schema-known
+        relations so a genuinely unknown grouping column fails at plan time
+        naming *that* column (instead of a later, misleading execution error
+        about whatever the select list happens to project).
+        """
+        if not core.group_by:
+            return []
+        resolved: List[ast.Expression] = []
+        for expression in core.group_by:
+            ordinal = self._ordinal(expression)
+            if ordinal is not None:
+                if ordinal > len(core.items):
+                    raise PlanningError(
+                        f"GROUP BY position {ordinal} is not in the select list"
+                    )
+                item = core.items[ordinal - 1]
+                if isinstance(item.expression, ast.Star):
+                    raise PlanningError(
+                        f"GROUP BY position {ordinal} refers to '*'"
+                    )
+                resolved.append(item.expression)
+            else:
+                resolved.append(expression)
+        if self._subquery_depth == 0:
+            # Only a self-contained statement can be validated: inside a
+            # predicate subquery an unresolvable column may legally
+            # correlate to the enclosing query's row at execution time.
+            for expression in resolved:
+                for reference in ast.referenced_columns(expression):
+                    self._check_known_column(reference, relations)
+        return resolved
+
+    def _check_known_column(
+        self, reference: ast.ColumnRef, relations: Sequence[_Relation]
+    ) -> None:
+        """Raise :class:`PlanningError` naming *reference* when it provably
+        does not exist; references we cannot prove (derived tables) pass."""
+        lowered = reference.column.lower()
+        if reference.table is not None:
+            for relation in relations:
+                if relation.alias != reference.table:
+                    continue
+                if relation.table_name is None or not self.database.has_table(
+                    relation.table_name
+                ):
+                    return
+                schema = self.database.schema(relation.table_name)
+                if any(name.lower() == lowered for name in schema.column_names()):
+                    return
+                raise PlanningError(
+                    f"unknown column {reference.table}.{reference.column!s}"
+                )
+            raise PlanningError(f"unknown relation alias {reference.table!r}")
+        provable = True
+        for relation in relations:
+            if relation.table_name is None or not self.database.has_table(
+                relation.table_name
+            ):
+                provable = False
+                continue
+            schema = self.database.schema(relation.table_name)
+            if any(name.lower() == lowered for name in schema.column_names()):
+                return
+        if provable:
+            raise PlanningError(f"unknown column {reference.column!r}")
+
+    def _output_sort_expressions(
+        self, body: Optional[ast.SelectCore]
+    ) -> List[Optional[ast.Expression]]:
+        """One sortable expression per output column, in output order.
+
+        Non-star select items contribute a reference to their *output* name
+        (alias or printed text) — the name the projection keys the value
+        under, so the sort above the projection reads the projected value
+        directly.  Stars expand through the FROM clause in syntactic order;
+        expansion stops at the first relation whose columns we cannot
+        enumerate, making later ordinals an out-of-range error rather than a
+        silent misresolution.
+        """
+        core: object = body
+        while isinstance(core, ast.SetOperation):
+            core = core.left
+        if not isinstance(core, ast.SelectCore):
+            return []
+        outputs: List[Optional[ast.Expression]] = []
+        for item in core.items:
+            if isinstance(item.expression, ast.Star):
+                expanded, complete = self._expand_star(item.expression, core)
+                outputs.extend(expanded)
+                if not complete:
+                    return outputs
+            elif item.alias:
+                outputs.append(ast.ColumnRef(column=item.alias))
+            else:
+                outputs.append(
+                    ast.ColumnRef(column=print_expression(item.expression))
+                )
+        return outputs
+
+    def _expand_star(
+        self, star: ast.Star, core: ast.SelectCore
+    ) -> Tuple[List[Optional[ast.Expression]], bool]:
+        outputs: List[Optional[ast.Expression]] = []
+
+        def visit(table_expression: Optional[ast.TableExpression]) -> bool:
+            if table_expression is None:
+                return True
+            if isinstance(table_expression, ast.Join):
+                return visit(table_expression.left) and visit(table_expression.right)
+            if isinstance(table_expression, ast.TableRef):
+                alias = table_expression.effective_name
+                if star.table and star.table != alias:
+                    return True
+                if not self.database.has_table(table_expression.name):
+                    return False
+                for column in self.database.schema(table_expression.name).column_names():
+                    outputs.append(ast.ColumnRef(column=column, table=alias))
+                return True
+            if isinstance(table_expression, ast.SubqueryRef):
+                alias = table_expression.alias
+                if star.table and star.table != alias:
+                    return True
+                cores = table_expression.query.cores()
+                if not cores:
+                    return False
+                for item in cores[0].items:
+                    if isinstance(item.expression, ast.Star):
+                        return False
+                    name = item.alias or print_expression(item.expression)
+                    bare = name.split(".", 1)[1] if "." in name else name
+                    outputs.append(ast.ColumnRef(column=bare, table=alias))
+                return True
+            return False
+
+        complete = visit(core.from_clause)
+        return outputs, complete
 
     # ------------------------------------------------------------------ statistics
 
@@ -596,6 +1034,7 @@ class Planner:
         core: ast.SelectCore,
         relations: List[_Relation],
         edges: List[_JoinEdge],
+        group_by: Optional[List[ast.Expression]] = None,
     ) -> Dict[str, Set[str]]:
         """Every column each relation must provide to answer the query.
 
@@ -643,7 +1082,7 @@ class Planner:
             else:
                 mark(item.expression)
         mark(core.where)
-        for expression in core.group_by:
+        for expression in group_by if group_by is not None else core.group_by:
             mark(expression)
         mark(core.having)
         for relation in relations:
@@ -893,7 +1332,7 @@ class Planner:
             elif isinstance(expression, ast.Exists):
                 query = expression.query
             if query is not None:
-                subplans.append(self.plan_select(query))
+                subplans.append(self.plan_subquery(query))
         return subplans
 
     def _collect_aggregates(self, core: ast.SelectCore) -> List[ast.FunctionCall]:
@@ -925,12 +1364,14 @@ class Planner:
         child: PhysicalNode,
         core: ast.SelectCore,
         aggregates: List[ast.FunctionCall],
+        group_by: Optional[List[ast.Expression]] = None,
     ) -> PhysicalNode:
-        groups = estimate_distinct_groups(len(core.group_by), child.estimated_rows)
-        hashed = self.options.prefer_hash_aggregate and bool(core.group_by)
+        group_keys = list(group_by if group_by is not None else core.group_by)
+        groups = estimate_distinct_groups(len(group_keys), child.estimated_rows)
+        hashed = self.options.prefer_hash_aggregate and bool(group_keys)
         cost = self.cost_model.aggregate(child.estimated_rows, groups, hashed=hashed)
         kind = OpKind.HASH_AGGREGATE if hashed else OpKind.SORT_AGGREGATE
-        if not core.group_by:
+        if not group_keys:
             kind = OpKind.SORT_AGGREGATE
         return make_node(
             kind,
@@ -939,7 +1380,7 @@ class Planner:
             startup_cost=child.cost.total + cost.startup,
             total_cost=child.cost.total + cost.total,
             width=child.width,
-            group_keys=list(core.group_by),
+            group_keys=group_keys,
             aggregates=aggregates,
             strategy="hash" if kind is OpKind.HASH_AGGREGATE else "sorted",
         )
@@ -978,14 +1419,37 @@ class Planner:
         order_by: List[ast.OrderItem],
         top_n: bool,
         limit: Optional[ast.Expression],
+        body: Optional[object] = None,
     ) -> PhysicalNode:
         cost = self.cost_model.sort(child.estimated_rows)
-        keys = [(item.expression, item.descending) for item in order_by]
+        keys: List[Tuple[ast.Expression, bool]] = []
+        outputs: Optional[List[Optional[ast.Expression]]] = None
+        for item in order_by:
+            expression = item.expression
+            ordinal = self._ordinal(expression)
+            if ordinal is not None:
+                # ``ORDER BY 1`` is a positional reference to the select
+                # list, not a sort by the constant 1 (which would leave the
+                # rows in arrival order).
+                if outputs is None:
+                    outputs = self._output_sort_expressions(body)
+                if ordinal > len(outputs):
+                    raise PlanningError(
+                        f"ORDER BY position {ordinal} is not in the select list"
+                    )
+                resolved = outputs[ordinal - 1]
+                if resolved is None:
+                    raise PlanningError(
+                        f"ORDER BY position {ordinal} cannot be resolved "
+                        "to an output column"
+                    )
+                expression = resolved
+            keys.append((expression, item.descending))
         if top_n and limit is not None:
-            limit_value = limit.value if isinstance(limit, ast.Literal) else None
+            limit_value = self._limit_literal(limit)
             rows = (
                 min(float(limit_value), child.estimated_rows)
-                if isinstance(limit_value, (int, float))
+                if limit_value is not None and limit_value >= 0
                 else child.estimated_rows
             )
             return make_node(
@@ -1008,14 +1472,34 @@ class Planner:
             sort_keys=keys,
         )
 
+    def _limit_literal(self, limit: Optional[ast.Expression]) -> Optional[float]:
+        """The numeric value of a literal LIMIT/OFFSET (incl. ``-n``)."""
+        if isinstance(limit, ast.Literal):
+            value = limit.value
+        elif (
+            isinstance(limit, ast.UnaryOp)
+            and limit.operator == "-"
+            and isinstance(limit.operand, ast.Literal)
+        ):
+            value = limit.operand.value
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                value = -value
+        else:
+            return None
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        return None
+
     def _add_limit(
         self,
         child: PhysicalNode,
         limit: Optional[ast.Expression],
         offset: Optional[ast.Expression],
     ) -> PhysicalNode:
-        limit_value = limit.value if isinstance(limit, ast.Literal) else None
-        if isinstance(limit_value, (int, float)) and child.estimated_rows > 0:
+        limit_value = self._limit_literal(limit)
+        # SQLite semantics (the dialect under test): a negative LIMIT means
+        # "no limit", so it passes the child's full row estimate through.
+        if limit_value is not None and limit_value >= 0 and child.estimated_rows > 0:
             fraction = min(float(limit_value) / child.estimated_rows, 1.0)
             rows = min(float(limit_value), child.estimated_rows)
         else:

@@ -31,7 +31,10 @@ from repro.sqlparser.tokens import KEYWORDS, Token, TokenType
 #: over the ``.`` punctuation (``.5`` is a literal) and over operators, and
 #: comments/strings must win over the ``-``/``/`` operators.  The number
 #: exponent deliberately tolerates a missing digit sequence (``1e``) to stay
-#: byte-compatible with the historical scanner.
+#: byte-compatible with the historical scanner.  ``0x…`` must win over the
+#: number alternative: the engine has no hexadecimal literals, and letting
+#: ``0x10`` silently split into NUMBER ``0`` + identifier ``x10`` produced a
+#: bogus-but-"successful" query instead of an error (a PR-5 bug fix).
 _MASTER = re.compile(
     r"""
       (?P<WS>\s+)
@@ -40,6 +43,7 @@ _MASTER = re.compile(
     | (?P<STRING>'(?:[^']|'')*'(?!'))
     | (?P<DQUOTED>"(?:[^"]|"")*")
     | (?P<BQUOTED>`(?:[^`]|``)*`)
+    | (?P<HEX>0[xX]\w*)
     | (?P<NUMBER>(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d*)?)
     | (?P<PARAMETER>\?|\$\d+)
     | (?P<WORD>[^\W\d]\w*)
@@ -108,6 +112,10 @@ def tokenize(sql: str) -> List[Token]:
             append(make(IDENTIFIER, text[1:-1].replace("``", "`"), index))
         elif kind == "PARAMETER":
             append(make(PARAMETER, text, index))
+        elif kind == "HEX":
+            raise LexerError(
+                f"hexadecimal literals are not supported: {text!r}", index
+            )
         elif kind == "BLOCK_COMMENT":
             if len(text) < 4 or not text.endswith("*/"):
                 raise LexerError("unterminated block comment", index)

@@ -103,6 +103,8 @@ CORE_OPERATIONS: Dict[str, List[OperationEntry]] = {
         ("Hash Join", J, "Hash Join"),
         ("Merge Join", J, "Merge Join"),
         ("Nested Loop", J, "Nested Loop Join"),
+        ("Hash Semi Join", J, "Semi Join"),
+        ("Hash Anti Join", J, "Anti Join"),
         ("HashAggregate", F, "Aggregate Hash"),
         ("GroupAggregate", F, "Aggregate"),
         ("Group", F, "Group"),
@@ -138,6 +140,8 @@ CORE_OPERATIONS: Dict[str, List[OperationEntry]] = {
         ("Union materialize with deduplication", C, "Union"),
         ("Nested loop inner join", J, "Nested Loop Join"),
         ("Hash inner join", J, "Hash Join"),
+        ("Hash semijoin", J, "Semi Join"),
+        ("Hash antijoin", J, "Anti Join"),
         ("Aggregate using temporary table", F, "Aggregate Hash"),
         ("Filter", E, "Filter Step"),
         ("Temporary table with deduplication", E, "Materialize"),
@@ -522,14 +526,20 @@ def _padded_operations(dbms: str) -> List[OperationEntry]:
     for _, category, _ in entries:
         counts[category] += 1
     targets = OPERATION_COUNTS[dbms]
-    # Trim overfull categories (keeps the curated core deterministic).
+    # Cap overfull categories at the Table II targets (keeps the curated core
+    # deterministic); the overflow still registers for conversion purposes —
+    # e.g. the semi/anti-join names PR 5 added beyond the studied counts —
+    # but does not count toward Table II.
     trimmed: List[OperationEntry] = []
+    overflow: List[OperationEntry] = []
     seen = {category: 0 for category in OPERATION_CATEGORY_ORDER}
     for entry in entries:
         category = entry[1]
         if seen[category] < targets.get(category, 0):
             trimmed.append(entry)
             seen[category] += 1
+        else:
+            overflow.append(entry)
     for category in OPERATION_CATEGORY_ORDER:
         target = targets.get(category, 0)
         index = 1
@@ -537,7 +547,7 @@ def _padded_operations(dbms: str) -> List[OperationEntry]:
             trimmed.append((f"{dbms.title()} {_PAD_STEMS[category]} {index}", category, None))
             seen[category] += 1
             index += 1
-    return trimmed
+    return trimmed + overflow
 
 
 def _padded_properties(dbms: str) -> List[PropertyEntry]:
@@ -575,10 +585,17 @@ PROPERTY_CATALOGUE: Dict[str, List[PropertyEntry]] = {
 
 
 def catalogued_operation_counts(dbms: str) -> Dict[OperationCategory, int]:
-    """Count catalogued operations per category (regenerates Table II, left)."""
+    """Count catalogued operations per category (regenerates Table II, left).
+
+    Only the first ``target`` entries per category count, mirroring the
+    property catalogue: converter-only names beyond the study's counts are
+    registered but excluded.
+    """
     counts = {category: 0 for category in OPERATION_CATEGORY_ORDER}
+    targets = OPERATION_COUNTS[dbms]
     for _, category, _ in OPERATION_CATALOGUE[dbms]:
-        counts[category] += 1
+        if counts[category] < targets.get(category, 0):
+            counts[category] += 1
     return counts
 
 

@@ -122,6 +122,7 @@ class TestingCampaign:
         max_rounds: Optional[int] = None,
         prepared_cache: bool = True,
         executor: str = "vectorized",
+        decorrelate: bool = True,
     ) -> None:
         self.dbms_names = dbms_names or ["mysql", "postgresql", "tidb"]
         self.seed = seed
@@ -138,6 +139,12 @@ class TestingCampaign:
         #: row-executor campaigns produce byte-identical coverage sets and
         #: Table V reports (tests/test_vectorized_equivalence.py).
         self.executor = executor
+        #: Whether the planners decorrelate uncorrelated IN/EXISTS
+        #: predicates into hash semi/anti joins.  Result rows (and therefore
+        #: oracle verdicts and Table V) are independent of the setting; the
+        #: *plans* — and thus QPG's coverage universe — are not: with
+        #: decorrelation on, semi/anti-join operators appear in coverage.
+        self.decorrelate = decorrelate
         #: Directory for the durable coverage store; None keeps it in memory.
         self.persist_to = persist_to
         #: Stop (gracefully, between rounds) after this many executed
@@ -167,6 +174,8 @@ class TestingCampaign:
             dialect.prepared.enabled = False
         if hasattr(dialect, "set_executor"):
             dialect.set_executor(self.executor)
+        if hasattr(dialect, "set_decorrelate"):
+            dialect.set_decorrelate(self.decorrelate)
         return dialect
 
     def run(self) -> CampaignResult:

@@ -136,6 +136,38 @@ class RandomQueryGenerator:
         )
         return ast.InList(column, [function], negated=False)
 
+    def subquery_predicate(self, tables: Sequence[str]) -> ast.Expression:
+        """An ``IN`` / ``NOT IN`` / ``[NOT] EXISTS`` subquery predicate.
+
+        The subqueries are uncorrelated — every reference is qualified with
+        the inner table — so the planner's decorrelation rewrite applies and
+        campaigns steer toward the semi/anti-join plan shapes; with
+        ``decorrelate=False`` the same queries exercise the per-row oracle
+        path.  Inner tables keep their normal NULL rate, which makes the
+        ``NOT IN`` + inner-NULL trap a routinely generated case.
+        """
+        outer = self.random.choice(list(tables))
+        inner = self.random.choice(self.tables)
+        inner_column = ast.ColumnRef(self.random.choice(self.columns[inner]), inner)
+        inner_where = (
+            self.random_predicate(inner) if self.random.random() < 0.5 else None
+        )
+        subquery = ast.SelectStatement(
+            body=ast.SelectCore(
+                items=[ast.SelectItem(inner_column)],
+                from_clause=ast.TableRef(inner),
+                where=inner_where,
+            )
+        )
+        roll = self.random.random()
+        if roll < 0.6:
+            probe = ast.ColumnRef(self.random.choice(self.columns[outer]), outer)
+            return ast.InSubquery(probe, subquery, negated=self.random.random() < 0.4)
+        exists = ast.Exists(subquery)
+        if self.random.random() < 0.5:
+            return ast.UnaryOp("NOT", exists)
+        return exists
+
     def where_clause(self, tables: Sequence[str]) -> Optional[ast.Expression]:
         """Generate a conjunction of random predicates over *tables*."""
         predicate_count = self.random.randint(0, self.config.max_predicates)
@@ -170,6 +202,11 @@ class RandomQueryGenerator:
             select_list = "*"
 
         where = self.where_clause(chosen)
+        if self.config.allow_subqueries and self.random.random() < 0.15:
+            quantified = self.subquery_predicate(chosen)
+            where = (
+                quantified if where is None else ast.BinaryOp("AND", where, quantified)
+            )
         where_text = f" WHERE {print_expression(where)}" if where is not None else ""
 
         group_text = ""

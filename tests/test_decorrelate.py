@@ -1,0 +1,481 @@
+"""The decorrelation oracle-equivalence harness.
+
+PR 5 rewrites uncorrelated ``IN`` / ``EXISTS`` WHERE conjuncts into hash
+semi/anti joins.  The undecorrelated per-row path stays behind
+``decorrelate=False`` as the correctness oracle: both settings must produce
+identical result rows, row order, and rejections for every query, and — for
+queries the rewrite does not touch — identical serialized plans and unified
+fingerprints.  At campaign level, executor and prepared-cache choices remain
+byte-identical *within* a decorrelate setting, while flipping decorrelation
+changes only the plans (coverage), never the results (Table V).
+
+The NOT IN + inner-NULL trap is covered explicitly: under three-valued
+logic, any NULL in the inner relation makes ``x NOT IN (…)`` unsatisfiable,
+so the anti join must return nothing.
+"""
+
+import pytest
+
+from repro.converters import ConverterHub
+from repro.core.compare import structural_fingerprint
+from repro.dialects import create_dialect
+from repro.dialects.prepared import reset_runtime
+from repro.optimizer.physical import OpKind
+from repro.sqlparser.parser import parse_sql
+from repro.testing.campaign import TestingCampaign
+from repro.testing.generator import GeneratorConfig, RandomQueryGenerator
+
+
+def _run(dialect, statement):
+    """Execute through the dialect, normalising failures for comparison."""
+    try:
+        return ("ok", dialect.execute(statement))
+    except Exception as exc:
+        return ("error", type(exc).__name__)
+
+
+def _contains_subquery_text(query):
+    upper = query.upper()
+    return " IN (SELECT" in upper or "EXISTS (SELECT" in upper
+
+
+def _paired_dialects(seed, executor):
+    """Two PostgreSQL dialects over identical generated databases: the
+    decorrelating default and the per-row oracle."""
+    on_dialect = create_dialect("postgresql")
+    on_dialect.set_executor(executor)
+    assert on_dialect.planner.decorrelate
+    off_dialect = create_dialect("postgresql", decorrelate=False)
+    off_dialect.set_executor(executor)
+    generator = RandomQueryGenerator(seed=seed, config=GeneratorConfig(max_tables=2))
+    for statement in generator.schema_statements():
+        assert _run(on_dialect, statement) == _run(off_dialect, statement)
+    on_dialect.analyze_tables()
+    off_dialect.analyze_tables()
+    return on_dialect, off_dialect, generator
+
+
+class TestGeneratorCorpusFuzz:
+    """Every generated query through both planner modes, in lockstep."""
+
+    SEEDS = (1, 2, 3, 5)
+    QUERIES_PER_SEED = 50
+    MUTATE_EVERY = 15
+
+    @pytest.mark.parametrize("executor", ["row", "vectorized"])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_results_identical(self, seed, executor):
+        on_dialect, off_dialect, generator = _paired_dialects(seed, executor)
+        hub = ConverterHub()
+        compared = 0
+        subquery_queries = 0
+        for position in range(self.QUERIES_PER_SEED):
+            query = generator.select_query()
+            on_result = _run(on_dialect, query)
+            off_result = _run(off_dialect, query)
+            # Identical rows in identical order — or the same rejection.
+            assert on_result == off_result, query
+            if on_result[0] == "ok":
+                compared += 1
+                if _contains_subquery_text(query):
+                    subquery_queries += 1
+                elif position % 7 == 0:
+                    # Queries the rewrite does not touch keep byte-identical
+                    # plans and unified fingerprints.
+                    on_plan = on_dialect.explain(query, format="json")
+                    off_plan = off_dialect.explain(query, format="json")
+                    assert on_plan.text == off_plan.text, query
+                    converted = hub.convert(
+                        "postgresql", on_plan.text, "json", use_cache=False
+                    )
+                    reference = hub.convert(
+                        "postgresql", off_plan.text, "json", use_cache=False
+                    )
+                    assert converted.fingerprint() == reference.fingerprint()
+            if position and position % self.MUTATE_EVERY == 0:
+                mutation = generator.mutation_statement()
+                assert _run(on_dialect, mutation) == _run(off_dialect, mutation)
+                on_dialect.analyze_tables()
+                off_dialect.analyze_tables()
+        # The corpus must exercise the engine and the new shapes.
+        assert compared >= self.QUERIES_PER_SEED // 3
+
+    def test_generator_emits_subquery_shapes(self):
+        generator = RandomQueryGenerator(seed=1, config=GeneratorConfig(max_tables=2))
+        generator.schema_statements()
+        queries = [generator.select_query() for _ in range(300)]
+        assert any(" IN (SELECT" in query for query in queries)
+        assert any("NOT IN (SELECT" in query for query in queries)
+        assert any("EXISTS (SELECT" in query for query in queries)
+
+
+class TestSemiAntiSemantics:
+    """Hand-picked three-valued-logic cases, exact expected rows."""
+
+    @pytest.fixture(params=["row", "vectorized"])
+    def executor(self, request):
+        return request.param
+
+    @pytest.fixture(params=[True, False], ids=["decorrelate", "per-row"])
+    def dialect(self, request, executor):
+        dialect = create_dialect("postgresql", decorrelate=request.param)
+        dialect.set_executor(executor)
+        dialect.execute("CREATE TABLE t (a INT, b INT)")
+        dialect.execute("CREATE TABLE s (x INT)")
+        dialect.execute(
+            "INSERT INTO t (a, b) VALUES (1, 10), (2, 20), (3, NULL), (NULL, 40)"
+        )
+        return dialect
+
+    def _values(self, rows):
+        return [row["a"] for row in rows]
+
+    def test_in_matches_and_null_probe_filtered(self, dialect):
+        dialect.execute("INSERT INTO s (x) VALUES (1), (3)")
+        rows = dialect.execute("SELECT a FROM t WHERE a IN (SELECT x FROM s)")
+        assert self._values(rows) == [1, 3]
+
+    def test_in_with_inner_null_still_matches(self, dialect):
+        dialect.execute("INSERT INTO s (x) VALUES (NULL), (2)")
+        rows = dialect.execute("SELECT a FROM t WHERE a IN (SELECT x FROM s)")
+        assert self._values(rows) == [2]
+
+    def test_not_in_excludes_matches_and_null_probe(self, dialect):
+        dialect.execute("INSERT INTO s (x) VALUES (1), (3)")
+        rows = dialect.execute("SELECT a FROM t WHERE a NOT IN (SELECT x FROM s)")
+        assert self._values(rows) == [2]
+
+    def test_not_in_inner_null_trap_empties_result(self, dialect):
+        dialect.execute("INSERT INTO s (x) VALUES (1), (NULL)")
+        rows = dialect.execute("SELECT a FROM t WHERE a NOT IN (SELECT x FROM s)")
+        assert rows == []
+
+    def test_not_in_empty_inner_keeps_everything(self, dialect):
+        rows = dialect.execute("SELECT a FROM t WHERE a NOT IN (SELECT x FROM s)")
+        # Even the NULL probe row: x NOT IN (empty) is TRUE for every x.
+        assert len(rows) == 4
+
+    def test_in_empty_inner_keeps_nothing(self, dialect):
+        rows = dialect.execute("SELECT a FROM t WHERE a IN (SELECT x FROM s)")
+        assert rows == []
+
+    def test_exists_is_an_emptiness_test(self, dialect):
+        dialect.execute("INSERT INTO s (x) VALUES (7)")
+        rows = dialect.execute("SELECT a FROM t WHERE EXISTS (SELECT x FROM s)")
+        assert len(rows) == 4
+        rows = dialect.execute(
+            "SELECT a FROM t WHERE EXISTS (SELECT x FROM s WHERE x > 100)"
+        )
+        assert rows == []
+
+    def test_not_exists(self, dialect):
+        dialect.execute("INSERT INTO s (x) VALUES (7)")
+        rows = dialect.execute("SELECT a FROM t WHERE NOT EXISTS (SELECT x FROM s)")
+        assert rows == []
+        rows = dialect.execute(
+            "SELECT a FROM t WHERE NOT EXISTS (SELECT x FROM s WHERE x > 100)"
+        )
+        assert len(rows) == 4
+
+    def test_combined_with_plain_predicates(self, dialect):
+        dialect.execute("INSERT INTO s (x) VALUES (1), (2)")
+        rows = dialect.execute(
+            "SELECT a FROM t WHERE b >= 20 AND a IN (SELECT x FROM s)"
+        )
+        assert self._values(rows) == [2]
+
+    def test_double_negation_folds_back_to_semi(self, dialect):
+        dialect.execute("INSERT INTO s (x) VALUES (1)")
+        rows = dialect.execute(
+            "SELECT a FROM t WHERE NOT (a NOT IN (SELECT x FROM s))"
+        )
+        assert self._values(rows) == [1]
+
+
+class TestPlanShapes:
+    """The rewrite fires exactly when it is sound."""
+
+    def _planner(self, decorrelate=True):
+        dialect = create_dialect("postgresql", decorrelate=decorrelate)
+        dialect.execute("CREATE TABLE t (a INT, b INT)")
+        dialect.execute("CREATE TABLE s (x INT, y INT)")
+        return dialect.planner
+
+    def _plan(self, planner, query):
+        return planner.plan_statement(parse_sql(query)[0])
+
+    def test_in_becomes_semi_join(self):
+        plan = self._plan(
+            self._planner(), "SELECT a FROM t WHERE a IN (SELECT x FROM s)"
+        )
+        assert plan.find(OpKind.SEMI_JOIN)
+        assert not plan.find(OpKind.FILTER)
+
+    def test_not_exists_becomes_anti_join(self):
+        plan = self._plan(
+            self._planner(), "SELECT a FROM t WHERE NOT EXISTS (SELECT x FROM s)"
+        )
+        assert plan.find(OpKind.ANTI_JOIN)
+
+    def test_decorrelate_off_keeps_filter(self):
+        plan = self._plan(
+            self._planner(decorrelate=False),
+            "SELECT a FROM t WHERE a IN (SELECT x FROM s)",
+        )
+        assert not plan.find(OpKind.SEMI_JOIN)
+        assert plan.find(OpKind.FILTER)
+
+    def test_correlated_subquery_keeps_per_row_path(self):
+        plan = self._plan(
+            self._planner(),
+            "SELECT a FROM t WHERE a IN (SELECT x FROM s WHERE s.y = t.b)",
+        )
+        assert not plan.find(OpKind.SEMI_JOIN)
+        assert plan.find(OpKind.FILTER)
+
+    def test_unresolvable_unqualified_reference_keeps_per_row_path(self):
+        # ``b`` is a column of t, not of s: the subquery is correlated.
+        plan = self._plan(
+            self._planner(), "SELECT a FROM t WHERE a IN (SELECT b FROM s)"
+        )
+        assert not plan.find(OpKind.SEMI_JOIN)
+
+    def test_nested_derived_table_scope_is_not_flattened(self):
+        # ``b`` is visible only *inside* the derived table, not at the
+        # subquery level (only d2.x is), so it correlates to the outer t.b;
+        # a flattened alias map would wrongly decorrelate.
+        plan = self._plan(
+            self._planner(),
+            "SELECT a FROM t WHERE a IN "
+            "(SELECT x FROM (SELECT x FROM s) AS d2 WHERE b > 5)",
+        )
+        assert not plan.find(OpKind.SEMI_JOIN)
+
+    def test_nested_derived_table_results_identical(self):
+        for decorrelate in (True, False):
+            dialect = create_dialect("postgresql", decorrelate=decorrelate)
+            dialect.execute("CREATE TABLE t (a INT, b INT)")
+            dialect.execute("CREATE TABLE u (x INT, b INT)")
+            dialect.execute("INSERT INTO t (a, b) VALUES (1, 10)")
+            dialect.execute("INSERT INTO u (x, b) VALUES (1, 99)")
+            rows = dialect.execute(
+                "SELECT a FROM t WHERE a IN "
+                "(SELECT x FROM (SELECT x FROM u) AS d2 WHERE b > 5)"
+            )
+            assert [row["a"] for row in rows] == [1], decorrelate
+
+    def test_correlated_group_by_still_plans_and_executes(self):
+        # GROUP BY inside a predicate subquery may reference outer columns;
+        # the plan-time unknown-column validation must not reject it.
+        for decorrelate in (True, False):
+            dialect = create_dialect("postgresql", decorrelate=decorrelate)
+            dialect.execute("CREATE TABLE t (a INT)")
+            dialect.execute("CREATE TABLE s (x INT)")
+            dialect.execute("INSERT INTO t (a) VALUES (1), (2)")
+            dialect.execute("INSERT INTO s (x) VALUES (5)")
+            rows = dialect.execute(
+                "SELECT a FROM t WHERE EXISTS (SELECT x FROM s GROUP BY x, a)"
+            )
+            assert [row["a"] for row in rows] == [1, 2], decorrelate
+
+    def test_large_integer_keys_stay_exact(self):
+        # 2**53 and 2**53 + 1 collide as floats; the semi-join key set must
+        # follow _compare's exact == like the per-row oracle.
+        for decorrelate in (True, False):
+            dialect = create_dialect("postgresql", decorrelate=decorrelate)
+            dialect.execute("CREATE TABLE t (a INT)")
+            dialect.execute("CREATE TABLE s (x INT)")
+            dialect.execute("INSERT INTO t (a) VALUES (9007199254740993)")
+            dialect.execute("INSERT INTO s (x) VALUES (9007199254740992)")
+            rows = dialect.execute("SELECT a FROM t WHERE a IN (SELECT x FROM s)")
+            assert rows == [], decorrelate
+
+    def test_correlated_results_still_identical(self):
+        for decorrelate in (True, False):
+            dialect = create_dialect("postgresql", decorrelate=decorrelate)
+            dialect.execute("CREATE TABLE t (a INT, b INT)")
+            dialect.execute("CREATE TABLE s (x INT, y INT)")
+            dialect.execute("INSERT INTO t (a, b) VALUES (1, 1), (2, 9)")
+            dialect.execute("INSERT INTO s (x, y) VALUES (1, 1), (2, 2)")
+            rows = dialect.execute(
+                "SELECT a FROM t WHERE a IN (SELECT x FROM s WHERE s.y = t.b)"
+            )
+            assert [row["a"] for row in rows] == [1]
+
+    def test_set_decorrelate_clears_cached_plans(self):
+        dialect = create_dialect("postgresql")
+        dialect.execute("CREATE TABLE t (a INT)")
+        dialect.execute("CREATE TABLE s (x INT)")
+        query = "SELECT a FROM t WHERE a IN (SELECT x FROM s)"
+        dialect.execute(query)
+        dialect.set_decorrelate(False)
+        plan = dialect.planner.plan_statement(parse_sql(query)[0])
+        assert not plan.find(OpKind.SEMI_JOIN)
+        # The cached decorrelated plan must not be served after the switch.
+        text_key, statements = dialect.prepared.parse(query)
+        cached = dialect.prepared.plan(
+            text_key,
+            0,
+            dialect.database.version,
+            lambda: dialect.planner.plan_statement(statements[0]),
+        )
+        assert not cached.find(OpKind.SEMI_JOIN)
+
+
+class TestAnalyzeParity:
+    """EXPLAIN ANALYZE row counts agree between executors for semi/anti."""
+
+    QUERIES = (
+        "SELECT a FROM t WHERE a IN (SELECT x FROM s)",
+        "SELECT a FROM t WHERE a NOT IN (SELECT x FROM s)",
+        "SELECT a FROM t WHERE EXISTS (SELECT x FROM s WHERE x > 1)",
+        "SELECT a FROM t WHERE NOT EXISTS (SELECT x FROM s WHERE x > 1)",
+    )
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_runtime_counts_match(self, query):
+        dialects = []
+        for executor in ("row", "vectorized"):
+            dialect = create_dialect("postgresql")
+            dialect.set_executor(executor)
+            dialect.execute("CREATE TABLE t (a INT)")
+            dialect.execute("CREATE TABLE s (x INT)")
+            dialect.execute("INSERT INTO t (a) VALUES (1), (2), (3)")
+            dialect.execute("INSERT INTO s (x) VALUES (1), (3)")
+            dialects.append(dialect)
+        row_dialect, vec_dialect = dialects
+        statement = parse_sql(query)[0]
+        row_plan = row_dialect.planner.plan_statement(statement)
+        vec_plan = vec_dialect.planner.plan_statement(statement)
+        row_rows = row_dialect.executor.execute(reset_runtime(row_plan), analyze=True)
+        vec_rows = vec_dialect.executor.execute(reset_runtime(vec_plan), analyze=True)
+        assert row_rows == vec_rows
+        for row_node, vec_node in zip(row_plan.walk(), vec_plan.walk()):
+            assert row_node.kind is vec_node.kind
+            assert row_node.runtime.actual_rows == vec_node.runtime.actual_rows
+            assert row_node.runtime.loops == vec_node.runtime.loops
+
+
+class TestOperatorUniverse:
+    """Semi/anti operators surface through converters and grow coverage."""
+
+    SETUP = (
+        "CREATE TABLE t (a INT, b INT)",
+        "CREATE TABLE s (x INT)",
+        "INSERT INTO t (a, b) VALUES (1, 10), (2, 20)",
+        "INSERT INTO s (x) VALUES (1)",
+    )
+    QUERIES = (
+        "SELECT a FROM t WHERE a IN (SELECT x FROM s)",
+        "SELECT a FROM t WHERE a NOT IN (SELECT x FROM s)",
+        "SELECT a FROM t WHERE EXISTS (SELECT x FROM s)",
+        "SELECT a FROM t",
+    )
+
+    def _operator_names(self, dbms, decorrelate):
+        dialect = create_dialect(dbms, decorrelate=decorrelate)
+        for statement in self.SETUP:
+            dialect.execute(statement)
+        hub = ConverterHub()
+        converter = hub.converter(dbms)
+        names = set()
+        for query in self.QUERIES:
+            output = dialect.explain(query, format=converter.formats[0])
+            plan = hub.convert(dbms, output.text, converter.formats[0])
+            for node in plan.root.walk():
+                names.add(node.operation.identifier)
+        return names
+
+    @pytest.mark.parametrize("dbms", ["postgresql", "mysql"])
+    def test_semi_and_anti_join_names_appear(self, dbms):
+        names = self._operator_names(dbms, decorrelate=True)
+        assert "Semi Join" in names
+        assert "Anti Join" in names
+
+    @pytest.mark.parametrize(
+        "dbms", ["postgresql", "mysql", "tidb", "sqlite", "sqlserver", "sparksql"]
+    )
+    def test_every_relational_dialect_shapes_and_converts(self, dbms):
+        # No dialect may crash shaping the new operators, and every plan
+        # must convert into the unified representation.
+        names = self._operator_names(dbms, decorrelate=True)
+        assert names
+
+    def test_operator_universe_strictly_grows(self):
+        decorrelated = self._operator_names("postgresql", decorrelate=True)
+        per_row = self._operator_names("postgresql", decorrelate=False)
+        assert decorrelated > per_row
+
+    def test_structural_fingerprints_differ_for_subquery_plans(self):
+        hub = ConverterHub()
+        fingerprints = {}
+        for decorrelate in (True, False):
+            dialect = create_dialect("postgresql", decorrelate=decorrelate)
+            for statement in self.SETUP:
+                dialect.execute(statement)
+            output = dialect.explain(self.QUERIES[0], format="json")
+            plan = hub.convert("postgresql", output.text, "json", use_cache=False)
+            fingerprints[decorrelate] = structural_fingerprint(plan)
+        assert fingerprints[True] != fingerprints[False]
+
+
+class TestCampaignEquivalence:
+    """Coverage/Table V identical across executor × cache within a
+    decorrelate setting; Table V identical across decorrelate settings."""
+
+    CONFIG = dict(
+        dbms_names=["postgresql", "mysql"],
+        queries_per_dbms=20,
+        cert_pairs_per_dbms=6,
+        seed=5,
+    )
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return TestingCampaign(**self.CONFIG).run()
+
+    @pytest.fixture(scope="class")
+    def per_row_baseline(self):
+        return TestingCampaign(**self.CONFIG, decorrelate=False).run()
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"executor": "row"},
+            {"prepared_cache": False},
+            {"executor": "row", "prepared_cache": False},
+        ],
+        ids=["row", "cache-off", "row-cache-off"],
+    )
+    def test_decorrelated_campaigns_byte_identical(self, baseline, options):
+        result = TestingCampaign(**self.CONFIG, **options).run()
+        assert result.plan_fingerprints == baseline.plan_fingerprints
+        assert result.unique_plans == baseline.unique_plans
+        assert result.table5_rows() == baseline.table5_rows()
+        assert result.queries_generated == baseline.queries_generated
+        assert result.cert_pairs_checked == baseline.cert_pairs_checked
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"executor": "row"},
+            {"prepared_cache": False},
+        ],
+        ids=["row", "cache-off"],
+    )
+    def test_per_row_campaigns_byte_identical(self, per_row_baseline, options):
+        result = TestingCampaign(
+            **self.CONFIG, decorrelate=False, **options
+        ).run()
+        assert result.plan_fingerprints == per_row_baseline.plan_fingerprints
+        assert result.table5_rows() == per_row_baseline.table5_rows()
+        assert result.queries_generated == per_row_baseline.queries_generated
+
+    def test_decorrelation_changes_plans_never_results(
+        self, baseline, per_row_baseline
+    ):
+        # Same queries, same oracle verdicts, same Table V — different plans.
+        assert baseline.table5_rows() == per_row_baseline.table5_rows()
+        assert baseline.queries_generated == per_row_baseline.queries_generated
+        assert baseline.cert_pairs_checked == per_row_baseline.cert_pairs_checked
+        assert baseline.plan_fingerprints != per_row_baseline.plan_fingerprints

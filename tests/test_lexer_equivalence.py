@@ -6,11 +6,16 @@ is kept here as a test fixture (``legacy_tokenize``) and a property-style
 test tokenizes the full generator/test corpus through both paths, asserting
 identical token streams.
 
-The one *intentional* divergence is the satellite bug fix: doubled-quote
-escaping inside quoted identifiers (``"a""b"``, ``` `a``b` ```), which the
-legacy lexer mis-lexed as two adjacent identifiers (``sql.find`` stopped at
-the first closing quote).  Those inputs are excluded from the equivalence
-property and covered by dedicated regression tests instead.
+The *intentional* divergences — excluded from the equivalence property and
+covered by dedicated regression tests instead — are the deliberate bug
+fixes:
+
+* doubled-quote escaping inside quoted identifiers (``"a""b"``,
+  ``` `a``b` ```), which the legacy lexer mis-lexed as two adjacent
+  identifiers (``sql.find`` stopped at the first closing quote) — PR 3;
+* hex literals (``0x10``), which the legacy lexer silently split into
+  NUMBER ``0`` plus identifier ``x10`` (a bogus-but-"successful" query);
+  the scanner raises a clear :class:`LexerError` instead — PR 5.
 """
 
 from typing import List
@@ -246,6 +251,34 @@ def test_error_inputs_fail_in_both_lexers(text):
         legacy_tokenize(text)
     with pytest.raises(LexerError):
         tokenize(text)
+
+
+class TestHexLiteralRejection:
+    """The PR-5 satellite fix: ``0x…`` is a clear error, never a silent split."""
+
+    @pytest.mark.parametrize("text", ["SELECT 0x10", "0xDEADBEEF", "SELECT 0X0"])
+    def test_scanner_raises_clear_error(self, text):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize(text)
+        assert "hexadecimal" in str(excinfo.value)
+
+    def test_legacy_lexer_had_the_bug(self):
+        # The legacy loop produced NUMBER 0 + identifier x10 — a silently
+        # wrong token stream the parser then "successfully" misread.
+        legacy = legacy_tokenize("0x10")
+        assert [(t.type, t.value) for t in legacy[:-1]] == [
+            (TokenType.NUMBER, "0"),
+            (TokenType.IDENTIFIER, "x10"),
+        ]
+
+    def test_plain_numbers_and_words_unaffected(self):
+        assert tokenize("0 x10") == legacy_tokenize("0 x10")
+        assert tokenize("SELECT 10, 0.5, 0e1") == legacy_tokenize("SELECT 10, 0.5, 0e1")
+
+    def test_corpus_contains_no_hex_literals(self):
+        # Guards the equivalence property above: if hex ever enters the
+        # corpus it must move to this deliberate-exception list.
+        assert not any("0x" in text or "0X" in text for text in corpus())
 
 
 class TestQuotedIdentifierEscaping:

@@ -306,8 +306,8 @@ class TestEdgeCaseParity:
     @pytest.mark.parametrize(
         "query",
         [
-            # Negative TOP-N limits follow Python slice semantics in the
-            # row executor; the batch slice must match.
+            # Negative limits mean "no limit" (SQLite semantics, a PR-5
+            # fix); both executors must agree.
             "SELECT a FROM t ORDER BY a LIMIT -1",
             "SELECT a FROM t ORDER BY a LIMIT -10",
             "SELECT a FROM t ORDER BY a DESC LIMIT 0",
