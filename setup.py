@@ -24,4 +24,9 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.8",
+    # No hard runtime dependencies: the engine is pure stdlib.  ``fast``
+    # adds the optional NumPy column kernels (repro.engine.arrays); without
+    # it the vectorized executor runs on plain-list columns, fully
+    # functional, just slower.
+    extras_require={"fast": ["numpy"]},
 )

@@ -6,6 +6,13 @@ columnar :class:`~repro.engine.vectorized.VectorizedExecutor` (the fast
 path).  ``create_executor`` picks one by name — the ``executor=`` toggle the
 dialects and campaigns expose."""
 
+from repro.engine import arrays
+from repro.engine.arrays import (
+    ArrayColumn,
+    numpy_available,
+    numpy_enabled,
+    set_numpy_enabled,
+)
 from repro.engine.expressions import (
     BatchContext,
     EvaluationContext,
@@ -37,6 +44,11 @@ def create_executor(kind: str, database, planner=None) -> Executor:
 
 
 __all__ = [
+    "arrays",
+    "ArrayColumn",
+    "numpy_available",
+    "numpy_enabled",
+    "set_numpy_enabled",
     "BatchContext",
     "EvaluationContext",
     "compile_expression_batch",

@@ -16,6 +16,7 @@ from __future__ import annotations
 import re
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.engine import arrays
 from repro.errors import ExecutionError
 from repro.sqlparser import ast_nodes as ast
 
@@ -674,6 +675,23 @@ def resolve_batch_column(
 CompiledBatchExpression = Callable[[BatchContext], List[object]]
 
 
+def _batch_constant(expression: ast.Expression):
+    """``(True, value)`` when *expression* is a literal the array kernels can
+    treat as one scalar constant (plain literals, signed numeric literals)."""
+    if isinstance(expression, ast.Literal):
+        return True, expression.value
+    if (
+        isinstance(expression, ast.UnaryOp)
+        and expression.operator in ("-", "+")
+        and isinstance(expression.operand, ast.Literal)
+        and isinstance(expression.operand.value, (int, float))
+        and not isinstance(expression.operand.value, bool)
+    ):
+        value = expression.operand.value
+        return True, (-value if expression.operator == "-" else +value)
+    return False, None
+
+
 def compile_expression_batch(expression: ast.Expression) -> CompiledBatchExpression:
     """Compile *expression* into a closure evaluating whole column chunks."""
     if isinstance(expression, ast.Literal):
@@ -698,22 +716,53 @@ def compile_expression_batch(expression: ast.Expression) -> CompiledBatchExpress
         left = compile_expression_batch(expression.left)
         right = compile_expression_batch(expression.right)
         if operator == "AND":
-            return lambda context: [
-                _logical_and(_to_bool(l), _to_bool(r))
-                for l, r in zip(left(context), right(context))
-            ]
+
+            def conjunction(context):
+                left_values = left(context)
+                right_values = right(context)
+                result = arrays.kleene_and(left_values, right_values)
+                if result is not None:
+                    return result
+                return [
+                    _logical_and(_to_bool(l), _to_bool(r))
+                    for l, r in zip(left_values, right_values)
+                ]
+
+            return conjunction
         if operator == "OR":
-            return lambda context: [
-                _logical_or(_to_bool(l), _to_bool(r))
-                for l, r in zip(left(context), right(context))
-            ]
+
+            def disjunction(context):
+                left_values = left(context)
+                right_values = right(context)
+                result = arrays.kleene_or(left_values, right_values)
+                if result is not None:
+                    return result
+                return [
+                    _logical_or(_to_bool(l), _to_bool(r))
+                    for l, r in zip(left_values, right_values)
+                ]
+
+            return disjunction
+        # Literal operands stay scalar for the kernels (no [value] * length
+        # materialization on the fast path); the fallback loops expand them.
+        left_const, left_value = _batch_constant(expression.left)
+        right_const, right_value = _batch_constant(expression.right)
         if operator in ("=", "<>"):
             flip = operator == "<>"
 
             def equality(context):
+                left_values = left_value if left_const else left(context)
+                right_values = right_value if right_const else right(context)
+                result = arrays.compare(operator, left_values, right_values)
+                if result is not None:
+                    return result
+                if left_const:
+                    left_values = [left_value] * context.length
+                if right_const:
+                    right_values = [right_value] * context.length
                 output = []
                 append = output.append
-                for l, r in zip(left(context), right(context)):
+                for l, r in zip(left_values, right_values):
                     if l is None or r is None:
                         append(None)
                     else:
@@ -725,22 +774,52 @@ def compile_expression_batch(expression: ast.Expression) -> CompiledBatchExpress
 
             return equality
         if operator in _COMPARISON_OPERATORS:
-            return lambda context: [
-                _compare(operator, l, r)
-                for l, r in zip(left(context), right(context))
+
+            def comparison(context):
+                left_values = left_value if left_const else left(context)
+                right_values = right_value if right_const else right(context)
+                result = arrays.compare(operator, left_values, right_values)
+                if result is not None:
+                    return result
+                if left_const:
+                    left_values = [left_value] * context.length
+                if right_const:
+                    right_values = [right_value] * context.length
+                return [
+                    _compare(operator, l, r)
+                    for l, r in zip(left_values, right_values)
+                ]
+
+            return comparison
+
+        def arithmetic(context):
+            left_values = left_value if left_const else left(context)
+            right_values = right_value if right_const else right(context)
+            result = arrays.arithmetic(operator, left_values, right_values)
+            if result is not None:
+                return result
+            if left_const:
+                left_values = [left_value] * context.length
+            if right_const:
+                right_values = [right_value] * context.length
+            return [
+                _arithmetic(operator, l, r)
+                for l, r in zip(left_values, right_values)
             ]
-        return lambda context: [
-            _arithmetic(operator, l, r)
-            for l, r in zip(left(context), right(context))
-        ]
+
+        return arithmetic
     if isinstance(expression, ast.UnaryOp):
         operand = compile_expression_batch(expression.operand)
         if expression.operator.upper() == "NOT":
 
             def negation(context):
+                values = operand(context)
+                result = arrays.kleene_not(values)
+                if result is not None:
+                    return result
                 output = []
                 append = output.append
-                for value in operand(context):
+                for value in values:
                     truth = _to_bool(value)
                     append(None if truth is None else not truth)
                 return output
@@ -749,29 +828,63 @@ def compile_expression_batch(expression: ast.Expression) -> CompiledBatchExpress
         negate = expression.operator == "-"
 
         def sign(context):
+            values = operand(context)
+            if isinstance(values, arrays.ArrayColumn):
+                if not negate:
+                    return values  # unary + is the identity on numeric columns
+                result = arrays.negate(values)
+                if result is not None:
+                    return result
             return [
                 None if value is None else (-value if negate else +value)
-                for value in operand(context)
+                for value in values
             ]
 
         return sign
     if isinstance(expression, ast.IsNull):
         inner = compile_expression_batch(expression.expression)
-        if expression.negated:
-            return lambda context: [value is not None for value in inner(context)]
-        return lambda context: [value is None for value in inner(context)]
+        negated = expression.negated
+
+        def null_check(context):
+            values = inner(context)
+            result = arrays.is_null(values, negated)
+            if result is not None:
+                return result
+            if negated:
+                return [value is not None for value in values]
+            return [value is None for value in values]
+
+        return null_check
     if isinstance(expression, ast.Between):
         value_fn = compile_expression_batch(expression.expression)
         low_fn = compile_expression_batch(expression.low)
         high_fn = compile_expression_batch(expression.high)
+        low_const, low_value = _batch_constant(expression.low)
+        high_const, high_value = _batch_constant(expression.high)
         negated = expression.negated
 
         def between(context):
+            values = value_fn(context)
+            lows = low_value if low_const else low_fn(context)
+            highs = high_value if high_const else high_fn(context)
+            if isinstance(values, arrays.ArrayColumn):
+                lower_ok = arrays.compare(">=", values, lows)
+                upper_ok = arrays.compare("<=", values, highs)
+                if lower_ok is not None and upper_ok is not None:
+                    result = arrays.kleene_and(lower_ok, upper_ok)
+                    if result is not None:
+                        if not negated:
+                            return result
+                        flipped = arrays.kleene_not(result)
+                        if flipped is not None:
+                            return flipped
+            if low_const:
+                lows = [low_value] * context.length
+            if high_const:
+                highs = [high_value] * context.length
             output = []
             append = output.append
-            for value, low, high in zip(
-                value_fn(context), low_fn(context), high_fn(context)
-            ):
+            for value, low, high in zip(values, lows, highs):
                 result = _logical_and(
                     _compare(">=", value, low), _compare("<=", value, high)
                 )
@@ -894,14 +1007,26 @@ def compile_predicate_batch(
         return lambda context: list(range(context.length))
     compiled = compile_expression_batch(expression)
     if _yields_boolean(expression):
-        # The compiled closure can only produce True / False / None.
-        return lambda context: [
-            position
-            for position, value in enumerate(compiled(context))
-            if value is True
+
+        def select_boolean(context):
+            values = compiled(context)
+            selection = arrays.selection_vector(values)
+            if selection is not None:
+                return selection
+            # The compiled closure can only produce True / False / None.
+            return [
+                position for position, value in enumerate(values) if value is True
+            ]
+
+        return select_boolean
+
+    def select(context):
+        values = compiled(context)
+        selection = arrays.selection_vector(values)
+        if selection is not None:
+            return selection
+        return [
+            position for position, value in enumerate(values) if _to_bool(value)
         ]
-    return lambda context: [
-        position
-        for position, value in enumerate(compiled(context))
-        if _to_bool(value)
-    ]
+
+    return select

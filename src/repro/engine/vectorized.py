@@ -43,6 +43,7 @@ from repro.engine.executor import (
     _semi_join_key,
     fold_aggregate,
 )
+from repro.engine import arrays
 from repro.engine.expressions import (
     BatchContext,
     EvaluationContext,
@@ -61,6 +62,8 @@ from repro.storage.index import sortable
 DEFAULT_BATCH_SIZE = 1024
 
 _EMPTY_ROW: Row = {}
+
+_SCAN_KINDS = (OpKind.SEQ_SCAN, OpKind.INDEX_SCAN, OpKind.INDEX_ONLY_SCAN)
 
 
 class RowBatch:
@@ -132,10 +135,17 @@ def rows_from_batches(batches: List[RowBatch]) -> List[Row]:
     return rows
 
 
-def _gather(batch: RowBatch, positions: List[int]) -> RowBatch:
-    """A new batch holding *batch*'s rows at *positions* (in that order)."""
+def _gather(batch: RowBatch, positions) -> RowBatch:
+    """A new batch holding *batch*'s rows at *positions* (in that order).
+
+    *positions* may be a list or an ndarray selection vector; typed array
+    columns gather via ``take``, plain lists by comprehension.
+    """
     return RowBatch(
-        {key: [values[p] for p in positions] for key, values in batch.columns.items()},
+        {
+            key: arrays.take_column(values, positions)
+            for key, values in batch.columns.items()
+        },
         len(positions),
     )
 
@@ -162,19 +172,20 @@ def _uniform_schema(batches: List[RowBatch]) -> bool:
 
 
 def _concat(batches: List[RowBatch]) -> RowBatch:
-    """Concatenate uniform batches into one (callers check uniformity)."""
+    """Concatenate uniform batches into one (callers check uniformity).
+
+    Same-dtype array columns stay arrays (one ``np.concatenate``); anything
+    else degrades to a plain list.
+    """
     if not batches:
         return RowBatch({}, 0)
     if len(batches) == 1:
         return batches[0]
     columns: Dict[str, List[object]] = {
-        key: list(values) for key, values in batches[0].columns.items()
+        key: arrays.concat_columns([batch.columns[key] for batch in batches])
+        for key in batches[0].columns
     }
-    total = batches[0].length
-    for batch in batches[1:]:
-        for key, values in batch.columns.items():
-            columns[key].extend(values)
-        total += batch.length
+    total = sum(batch.length for batch in batches)
     return RowBatch(columns, total)
 
 
@@ -202,18 +213,67 @@ class VectorizedExecutor(Executor):
     and ``EXPLAIN ANALYZE`` row counts, batched internals.
     """
 
+    #: Statements whose scans cover fewer total rows than this run on the
+    #: inherited row path: per-statement snapshot/batch setup costs more
+    #: than vectorization saves on tiny inputs (the corpus_execute field of
+    #: BENCH_executor.json tracks the effect over 1-60 row corpus tables).
+    ROW_PATH_THRESHOLD = 32
+
     def __init__(
         self,
         database,
         planner: Optional[object] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        row_path_threshold: Optional[int] = None,
     ) -> None:
         super().__init__(database, planner)
         self.batch_size = batch_size
+        self.row_path_threshold = (
+            self.ROW_PATH_THRESHOLD if row_path_threshold is None else row_path_threshold
+        )
+        self._row_mode = 0
 
     # ------------------------------------------------------------------ dispatch
 
+    def execute(
+        self,
+        plan: PhysicalNode,
+        analyze: bool = False,
+        outer_row: Optional[Row] = None,
+    ) -> List[Row]:
+        # Adaptive small-input routing: when every scan in the plan covers a
+        # tiny table, the whole statement (including nested subquery
+        # executions) runs on the inherited row path — which *is* the
+        # oracle, so results, order, and ANALYZE counts stay identical.
+        if not self._row_mode and self._prefers_row_path(plan):
+            self._row_mode += 1
+            try:
+                return super().execute(plan, analyze=analyze, outer_row=outer_row)
+            finally:
+                self._row_mode -= 1
+        return super().execute(plan, analyze=analyze, outer_row=outer_row)
+
+    def _prefers_row_path(self, plan: PhysicalNode) -> bool:
+        threshold = self.row_path_threshold
+        if threshold <= 0:
+            return False
+        total = 0
+        for node in plan.walk():
+            if node.kind in _SCAN_KINDS:
+                table_name = node.info.get("table")
+                if table_name is None:
+                    return False
+                try:
+                    total += self.database.table(table_name).row_count
+                except Exception:
+                    return False
+                if total >= threshold:
+                    return False
+        return True
+
     def _execute_node(self, node: PhysicalNode, analyze: bool, outer_row: Row) -> List[Row]:
+        if self._row_mode:
+            return Executor._execute_node(self, node, analyze, outer_row)
         # The batch↔row boundary: inherited row handlers (and the public
         # API) see rows, vectorized handlers exchange batches underneath.
         return rows_from_batches(self._execute_batches(node, analyze, outer_row))
@@ -291,7 +351,7 @@ class VectorizedExecutor(Executor):
             selection = select(self._batch_context(batch))
             if len(selection) == batch.length:
                 output.append(batch)
-            elif selection:
+            elif len(selection):
                 output.append(_gather(batch, selection))
         return output
 
@@ -324,7 +384,7 @@ class VectorizedExecutor(Executor):
         prefix = alias + "."
         batch = RowBatch(
             {
-                prefix + name: [values[p] for p in positions]
+                prefix + name: arrays.take_column(values, positions)
                 for name, values in snapshot.columns.items()
             },
             len(positions),
@@ -355,7 +415,7 @@ class VectorizedExecutor(Executor):
             selection = select(self._batch_context(batch))
             if len(selection) == batch.length:
                 output.append(batch)
-            elif selection:
+            elif len(selection):
                 output.append(_gather(batch, selection))
         return output
 
@@ -471,10 +531,9 @@ class VectorizedExecutor(Executor):
         combined_keys, sides = _combined_schema(left, right)
         candidates = RowBatch(
             {
-                key: [
-                    source[p]
-                    for p in (candidate_right if side == "r" else candidate_left)
-                ]
+                key: arrays.take_column(
+                    source, candidate_right if side == "r" else candidate_left
+                )
                 for key, side, source in sides
             },
             len(candidate_left),
@@ -614,7 +673,7 @@ class VectorizedExecutor(Executor):
                         source[right_position] if side == "r" else source[position]
                     )
             length += len(selection)
-            if not selection and pad_left:
+            if not len(selection) and pad_left:
                 for key, side, source in sides:
                     columns[key].append(source[position] if side == "l" else None)
                 length += 1
@@ -664,6 +723,12 @@ class VectorizedExecutor(Executor):
             ),
         )
         key_fns, argument_fns = compiled
+
+        fast = self._numpy_aggregate(
+            input_batches, group_keys, aggregates, key_fns, argument_fns
+        )
+        if fast is not None:
+            return fast
 
         groups: Dict[Tuple, List[List[object]]] = {}  # key -> per-agg value lists
         group_order: List[Tuple] = []
@@ -721,6 +786,83 @@ class VectorizedExecutor(Executor):
             output_rows.append(result)
         return batches_from_rows(output_rows, self.batch_size)
 
+    def _numpy_aggregate(
+        self,
+        input_batches: List[RowBatch],
+        group_keys: List[ast.Expression],
+        aggregates: List[ast.FunctionCall],
+        key_fns,
+        argument_fns,
+    ) -> Optional[List[RowBatch]]:
+        """Grouped reductions over typed arrays; ``None`` = generic path.
+
+        Eligibility is strict so semantics never change: every group-key and
+        argument column must be a NULL-free (keys) typed array, aggregates
+        limited to non-DISTINCT COUNT/SUM/AVG/MIN/MAX, SUM/AVG to int64
+        arguments (float sums are order-dependent, Python big-int sums are
+        exact), MIN/MAX to int64 / NaN-free float64.  The reduction itself
+        (np.add/minimum/maximum.reduceat over first-appearance group codes)
+        and the output rows reproduce ``fold_aggregate`` exactly.
+        """
+        if not arrays.numpy_enabled() or not input_batches:
+            return None
+        if not _uniform_schema(input_batches):
+            return None
+        for aggregate in aggregates:
+            name = aggregate.name.upper()
+            if aggregate.distinct or name not in _FAST_AGGREGATES:
+                return None
+            if aggregate.star:
+                if name != "COUNT":
+                    return None
+            elif not aggregate.arguments:
+                return None
+        combined = _concat(input_batches)
+        if not combined.length:
+            return None
+        context = self._batch_context(combined)
+        key_columns = [fn(context) for fn in key_fns]
+        for column in key_columns:
+            if not isinstance(column, arrays.ArrayColumn) or column.has_nulls():
+                return None
+        specs = []
+        for aggregate, fn in zip(aggregates, argument_fns):
+            name = aggregate.name.upper()
+            if fn is None:
+                specs.append((name, True, None))
+                continue
+            column = fn(context)
+            if not isinstance(column, arrays.ArrayColumn):
+                return None
+            if name in ("SUM", "AVG") and column.kind != "i":
+                return None
+            if name in ("MIN", "MAX") and column.kind == "b":
+                return None
+            specs.append((name, False, column))
+        reduced = arrays.grouped_aggregate(key_columns, specs, combined.length)
+        if reduced is None:
+            return None
+        group_count, first_positions, per_aggregate = reduced
+        output_rows: List[Row] = []
+        for group in range(group_count):
+            position = first_positions[group]
+            result: Row = {}
+            for expression, column in zip(group_keys, key_columns):
+                value = column[position]
+                result[print_expression(expression)] = value
+                if isinstance(expression, ast.ColumnRef):
+                    qualified = (
+                        f"{expression.table}.{expression.column}"
+                        if expression.table
+                        else expression.column
+                    )
+                    result[qualified] = value
+                    result[expression.column] = value
+            for aggregate, values in zip(aggregates, per_aggregate):
+                result[print_expression(aggregate)] = values[group]
+            output_rows.append(result)
+        return batches_from_rows(output_rows, self.batch_size)
+
     # ------------------------------------------------------------------ combinators
 
     def _batch_sort(self, node: PhysicalNode, analyze: bool) -> List[RowBatch]:
@@ -728,6 +870,8 @@ class VectorizedExecutor(Executor):
         keys: List[Tuple[ast.Expression, bool]] = node.info.get("sort_keys", [])
         if not keys:
             sorted_batches = batches
+        elif not batches:
+            sorted_batches = []
         else:
             compiled = self._node_batch_compiled(
                 node,
@@ -737,27 +881,54 @@ class VectorizedExecutor(Executor):
                     for expression, descending in keys
                 ],
             )
-            decorated = []
-            offset = 0
-            for batch in batches:
-                context = self._batch_context(batch)
+            if _uniform_schema(batches):
+                # Evaluate the sort keys over one combined chunk; typed key
+                # columns order via np.lexsort (NULLS FIRST rank encoding,
+                # per-key DESC negation, stable position tiebreak — exactly
+                # _SortKey/_ComparableKey), anything else via the decorated
+                # Python sort over the same value columns.
+                combined = _concat(batches)
+                context = self._batch_context(combined)
                 value_columns = [
                     (self._safe_batch_values(fn, expression, context), descending)
                     for fn, expression, descending in compiled
                 ]
-                for position in range(batch.length):
-                    components = [
-                        (sortable((column[position],))[0], descending)
-                        for column, descending in value_columns
+                order = arrays.sort_order(value_columns)
+                if order is None:
+                    decorated = []
+                    for position in range(combined.length):
+                        components = [
+                            (sortable((column[position],))[0], descending)
+                            for column, descending in value_columns
+                        ]
+                        decorated.append(
+                            (_ComparableKey(components, position), position)
+                        )
+                    decorated.sort(key=lambda item: item[0])
+                    order = [position for _, position in decorated]
+                sorted_batches = _split(_gather(combined, order), self.batch_size)
+            else:
+                decorated = []
+                offset = 0
+                for batch in batches:
+                    context = self._batch_context(batch)
+                    value_columns = [
+                        (self._safe_batch_values(fn, expression, context), descending)
+                        for fn, expression, descending in compiled
                     ]
-                    global_position = offset + position
-                    decorated.append(
-                        (_ComparableKey(components, global_position), global_position)
-                    )
-                offset += batch.length
-            decorated.sort(key=lambda item: item[0])
-            order = [global_position for _, global_position in decorated]
-            sorted_batches = _gather_global(batches, order, self.batch_size)
+                    for position in range(batch.length):
+                        components = [
+                            (sortable((column[position],))[0], descending)
+                            for column, descending in value_columns
+                        ]
+                        global_position = offset + position
+                        decorated.append(
+                            (_ComparableKey(components, global_position), global_position)
+                        )
+                    offset += batch.length
+                decorated.sort(key=lambda item: item[0])
+                order = [global_position for _, global_position in decorated]
+                sorted_batches = _gather_global(batches, order, self.batch_size)
         if node.kind is OpKind.TOP_N:
             limit_expression = node.info.get("limit")
             limit_value = (
@@ -972,6 +1143,8 @@ def _slice_batches(
         offset += batch.length
     return output
 
+
+_FAST_AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
 
 _BATCH_HANDLERS: Dict[OpKind, Callable] = {
     OpKind.SEQ_SCAN: VectorizedExecutor._batch_seq_scan,

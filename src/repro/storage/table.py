@@ -9,6 +9,15 @@ row-id vector.  A snapshot is cached on the table and keyed by the owning
 :attr:`repro.catalog.database.Database.version`, so the PR-3 version-bump
 rules (every DDL/DML/analyze mutation bumps) are the only freshness signal —
 a stale snapshot is unreachable exactly as a stale prepared plan is.
+
+Snapshot columns of tables at or above
+:data:`repro.engine.arrays.ARRAY_MIN_ROWS` rows are upgraded to typed
+NumPy-backed :class:`~repro.engine.arrays.ArrayColumn` values (when the
+dtype-inference rules allow); scans then serve immutable array views, so a
+full-table scan is zero-copy and chunking is slice-cheap.  The snapshot
+cache additionally keys on :func:`repro.engine.arrays.state_token`, so
+toggling the array kernels invalidates snapshots built under the other
+representation.
 """
 
 from __future__ import annotations
@@ -29,14 +38,19 @@ class TableSnapshot:
     executions and must be treated as immutable by consumers.
     """
 
-    __slots__ = ("version", "row_ids", "columns", "_positions")
+    __slots__ = ("version", "row_ids", "columns", "arrays_token", "_positions")
 
     def __init__(
-        self, version: int, row_ids: List[int], columns: Dict[str, List[object]]
+        self,
+        version: int,
+        row_ids: List[int],
+        columns: Dict[str, List[object]],
+        arrays_token: int = 0,
     ) -> None:
         self.version = version
         self.row_ids = row_ids
         self.columns = columns
+        self.arrays_token = arrays_token
         self._positions: Optional[Dict[int, int]] = None
 
     @property
@@ -176,13 +190,29 @@ class HeapTable:
         heap additionally drops the cache on direct mutation, so consumers
         never observe stale data.
         """
+        # Imported lazily: repro.engine transitively imports this module.
+        from repro.engine import arrays
+
+        token = arrays.state_token()
         snapshot = self._snapshot
-        if snapshot is None or snapshot.version != version:
+        if (
+            snapshot is None
+            or snapshot.version != version
+            or snapshot.arrays_token != token
+        ):
             rows = list(self._rows.values())
             columns = {
                 name: [row[name] for row in rows] for name in self._column_names
             }
-            snapshot = TableSnapshot(version, list(self._rows.keys()), columns)
+            if len(rows) >= arrays.ARRAY_MIN_ROWS:
+                # Typed-array upgrade (dtype inference runs once per snapshot
+                # version); tiny tables keep plain lists — array setup costs
+                # more than it saves below this size.
+                columns = {
+                    name: arrays.make_column(values)
+                    for name, values in columns.items()
+                }
+            snapshot = TableSnapshot(version, list(self._rows.keys()), columns, token)
             self._snapshot = snapshot
         return snapshot
 

@@ -1,0 +1,125 @@
+"""The benchmark driver must fail loudly on violated invariants.
+
+Every BENCH_*.json snapshot carries an ``invariants`` dict of boolean
+acceptance flags (speedup floors, result-equivalence checks).  A false flag
+is a perf or correctness regression, so ``run_benchmarks.py`` has to exit
+non-zero — CI runs the quick mode and relies on that exit code.  These
+tests monkeypatch the executor snapshot collector so neither outcome
+depends on machine speed.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+_BENCHMARKS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
+)
+if _BENCHMARKS not in sys.path:
+    sys.path.insert(0, _BENCHMARKS)
+
+import bench_executor  # noqa: E402
+import run_benchmarks  # noqa: E402
+
+
+def _fake_snapshot(invariants):
+    """A structurally complete executor snapshot with canned numbers."""
+    timing = {"seconds": 0.5, "rows_out": 10}
+    return {
+        "benchmark": "executor",
+        "quick": True,
+        "numpy_available": True,
+        "workloads": {
+            "engines": ["row", "vectorized_list", "vectorized_numpy"],
+            "workloads": {
+                "scan_filter": {
+                    "query": "SELECT 1",
+                    "row": timing,
+                    "vectorized_numpy": timing,
+                    "speedup": 12.0,
+                    "speedup_numpy": 12.0,
+                    "results_identical": True,
+                }
+            },
+        },
+        "corpus_execute": {
+            "corpus": {"queries": 40, "executed": 40, "seed": 1},
+            "row": {"seconds": 1.0, "queries_per_second": 40.0},
+            "vectorized_numpy": {"seconds": 0.8, "queries_per_second": 50.0},
+            "speedup": 1.25,
+        },
+        "campaign_equivalence": {"coverage_identical": True, "reports_identical": True},
+        "tracked": {"corpus_speedup": 1.25, "scan_filter_speedup": 12.0},
+        "invariants": invariants,
+    }
+
+
+@pytest.fixture
+def run_executor_only(monkeypatch, tmp_path, capsys):
+    """Run the driver's executor section against a patched collector."""
+
+    def run(invariants):
+        monkeypatch.setattr(
+            bench_executor,
+            "collect_snapshot",
+            lambda quick=False: _fake_snapshot(invariants),
+        )
+        output = tmp_path / "BENCH_executor.json"
+        code = run_benchmarks.main(
+            ["--only", "executor", "--executor-output", str(output)]
+        )
+        captured = capsys.readouterr()
+        return code, json.loads(output.read_text()), captured
+
+    return run
+
+
+def test_all_invariants_true_exits_zero(run_executor_only):
+    code, written, captured = run_executor_only(
+        {
+            "scan_filter_at_least_2x": True,
+            "scan_filter_at_least_10x": True,
+            "all_results_identical": True,
+            "campaign_coverage_identical": True,
+            "campaign_reports_identical": True,
+        }
+    )
+    assert code == 0
+    assert "INVARIANTS VIOLATED" not in captured.err
+    assert all(written["invariants"].values())
+
+
+@pytest.mark.parametrize(
+    "broken",
+    [
+        "scan_filter_at_least_10x",
+        "all_results_identical",
+        "campaign_coverage_identical",
+    ],
+)
+def test_any_false_invariant_exits_nonzero(run_executor_only, broken):
+    invariants = {
+        "scan_filter_at_least_2x": True,
+        "scan_filter_at_least_10x": True,
+        "all_results_identical": True,
+        "campaign_coverage_identical": True,
+        "campaign_reports_identical": True,
+    }
+    invariants[broken] = False
+    code, written, captured = run_executor_only(invariants)
+    assert code == 1
+    assert "EXECUTOR INVARIANTS VIOLATED" in captured.err
+    # The snapshot is still written — the flags stay inspectable after the
+    # failing run.
+    assert written["invariants"][broken] is False
+
+
+def test_committed_snapshot_invariants_all_hold():
+    """The checked-in BENCH_executor.json must never ship with red flags."""
+    path = os.path.join(os.path.dirname(_BENCHMARKS), "BENCH_executor.json")
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    assert snapshot["invariants"], "snapshot carries no invariants"
+    assert all(snapshot["invariants"].values()), snapshot["invariants"]

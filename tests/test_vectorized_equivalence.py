@@ -5,8 +5,13 @@ observationally identical — same result rows, same row order, same
 ``EXPLAIN ANALYZE`` runtime row counts, same unified-plan fingerprints, and
 (at campaign level) byte-identical coverage sets and Table V reports.  This
 module fuzzes that equivalence over the generator corpus, interleaving QPG-
-style database mutations so both executors are exercised against evolving
+style database mutations so the executors are exercised against evolving
 schemas, data, and indexes.
+
+Since PR 6 the vectorized executor has two column representations — plain
+lists and NumPy-backed :class:`~repro.engine.arrays.ArrayColumn` — so the
+fuzz matrix is (row, list-vectorized, numpy-vectorized) × (prepared cache
+on, off); the numpy axis drops out when numpy is not importable.
 """
 
 import pytest
@@ -16,7 +21,7 @@ from repro.converters import ConverterHub
 from repro.core.compare import structural_fingerprint
 from repro.dialects import create_dialect
 from repro.dialects.prepared import reset_runtime
-from repro.engine import Executor, VectorizedExecutor, create_executor
+from repro.engine import Executor, VectorizedExecutor, arrays, create_executor
 from repro.engine.expressions import (
     BatchContext,
     EvaluationContext,
@@ -40,48 +45,85 @@ def _run(dialect, statement):
         return ("error", type(exc).__name__)
 
 
-def _paired_dialects(seed):
-    """Two PostgreSQL dialects over identical generated databases."""
-    row_dialect = create_dialect("postgresql")
-    row_dialect.set_executor("row")
-    vec_dialect = create_dialect("postgresql")
-    assert vec_dialect.executor_kind == "vectorized"
+@pytest.fixture(autouse=True)
+def _restore_kernel_state():
+    """Tests toggle the numpy kernels; always restore the ambient state."""
+    saved = arrays.numpy_enabled()
+    yield
+    arrays.set_numpy_enabled(saved)
+
+
+def _kernel_modes():
+    """The vectorized column representations available in this job."""
+    modes = [("list", False)]
+    if arrays.numpy_available():
+        modes.append(("numpy", True))
+    return modes
+
+
+def _fuzz_dialects(seed, prepared_cache=True):
+    """A row-oracle dialect plus one vectorized dialect per kernel mode,
+    all over identical generated databases."""
+
+    def build(kind):
+        dialect = create_dialect("postgresql")
+        dialect.set_executor(kind)
+        if not prepared_cache:
+            dialect.prepared.enabled = False
+        return dialect
+
+    row_dialect = build("row")
+    vec_dialects = [
+        (label, build("vectorized"), use_numpy)
+        for label, use_numpy in _kernel_modes()
+    ]
     generator = RandomQueryGenerator(seed=seed, config=GeneratorConfig(max_tables=2))
     for statement in generator.schema_statements():
-        assert _run(row_dialect, statement) == _run(vec_dialect, statement)
+        expected = _run(row_dialect, statement)
+        for label, dialect, use_numpy in vec_dialects:
+            arrays.set_numpy_enabled(use_numpy)
+            assert _run(dialect, statement) == expected, (label, statement)
     row_dialect.analyze_tables()
-    vec_dialect.analyze_tables()
-    return row_dialect, vec_dialect, generator
+    for _, dialect, _ in vec_dialects:
+        dialect.analyze_tables()
+    return row_dialect, vec_dialects, generator
 
 
 class TestGeneratorCorpusFuzz:
-    """Every generated query through both executors, states kept in lockstep."""
+    """Every generated query through every engine, states kept in lockstep."""
 
     SEEDS = (1, 2, 3, 4, 5, 7)
     QUERIES_PER_SEED = 60
     MUTATE_EVERY = 15
 
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_results_and_plans_identical(self, seed):
-        row_dialect, vec_dialect, generator = _paired_dialects(seed)
+    @pytest.mark.parametrize(
+        "prepared_cache", (True, False), ids=["cache-on", "cache-off"]
+    )
+    def test_results_and_plans_identical(self, seed, prepared_cache):
+        row_dialect, vec_dialects, generator = _fuzz_dialects(seed, prepared_cache)
         hub = ConverterHub()
         compared = 0
         for position in range(self.QUERIES_PER_SEED):
             query = generator.select_query()
             row_result = _run(row_dialect, query)
-            vec_result = _run(vec_dialect, query)
-            # Identical rows in identical order — or the same rejection.
-            assert row_result == vec_result, query
-            if row_result[0] == "ok":
-                compared += 1
-                if position % 5 == 0:
+            for label, vec_dialect, use_numpy in vec_dialects:
+                arrays.set_numpy_enabled(use_numpy)
+                # Identical rows in identical order — or the same rejection.
+                assert _run(vec_dialect, query) == row_result, (label, query)
+                if row_result[0] == "ok" and position % 5 == 0:
                     self._compare_analyze(row_dialect, vec_dialect, query)
                     self._compare_fingerprints(row_dialect, vec_dialect, hub, query)
+            if row_result[0] == "ok":
+                compared += 1
             if position and position % self.MUTATE_EVERY == 0:
                 mutation = generator.mutation_statement()
-                assert _run(row_dialect, mutation) == _run(vec_dialect, mutation)
+                expected = _run(row_dialect, mutation)
                 row_dialect.analyze_tables()
-                vec_dialect.analyze_tables()
+                for label, vec_dialect, use_numpy in vec_dialects:
+                    arrays.set_numpy_enabled(use_numpy)
+                    assert _run(vec_dialect, mutation) == expected, (label, mutation)
+                    vec_dialect.analyze_tables()
         # The corpus must actually exercise the engine, not only rejects.
         assert compared >= self.QUERIES_PER_SEED // 3
 
@@ -319,6 +361,164 @@ class TestEdgeCaseParity:
     def test_query_parity(self, query):
         row_dialect, vec_dialect = self._pair()
         assert _run(row_dialect, query) == _run(vec_dialect, query)
+
+
+class TestArrayPathParity:
+    """Numeric-trap parity on tables large enough for the array fast path.
+
+    Tables here exceed both ``ROW_PATH_THRESHOLD`` (statement routing) and
+    ``ARRAY_MIN_ROWS`` (snapshot upgrade), so with numpy enabled these
+    queries genuinely run on :class:`ArrayColumn` kernels — the traps the
+    ISSUE calls out (NULL comparisons, NaN values, mixed-type columns,
+    integers beyond 2**53) must be decided by the fallback rule, never by
+    silent numpy coercion.
+    """
+
+    ROWS = 3 * arrays.ARRAY_MIN_ROWS
+
+    def _engines(self, fill):
+        """A row dialect and per-kernel-mode vectorized dialects, loaded
+        with *fill(i)* rows via the storage API (bypassing literal parsing
+        so NaN / huge ints / mixed types reach the columns verbatim)."""
+        dialects = []
+        for kind in ["row"] + ["vectorized"] * len(_kernel_modes()):
+            dialect = create_dialect("postgresql")
+            dialect.set_executor(kind)
+            dialect.execute("CREATE TABLE t (a INT, b INT, c REAL)")
+            dialect.database.insert_rows(
+                "t", [fill(i) for i in range(self.ROWS)]
+            )
+            dialect.analyze_tables()
+            dialects.append(dialect)
+        row_dialect = dialects[0]
+        modes = [
+            (label, dialect, use_numpy)
+            for (label, use_numpy), dialect in zip(_kernel_modes(), dialects[1:])
+        ]
+        return row_dialect, modes
+
+    @staticmethod
+    def _normalise(outcome):
+        """Make NaN comparable: ``nan != nan`` would fail dict equality even
+        when both engines produced it in the same cell."""
+        status, payload = outcome
+        if status != "ok":
+            return outcome
+        return (
+            status,
+            [
+                {
+                    key: "NaN"
+                    if isinstance(value, float) and value != value
+                    else value
+                    for key, value in row.items()
+                }
+                for row in payload
+            ],
+        )
+
+    def _assert_parity(self, fill, queries):
+        row_dialect, modes = self._engines(fill)
+        for query in queries:
+            expected = self._normalise(_run(row_dialect, query))
+            for label, dialect, use_numpy in modes:
+                arrays.set_numpy_enabled(use_numpy)
+                assert self._normalise(_run(dialect, query)) == expected, (
+                    label,
+                    query,
+                )
+
+    def test_null_in_comparisons(self):
+        def fill(i):
+            return {
+                "a": None if i % 5 == 0 else i,
+                "b": None if i % 7 == 0 else (i * 3) % 40,
+                "c": None if i % 3 == 0 else i / 4.0,
+            }
+
+        self._assert_parity(
+            fill,
+            [
+                "SELECT a FROM t WHERE a > 10 AND b < 30",
+                "SELECT a, b FROM t WHERE a = b OR c IS NULL",
+                "SELECT a FROM t WHERE NOT (a BETWEEN 5 AND 100)",
+                "SELECT COUNT(*), COUNT(a), SUM(b), AVG(a), MIN(c), MAX(c) FROM t",
+                "SELECT b, COUNT(a) FROM t GROUP BY b ORDER BY b",
+                "SELECT a, c FROM t ORDER BY c DESC, a LIMIT 20",
+                "SELECT a + b, a * 2, b % 7, a / c FROM t",
+            ],
+        )
+
+    def test_nan_values_stay_values(self):
+        def fill(i):
+            return {"a": i, "b": i % 9, "c": float("nan") if i % 11 == 0 else i / 2.0}
+
+        self._assert_parity(
+            fill,
+            [
+                # NaN compares False to everything — rows with NaN vanish.
+                "SELECT a FROM t WHERE c > 10",
+                "SELECT a FROM t WHERE c = c",
+                # NaN is truthy (Python bool(nan) is True), not NULL.
+                "SELECT COUNT(c) FROM t",
+                "SELECT a FROM t WHERE c IS NOT NULL AND a < 10",
+                # Sorts and MIN/MAX bail to the oracle path on NaN.
+                "SELECT a FROM t ORDER BY c, a LIMIT 15",
+                "SELECT b, MIN(c), MAX(c) FROM t GROUP BY b ORDER BY b",
+            ],
+        )
+
+    def test_mixed_type_columns_stay_on_oracle_path(self):
+        def fill(i):
+            return {
+                "a": ("x%d" % i) if i % 4 == 0 else i,  # int/str mix
+                "b": i + 0.5 if i % 2 else i,  # int/float mix
+                "c": i / 8.0,
+            }
+
+        self._assert_parity(
+            fill,
+            [
+                "SELECT a FROM t WHERE b > 20",
+                "SELECT a, b FROM t WHERE a = 8 OR a = 'x4'",
+                "SELECT b FROM t ORDER BY a LIMIT 10",
+                "SELECT COUNT(a), MIN(b), MAX(b) FROM t",
+            ],
+        )
+
+    def test_integers_beyond_2_53_stay_exact(self):
+        huge = 2 ** 53
+        def fill(i):
+            return {"a": huge + i, "b": i, "c": None}
+
+        self._assert_parity(
+            fill,
+            [
+                # 2**53 + 1 and 2**53 + 2 round to the same float64; exact
+                # equality classes must survive.
+                "SELECT COUNT(DISTINCT a) FROM t",
+                "SELECT b FROM t WHERE a = 9007199254740993",
+                "SELECT a FROM t ORDER BY a DESC LIMIT 5",
+                "SELECT MIN(a), MAX(a) FROM t",
+                # Arithmetic that crosses the cap re-materializes exactly.
+                "SELECT a + b FROM t WHERE b < 10",
+                "SELECT a - 9007199254740992 FROM t ORDER BY b LIMIT 8",
+            ],
+        )
+
+    def test_arithmetic_overflow_rematerializes_exactly(self):
+        big = 2 ** 52
+        def fill(i):
+            return {"a": big + i, "b": 2 + (i % 3), "c": None}
+
+        self._assert_parity(
+            fill,
+            [
+                "SELECT a + a FROM t ORDER BY b LIMIT 10",
+                "SELECT SUM(a) FROM t",
+                "SELECT b, SUM(a) FROM t GROUP BY b ORDER BY b",
+            ],
+        )
 
 
 class TestExecutorFactory:
