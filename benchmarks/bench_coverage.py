@@ -234,6 +234,10 @@ def collect_snapshot(quick: bool = False) -> dict:
         "benchmark": "coverage",
         "quick": quick,
         "cpus": cpus,
+        # Explicit single-core marker: downstream consumers (CI dashboards,
+        # tests/test_bench_invariants.py) should not have to re-derive the
+        # gating condition from `cpus`.
+        "skipped_multicore": cpus < 2,
         "warm_start": warm,
         "process_pool": pool,
         "invariants": {

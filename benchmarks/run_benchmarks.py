@@ -7,7 +7,7 @@ Usage (from the repository root)::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --suite    # + full pytest-benchmark run
     PYTHONPATH=src python benchmarks/run_benchmarks.py --output somewhere.json
 
-Five snapshots are written:
+Six snapshots are written:
 
 * ``BENCH_pipeline.json`` — batched-vs-single ingestion and
   fingerprint-vs-deep-compare speedup, with the service statistics proving
@@ -27,10 +27,14 @@ Five snapshots are written:
   coverage/Table V equivalence check;
 * ``BENCH_decorrelate.json`` — decorrelated hash semi/anti joins vs the
   per-row subquery oracle (the IN-subquery microbench must win by ≥ 5x),
-  the operator-name universe growth, and the warm QPG floor.
+  the operator-name universe growth, and the warm QPG floor;
+* ``BENCH_parallel.json`` — sharded-campaign scaling vs serial (the
+  merged coverage/Table V byte-identity flags are enforced everywhere;
+  the ≥ 2.5x four-shard speedup floor only on ≥ 4-CPU hosts with a real
+  process pool) and the morsel-driven engine's result identity.
 
-``--only pipeline|coverage|campaign|executor|decorrelate`` restricts the
-run to one snapshot.
+``--only pipeline|coverage|campaign|executor|decorrelate|parallel``
+restricts the run to one snapshot.
 ``--quick`` shrinks the corpora so the whole driver finishes in seconds —
 that is the mode CI smoke-runs.  The tier-1 test suite the snapshots should
 always be accompanied by is::
@@ -62,6 +66,7 @@ import bench_campaign  # noqa: E402
 import bench_coverage  # noqa: E402
 import bench_decorrelate  # noqa: E402
 import bench_executor  # noqa: E402
+import bench_parallel  # noqa: E402
 import bench_pipeline  # noqa: E402
 
 
@@ -162,10 +167,22 @@ def main(argv=None) -> int:
         help="where to write the decorrelation perf snapshot (default: repo root)",
     )
     parser.add_argument(
+        "--parallel-output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_parallel.json"),
+        help="where to write the parallel perf snapshot (default: repo root)",
+    )
+    parser.add_argument(
         "--only",
-        choices=["pipeline", "coverage", "campaign", "executor", "decorrelate"],
+        choices=[
+            "pipeline",
+            "coverage",
+            "campaign",
+            "executor",
+            "decorrelate",
+            "parallel",
+        ],
         default=None,
-        help="run just one snapshot instead of all five",
+        help="run just one snapshot instead of all six",
     )
     parser.add_argument(
         "--quick",
@@ -297,6 +314,33 @@ def main(argv=None) -> int:
             print(
                 "DECORRELATE INVARIANTS VIOLATED:",
                 decorrelate_snapshot["invariants"],
+                file=sys.stderr,
+            )
+            violated = True
+
+    if args.only in (None, "parallel"):
+        parallel_snapshot = bench_parallel.collect_snapshot(quick=args.quick)
+        write_snapshot(parallel_snapshot, args.parallel_output)
+        scaling = parallel_snapshot["campaign_scaling"]
+        morsel = parallel_snapshot["morsel_operators"]
+        print(
+            "parallel: {}-shard campaign {:.2f}x vs serial on {} cpu(s) "
+            "(pool_active={}); coverage identical: {}; morsel engine "
+            "{:.2f}x, results identical: {}".format(
+                scaling["shards"],
+                scaling["speedup"],
+                parallel_snapshot["cpus"],
+                scaling["sharded"]["pool_active"],
+                scaling["coverage_identical"],
+                morsel["speedup"],
+                morsel["results_identical"],
+            )
+        )
+        parallel_invariants = dict(parallel_snapshot["invariants"])
+        parallel_invariants.pop("scaling_gated", None)  # informational
+        if not all(parallel_invariants.values()):
+            print(
+                "PARALLEL INVARIANTS VIOLATED:", parallel_snapshot["invariants"],
                 file=sys.stderr,
             )
             violated = True

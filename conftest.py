@@ -3,11 +3,42 @@
 Ensures ``src/`` is importable even when the package has not been installed,
 which keeps ``pytest tests/`` and ``pytest benchmarks/`` working in offline
 environments where editable installs are unavailable.
+
+Also registers the ``slow`` marker: heavyweight matrices (the full sharded
+campaign equivalence grid, the kill-a-worker resume case) are excluded from
+the default run so tier-1 (``pytest -x -q``) stays fast; opt in with
+``--runslow``.
 """
 
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (heavy equivalence matrices)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: heavyweight test excluded unless --runslow is given"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

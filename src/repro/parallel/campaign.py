@@ -1,0 +1,296 @@
+"""Campaign-level parallelism: shard the rounds across a process pool.
+
+A :class:`~repro.testing.campaign.TestingCampaign` is a sequence of
+independent per-DBMS rounds: each round derives its generator seeds from
+its *index* in the configured ``dbms_names`` list and starts its QPG
+coverage walk from an empty per-round set (the per-round determinism
+guarantee in :mod:`repro.testing.qpg`), so no round's behaviour depends on
+which process runs it.  :class:`ShardedCampaign` exploits exactly that:
+
+* The round index space is partitioned **round-robin** across ``shards``
+  workers (:func:`shard_round_indexes`), so the DBMS list and the derived
+  generator seed space are split without renumbering — shard *k* runs the
+  rounds a serial campaign would have run at indexes ``k, k+shards, …``
+  with byte-identical seeds.
+* Each worker process runs a private :class:`TestingCampaign` — its own
+  dialects, converter hub, and :class:`~repro.pipeline.CoverageStore` —
+  over only its round indexes (``run(only_indexes=…)``), and ships the
+  result plus the store's contents back as one picklable payload
+  (:meth:`~repro.pipeline.coverage.CoverageStore.merge_payload`).
+* The parent merges shard stores by exact set union and folds the
+  per-round report payloads back together **in round-index order** before
+  deduplication, so the merged coverage set *and* the Table V rows are
+  byte-identical to the serial run's (tests/test_parallel_equivalence.py).
+* With ``persist_to=`` every shard keeps a durable store under
+  ``<root>/shard-NN`` using the PR-2 round-mark scheme, so a crashed or
+  killed worker loses at most its in-flight round: re-running the sharded
+  campaign (same configuration) resumes every shard from its marks and
+  still merges to the serial-identical result.
+
+Only conversion-economy *statistics* (``conversions`` /
+``conversion_cache_hits``) are allowed to differ from the serial run: the
+workers' private hubs cannot share first-conversion work across shards.
+Everything semantically meaningful — coverage, ``unique_plans``, Table V,
+query/pair counts — merges exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.engine import arrays
+from repro.pipeline.coverage import CoverageStore
+from repro.testing.campaign import (
+    BugReport,
+    CampaignResult,
+    TestingCampaign,
+    _dedupe,
+)
+
+try:  # BrokenProcessPool location varies with Python version
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = OSError  # type: ignore[assignment,misc]
+
+#: Errors that mean "this environment cannot run a process pool" (or the
+#: pool died under us); the sharded campaign then runs its shards
+#: sequentially in-process — same partitioning, same merge, same result.
+_POOL_ERRORS = (BrokenProcessPool, OSError, PermissionError, RuntimeError)
+
+
+def shard_round_indexes(total_rounds: int, shards: int) -> List[List[int]]:
+    """Partition ``range(total_rounds)`` round-robin into *shards* lists.
+
+    Empty shards are dropped, so the result has ``min(total_rounds,
+    shards)`` entries; within each shard the indexes are ascending.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    partitions = [
+        [index for index in range(total_rounds) if index % shards == shard]
+        for shard in range(shards)
+    ]
+    return [partition for partition in partitions if partition]
+
+
+def _run_shard(config: Dict[str, object]) -> CampaignResult:
+    """Worker entry point: run one shard's rounds, return the result.
+
+    Module-level (picklable by reference) so it works under every
+    multiprocessing start method.  The parent's array-kernel toggle is
+    re-applied explicitly rather than inherited from fork-time state, so
+    numpy-on/off equivalence runs shard workers in the intended mode.
+    """
+    if arrays.numpy_available():
+        arrays.set_numpy_enabled(bool(config.get("numpy_enabled", True)))
+    campaign = TestingCampaign(**config["campaign"])  # type: ignore[arg-type]
+    return campaign.run(
+        only_indexes=config["indexes"], collect_store_payload=True
+    )
+
+
+class ShardedCampaign:
+    """Run a testing campaign's rounds across a pool of worker processes.
+
+    Constructor arguments mirror :class:`TestingCampaign` (they are passed
+    through to the per-shard campaigns) plus the sharding knobs:
+
+    ``shards``
+        How many partitions the round index space splits into.
+        ``shards=1`` degenerates to the serial campaign (one worker runs
+        every round) — useful as the identity case of the equivalence
+        matrix.
+    ``parallel``
+        ``False`` forces the shards to run sequentially in this process
+        (no pool); the partitioning and merge are identical, so results
+        do not change — this is also the automatic fallback wherever a
+        process pool cannot be created.
+    ``max_workers``
+        Pool width; defaults to one worker per (non-empty) shard.
+
+    ``persist_to=`` makes every shard durable under ``<root>/shard-NN``
+    and the merged parent store under ``<root>/merged``; re-running the
+    same configuration resumes each shard from its round marks.
+    """
+
+    #: Not a pytest test class despite the name.
+    __test__ = False
+
+    def __init__(
+        self,
+        dbms_names: Optional[List[str]] = None,
+        seed: int = 1,
+        queries_per_dbms: int = 150,
+        cert_pairs_per_dbms: int = 60,
+        shards: int = 2,
+        persist_to: Optional[str] = None,
+        max_rounds: Optional[int] = None,
+        prepared_cache: bool = True,
+        executor: str = "vectorized",
+        decorrelate: bool = True,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.dbms_names = dbms_names or ["mysql", "postgresql", "tidb"]
+        self.seed = seed
+        self.queries_per_dbms = queries_per_dbms
+        self.cert_pairs_per_dbms = cert_pairs_per_dbms
+        self.shards = shards
+        self.persist_to = persist_to
+        self.max_rounds = max_rounds
+        self.prepared_cache = prepared_cache
+        self.executor = executor
+        self.decorrelate = decorrelate
+        self.parallel = parallel
+        self.max_workers = max_workers
+        #: Whether the last :meth:`run` actually used a process pool (False
+        #: before any run, after the in-process fallback, or with
+        #: ``parallel=False``).  Benchmarks gate speedup floors on this.
+        self.pool_active = False
+
+    # ------------------------------------------------------------------ plumbing
+
+    def shard_dir(self, shard: int) -> Optional[str]:
+        """The durable store directory for *shard* (None when in-memory)."""
+        if self.persist_to is None:
+            return None
+        return os.path.join(self.persist_to, f"shard-{shard:02d}")
+
+    def merged_dir(self) -> Optional[str]:
+        """Where the merged parent store persists (None when in-memory)."""
+        if self.persist_to is None:
+            return None
+        return os.path.join(self.persist_to, "merged")
+
+    def _shard_configs(self) -> List[Dict[str, object]]:
+        partitions = shard_round_indexes(len(self.dbms_names), self.shards)
+        numpy_on = arrays.numpy_available() and arrays.numpy_enabled()
+        configs: List[Dict[str, object]] = []
+        for shard, indexes in enumerate(partitions):
+            configs.append(
+                {
+                    "shard": shard,
+                    "indexes": indexes,
+                    "numpy_enabled": numpy_on,
+                    "campaign": {
+                        # The full dbms_names list, not the shard's subset:
+                        # round labels and seeds derive from list positions,
+                        # which must match the serial campaign's exactly.
+                        "dbms_names": list(self.dbms_names),
+                        "seed": self.seed,
+                        "queries_per_dbms": self.queries_per_dbms,
+                        "cert_pairs_per_dbms": self.cert_pairs_per_dbms,
+                        "persist_to": self.shard_dir(shard),
+                        "max_rounds": self.max_rounds,
+                        "prepared_cache": self.prepared_cache,
+                        "executor": self.executor,
+                        "decorrelate": self.decorrelate,
+                    },
+                }
+            )
+        return configs
+
+    def _run_shards(self, configs: List[Dict[str, object]]) -> List[CampaignResult]:
+        self.pool_active = False
+        if self.parallel and len(configs) > 1:
+            try:
+                results = self._run_shards_pooled(configs)
+                self.pool_active = True
+                return results
+            except _POOL_ERRORS:
+                # Restricted environment or a worker died taking the pool
+                # with it.  Durable shards already checkpointed their
+                # completed rounds, so the sequential retry resumes them;
+                # in-memory shards simply re-run — rounds are
+                # deterministic, the result is the same either way.
+                pass
+        return [_run_shard(config) for config in configs]
+
+    def _run_shards_pooled(
+        self, configs: List[Dict[str, object]]
+    ) -> List[CampaignResult]:
+        workers = self.max_workers or len(configs)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_shard, config) for config in configs]
+            # Collect every shard before surfacing any failure, so the
+            # successful workers' durable checkpoints are complete and a
+            # re-run only repeats the failed shards' unfinished rounds.
+            results: List[Optional[CampaignResult]] = []
+            first_error: Optional[BaseException] = None
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except BaseException as error:  # noqa: BLE001 - re-raised
+                    results.append(None)
+                    if first_error is None:
+                        first_error = error
+            if first_error is not None:
+                raise first_error
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------ merge
+
+    def _merged_store(self) -> CoverageStore:
+        root = self.merged_dir()
+        if root is None:
+            return CoverageStore()
+        # Re-opening an existing merged store and re-merging is safe:
+        # the merge is exact set union, hence idempotent.
+        return CoverageStore.open(root)
+
+    def run(self) -> CampaignResult:
+        """Run every shard and merge into one serial-identical result."""
+        configs = self._shard_configs()
+        shard_results = self._run_shards(configs)
+
+        merged = CampaignResult()
+        store = self._merged_store()
+        try:
+            for result in shard_results:
+                if result.store_payload is not None:
+                    store.merge_payload(result.store_payload)
+                merged.plan_fingerprints |= result.plan_fingerprints
+                merged.rounds_completed += result.rounds_completed
+                merged.rounds_skipped += result.rounds_skipped
+                merged.conversions += result.conversions
+                merged.conversion_cache_hits += result.conversion_cache_hits
+
+            # Fold the per-round payloads back together in round-index
+            # order — the serial campaign's accumulation order — so the
+            # first-occurrence dedupe below keeps exactly the rows the
+            # serial run keeps.
+            rounds = sorted(
+                (index, payload)
+                for result in shard_results
+                for index, payload in result.round_payloads
+            )
+            for index, payload in rounds:
+                merged.queries_generated += payload.get("queries_generated", 0)
+                merged.cert_pairs_checked += payload.get("cert_pairs_checked", 0)
+                for row in payload.get("reports", []):
+                    merged.reports.append(BugReport(**row))
+                merged.round_payloads.append((index, payload))
+
+            merged.plan_fingerprints |= store.structural_fingerprints()
+            merged.unique_plans = len(merged.plan_fingerprints)
+            merged.reports = _dedupe(merged.reports)
+            order = {
+                name: position for position, name in enumerate(self.dbms_names)
+            }
+            merged.reports.sort(
+                key=lambda report: (
+                    order.get(report.dbms, 9),
+                    report.found_by != "QPG",
+                    report.bug_id,
+                )
+            )
+            if store.path is not None:
+                store.save()
+            merged.store_payload = store.to_payload()
+        finally:
+            store.close()
+        return merged

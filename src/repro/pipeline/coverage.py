@@ -443,6 +443,51 @@ class CoverageStore:
                 added += 1
         return added
 
+    # -- payload handoff -------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """Export the store's full contents as one picklable payload.
+
+        The payload is what a sharded-campaign worker sends back to its
+        parent process: plain dicts/lists/sets only, independent of the
+        store's shard layout, suitable for :meth:`merge_payload` on any
+        other store.  Handles, locks, and the shard structure stay behind.
+        """
+        with self._lock:
+            return {
+                "entries": {
+                    fingerprint: dict(meta)
+                    for shard in self._shards
+                    for fingerprint, meta in shard.items()
+                },
+                "sources": {
+                    digest: fingerprint
+                    for shard in self._sources
+                    for digest, fingerprint in shard.items()
+                },
+                "marks": sorted(
+                    label for shard in self._marks for label in shard
+                ),
+            }
+
+    def merge_payload(self, payload: Dict[str, object]) -> int:
+        """Union a :meth:`to_payload` export into this store.
+
+        Same semantics as :meth:`merge`: exact set union over fingerprints
+        (the return value counts the newly covered ones), source mappings
+        and marks carry over, metadata merges field-wise with existing
+        fields winning.
+        """
+        added = 0
+        for fingerprint, meta in payload.get("entries", {}).items():
+            if self.add(fingerprint, meta or None):
+                added += 1
+        for digest, fingerprint in payload.get("sources", {}).items():
+            self.map_source(digest, fingerprint)
+        for label in payload.get("marks", ()):
+            self.mark(label)
+        return added
+
     # -- snapshot / persistence ------------------------------------------------
 
     def snapshot(self) -> CoverageSnapshot:

@@ -28,7 +28,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dialects import create_dialect
 from repro.pipeline import PlanIngestService
@@ -73,6 +73,16 @@ class CampaignResult:
     #: (interrupted) run already marked them complete in the store.
     rounds_completed: int = 0
     rounds_skipped: int = 0
+    #: Per-round result payloads as ``(round index, payload)`` pairs, for
+    #: completed *and* restored rounds.  A sharded campaign's parent folds
+    #: these back together in round order, so the merged Table V rows are
+    #: byte-identical to a serial run's (dedupe keeps the first (dbms,
+    #: bug id) occurrence, which depends on round order, not shard order).
+    round_payloads: List[Tuple[int, dict]] = field(default_factory=list)
+    #: The campaign store's exported contents (:meth:`CoverageStore.to_payload`),
+    #: populated only when ``run(collect_store_payload=True)`` — the picklable
+    #: store handoff from a sharded-campaign worker to its parent.
+    store_payload: Optional[dict] = None
 
     def by_dbms(self) -> Dict[str, int]:
         """Bug counts per DBMS."""
@@ -178,8 +188,22 @@ class TestingCampaign:
             dialect.set_decorrelate(self.decorrelate)
         return dialect
 
-    def run(self) -> CampaignResult:
-        """Run the campaign and return the aggregated result."""
+    def run(
+        self,
+        only_indexes: Optional[Iterable[int]] = None,
+        collect_store_payload: bool = False,
+    ) -> CampaignResult:
+        """Run the campaign and return the aggregated result.
+
+        ``only_indexes`` restricts the run to the named round indexes
+        (positions in ``dbms_names``); the other rounds are neither executed
+        nor counted.  Because every round derives its seeds from its *index*
+        — never from which rounds ran before it — a partition of the index
+        space across processes reproduces the serial rounds exactly; this is
+        the hook :class:`repro.parallel.ShardedCampaign` workers use.
+        ``collect_store_payload`` additionally exports the coverage store's
+        contents into ``result.store_payload`` before the store closes.
+        """
         result = CampaignResult()
         # One ingest service shared by every round, over a private hub so
         # the reported conversion/cache counters are truly per-campaign.
@@ -190,7 +214,9 @@ class TestingCampaign:
         )
         store = ingest_service.coverage
         try:
-            self._run_rounds(result, ingest_service, store)
+            self._run_rounds(result, ingest_service, store, only_indexes)
+            if collect_store_payload:
+                result.store_payload = store.to_payload()
         finally:
             # Completed rounds were checkpointed; close the store handles
             # (and any process pool) even when a round aborts mid-way.
@@ -214,7 +240,7 @@ class TestingCampaign:
             handle.write("\n")
         os.replace(tmp, path)
 
-    def _restore_round(self, result: CampaignResult, label: str) -> None:
+    def _restore_round(self, result: CampaignResult, index: int, label: str) -> None:
         """Fold a previously-completed round's persisted results into
         *result*, so a resumed campaign returns the same Table V rows (not
         just the same coverage) as an uninterrupted run."""
@@ -227,15 +253,20 @@ class TestingCampaign:
         result.cert_pairs_checked += payload.get("cert_pairs_checked", 0)
         for row in payload.get("reports", []):
             result.reports.append(BugReport(**row))
+        result.round_payloads.append((index, payload))
 
-    def _run_rounds(self, result, ingest_service, store) -> None:
+    def _run_rounds(self, result, ingest_service, store, only_indexes=None) -> None:
+        if only_indexes is not None:
+            only_indexes = set(only_indexes)
         for index, dbms_name in enumerate(self.dbms_names):
+            if only_indexes is not None and index not in only_indexes:
+                continue
             if self.max_rounds is not None and result.rounds_completed >= self.max_rounds:
                 break
             label = self._round_label(index, dbms_name)
             if store.is_marked(label):
                 result.rounds_skipped += 1
-                self._restore_round(result, label)
+                self._restore_round(result, index, label)
                 continue
             round_start = {
                 "reports": len(result.reports),
@@ -311,19 +342,18 @@ class TestingCampaign:
             # atomically checkpoint the store, so a stop/crash from here on
             # resumes after this round with nothing lost — coverage *and*
             # the round's Table V rows.
-            self._persist_round(
-                label,
-                {
-                    "reports": [
-                        vars(report)
-                        for report in result.reports[round_start["reports"]:]
-                    ],
-                    "queries_generated": result.queries_generated
-                    - round_start["queries"],
-                    "cert_pairs_checked": result.cert_pairs_checked
-                    - round_start["pairs"],
-                },
-            )
+            round_payload = {
+                "reports": [
+                    dict(vars(report))
+                    for report in result.reports[round_start["reports"]:]
+                ],
+                "queries_generated": result.queries_generated
+                - round_start["queries"],
+                "cert_pairs_checked": result.cert_pairs_checked
+                - round_start["pairs"],
+            }
+            self._persist_round(label, round_payload)
+            result.round_payloads.append((index, round_payload))
             store.mark(label)
             result.rounds_completed += 1
             ingest_service.checkpoint()

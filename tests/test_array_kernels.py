@@ -467,3 +467,164 @@ class TestRandomizedOracleParity:
                         _arithmetic(operator, a, b)
                         for a, b in zip(raw_left, raw_right)
                     ]
+
+
+class TestHashJoinProbeParity:
+    """The hash-join probe over array columns vs the row oracle.
+
+    ROADMAP notes the probe is still hash-per-row (``_key_at`` walks
+    positions); these tests pin its semantics on typed columns before any
+    kernelization: NULL keys never match (and LEFT-pad exactly once),
+    normalised keys collide across int/float representations but the exact
+    join condition re-check decides, and the 2**53 exactness boundary —
+    where one side is a typed int64 array and the other bailed to a plain
+    list — keeps oracle parity.
+    """
+
+    ROWS = 2 * arrays.ARRAY_MIN_ROWS
+
+    def _dialects(self, left_rows, right_rows):
+        from repro.dialects import create_dialect
+
+        dialects = []
+        for kind in ("row", "vectorized", "parallel"):
+            dialect = create_dialect("postgresql")
+            dialect.set_executor(kind)
+            dialect.execute("CREATE TABLE lt (k INT, v INT)")
+            dialect.execute("CREATE TABLE rt (k INT, w INT)")
+            dialect.database.insert_rows("lt", left_rows)
+            dialect.database.insert_rows("rt", right_rows)
+            dialect.analyze_tables()
+            dialects.append((kind, dialect))
+        return dialects
+
+    def _run(self, dialect, query):
+        try:
+            return ("ok", dialect.execute(query))
+        except Exception as error:  # noqa: BLE001
+            return ("error", type(error).__name__)
+
+    def _assert_parity(self, dialects, query):
+        (_, oracle), *rest = dialects
+        expected = self._run(oracle, query)
+        for kind, dialect in rest:
+            assert self._run(dialect, query) == expected, (kind, query)
+        return expected
+
+    def test_null_keys_never_match(self):
+        left = [
+            {"k": i % 11 if i % 5 else None, "v": i} for i in range(self.ROWS)
+        ]
+        right = [
+            {"k": i % 7 if i % 3 else None, "w": i} for i in range(self.ROWS)
+        ]
+        dialects = self._dialects(left, right)
+        # The snapshot columns really are typed arrays with validity bitmaps.
+        snapshot = dialects[1][1].database.table("lt").column_batch(
+            dialects[1][1].database.version
+        )
+        assert isinstance(snapshot.columns["k"], arrays.ArrayColumn)
+        assert snapshot.columns["k"].has_nulls()
+        status, rows = self._assert_parity(
+            dialects,
+            "SELECT lt.v, rt.w FROM lt JOIN rt ON lt.k = rt.k "
+            "ORDER BY lt.v, rt.w",
+        )
+        assert status == "ok"
+        # No NULL key on either side ever joins.
+        null_left = {row["v"] for row in left if row["k"] is None}
+        assert not null_left.intersection(row["lt.v"] for row in rows)
+
+    def test_left_join_pads_null_keys_once(self):
+        left = [
+            {"k": None if i % 4 == 0 else i % 9, "v": i}
+            for i in range(self.ROWS)
+        ]
+        right = [{"k": i % 9, "w": i} for i in range(self.ROWS)]
+        dialects = self._dialects(left, right)
+        status, rows = self._assert_parity(
+            dialects,
+            "SELECT lt.v, rt.w FROM lt LEFT JOIN rt ON lt.k = rt.k "
+            "ORDER BY lt.v, rt.w",
+        )
+        assert status == "ok"
+        # Each NULL-key left row appears exactly once, padded with NULL.
+        for row in left:
+            if row["k"] is None:
+                padded = [r for r in rows if r["lt.v"] == row["v"]]
+                assert len(padded) == 1 and padded[0]["rt.w"] is None
+
+    def test_2pow53_boundary_cross_representation(self):
+        # Left k stays a typed int64 array (all |values| <= 2**53); right k
+        # bails to a plain list (it holds 2**53 + 1, outside the exactness
+        # cap).  The probe crosses representations; normalised float keys
+        # collide at the boundary (2**53 == float(2**53 + 1)) but the exact
+        # condition re-check must keep 2**53+1 out of 2**53's matches —
+        # identically to the row oracle.
+        boundary = 2 ** 53
+        left = [{"k": i, "v": i} for i in range(self.ROWS - 2)]
+        left += [{"k": boundary, "v": 10_001}, {"k": -boundary, "v": 10_002}]
+        right = [{"k": i, "w": i} for i in range(self.ROWS - 3)]
+        right += [
+            {"k": boundary, "w": 20_001},
+            {"k": boundary + 1, "w": 20_002},
+            {"k": -boundary, "w": 20_003},
+        ]
+        dialects = self._dialects(left, right)
+        db = dialects[1][1].database
+        snapshot_left = db.table("lt").column_batch(db.version)
+        snapshot_right = db.table("rt").column_batch(db.version)
+        assert isinstance(snapshot_left.columns["k"], arrays.ArrayColumn)
+        assert not isinstance(snapshot_right.columns["k"], arrays.ArrayColumn)
+        status, rows = self._assert_parity(
+            dialects,
+            "SELECT lt.v, rt.w FROM lt JOIN rt ON lt.k = rt.k "
+            "ORDER BY lt.v, rt.w",
+        )
+        assert status == "ok"
+        boundary_matches = [r for r in rows if r["lt.v"] == 10_001]
+        assert [r["rt.w"] for r in boundary_matches] == [20_001]
+        assert [r["rt.w"] for r in rows if r["lt.v"] == 10_002] == [20_003]
+
+    def test_int_float_keys_share_equality_classes(self):
+        # 1 joins 1.0: numeric keys normalise into one equality class on
+        # both executors (the row oracle's _hash_key contract).
+        left = [{"k": i % 10, "v": i} for i in range(self.ROWS)]
+        right_rows = [{"k": float(i % 10), "w": i} for i in range(self.ROWS)]
+        from repro.dialects import create_dialect
+
+        dialects = []
+        for kind in ("row", "vectorized", "parallel"):
+            dialect = create_dialect("postgresql")
+            dialect.set_executor(kind)
+            dialect.execute("CREATE TABLE lt (k INT, v INT)")
+            dialect.execute("CREATE TABLE rt (k REAL, w INT)")
+            dialect.database.insert_rows("lt", left)
+            dialect.database.insert_rows("rt", right_rows)
+            dialect.analyze_tables()
+            dialects.append((kind, dialect))
+        status, rows = self._assert_parity(
+            dialects,
+            "SELECT lt.v, rt.w FROM lt JOIN rt ON lt.k = rt.k "
+            "ORDER BY lt.v, rt.w",
+        )
+        assert status == "ok"
+        from collections import Counter
+
+        left_counts = Counter(row["k"] for row in left)
+        right_counts = Counter(int(row["k"]) for row in right_rows)
+        assert len(rows) == sum(
+            count * right_counts[key] for key, count in left_counts.items()
+        )
+
+    def test_probe_runs_under_a_hash_join_plan(self):
+        # Guard the guard: these parity tests only mean something while the
+        # planner actually picks a hash join for this shape.
+        left = [{"k": i % 11, "v": i} for i in range(self.ROWS)]
+        right = [{"k": i % 7, "w": i} for i in range(self.ROWS)]
+        dialects = self._dialects(left, right)
+        for kind, dialect in dialects[1:]:
+            plan = dialect.explain(
+                "SELECT lt.v, rt.w FROM lt JOIN rt ON lt.k = rt.k"
+            ).text
+            assert "Hash Join" in plan, (kind, plan)

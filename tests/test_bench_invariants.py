@@ -20,7 +20,9 @@ _BENCHMARKS = os.path.join(
 if _BENCHMARKS not in sys.path:
     sys.path.insert(0, _BENCHMARKS)
 
+import bench_coverage  # noqa: E402
 import bench_executor  # noqa: E402
+import bench_parallel  # noqa: E402
 import run_benchmarks  # noqa: E402
 
 
@@ -123,3 +125,142 @@ def test_committed_snapshot_invariants_all_hold():
         snapshot = json.load(handle)
     assert snapshot["invariants"], "snapshot carries no invariants"
     assert all(snapshot["invariants"].values()), snapshot["invariants"]
+
+
+def _fake_parallel_snapshot(invariants, cpus=1):
+    """A structurally complete parallel snapshot with canned numbers."""
+    timing = {"seconds": 0.5}
+    return {
+        "benchmark": "parallel",
+        "quick": True,
+        "cpus": cpus,
+        "skipped_multicore": cpus < 2,
+        "campaign_scaling": {
+            "settings": {"seed": 7},
+            "shards": 4,
+            "serial": {"seconds": 2.0, "rounds": 4, "queries": 48},
+            "sharded": {
+                "seconds": 0.7,
+                "rounds": 4,
+                "queries": 48,
+                "pool_active": True,
+            },
+            "speedup": 2.86,
+            "coverage_identical": True,
+            "reports_identical": True,
+            "counters_identical": True,
+        },
+        "morsel_operators": {
+            "rows": 4000,
+            "queries": ["SELECT 1"],
+            "vectorized": timing,
+            "parallel": timing,
+            "speedup": 1.0,
+            "results_identical": True,
+        },
+        "invariants": invariants,
+    }
+
+
+_PARALLEL_GREEN = {
+    "sharded_coverage_identical": True,
+    "sharded_reports_identical": True,
+    "sharded_counters_identical": True,
+    "morsel_results_identical": True,
+    "scaling_at_least_2_5x_on_4_cores": True,
+    "scaling_gated": True,
+}
+
+
+@pytest.fixture
+def run_parallel_only(monkeypatch, tmp_path, capsys):
+    """Run the driver's parallel section against a patched collector."""
+
+    def run(invariants):
+        monkeypatch.setattr(
+            bench_parallel,
+            "collect_snapshot",
+            lambda quick=False: _fake_parallel_snapshot(invariants),
+        )
+        output = tmp_path / "BENCH_parallel.json"
+        code = run_benchmarks.main(
+            ["--only", "parallel", "--parallel-output", str(output)]
+        )
+        captured = capsys.readouterr()
+        return code, json.loads(output.read_text()), captured
+
+    return run
+
+
+def test_parallel_green_flags_exit_zero(run_parallel_only):
+    code, written, captured = run_parallel_only(dict(_PARALLEL_GREEN))
+    assert code == 0
+    assert "INVARIANTS VIOLATED" not in captured.err
+    assert written["skipped_multicore"] is True  # canned single-core host
+
+
+def test_parallel_gated_flag_is_informational(run_parallel_only):
+    # scaling_gated=False means the floor WAS judged; the flag itself must
+    # never flip the exit code in either direction.
+    flags = dict(_PARALLEL_GREEN, scaling_gated=False)
+    code, _, captured = run_parallel_only(flags)
+    assert code == 0
+    assert "INVARIANTS VIOLATED" not in captured.err
+
+
+@pytest.mark.parametrize(
+    "broken",
+    [
+        "sharded_coverage_identical",
+        "sharded_reports_identical",
+        "morsel_results_identical",
+        "scaling_at_least_2_5x_on_4_cores",
+    ],
+)
+def test_parallel_false_invariant_exits_nonzero(run_parallel_only, broken):
+    flags = dict(_PARALLEL_GREEN)
+    flags[broken] = False
+    code, written, captured = run_parallel_only(flags)
+    assert code == 1
+    assert "PARALLEL INVARIANTS VIOLATED" in captured.err
+    assert written["invariants"][broken] is False
+
+
+def test_parallel_snapshot_gates_scaling_by_environment(monkeypatch):
+    # On this host (or any host failing the cpus/pool/quick gate) the
+    # speedup floor must pass vacuously and scaling_gated must say so;
+    # the correctness flags are still real measurements.
+    snapshot = bench_parallel.collect_snapshot(quick=True)
+    assert snapshot["skipped_multicore"] == (snapshot["cpus"] < 2)
+    assert snapshot["invariants"]["scaling_gated"] is True  # quick => gated
+    assert snapshot["invariants"]["scaling_at_least_2_5x_on_4_cores"] is True
+    assert snapshot["invariants"]["sharded_coverage_identical"] is True
+    assert snapshot["invariants"]["sharded_reports_identical"] is True
+    assert snapshot["invariants"]["morsel_results_identical"] is True
+
+
+def test_coverage_snapshot_reports_skipped_multicore():
+    # The explicit single-core marker downstream consumers key off.
+    snapshot = bench_coverage.collect_snapshot(quick=True)
+    assert "skipped_multicore" in snapshot
+    assert snapshot["skipped_multicore"] == (snapshot["cpus"] < 2)
+    if snapshot["skipped_multicore"]:
+        assert snapshot["invariants"]["process_pool_gated"] is True
+
+
+def test_committed_parallel_snapshot_invariants_all_hold():
+    """The checked-in BENCH_parallel.json must never ship with red flags."""
+    path = os.path.join(os.path.dirname(_BENCHMARKS), "BENCH_parallel.json")
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    assert snapshot["invariants"], "snapshot carries no invariants"
+    assert all(snapshot["invariants"].values()), snapshot["invariants"]
+    assert "skipped_multicore" in snapshot
+
+
+def test_committed_coverage_snapshot_has_multicore_flag():
+    path = os.path.join(os.path.dirname(_BENCHMARKS), "BENCH_coverage.json")
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    assert "skipped_multicore" in snapshot
+    assert snapshot["skipped_multicore"] == (snapshot["cpus"] < 2)

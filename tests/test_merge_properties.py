@@ -1,0 +1,170 @@
+"""Algebraic property tests for :meth:`CoverageStore.merge`.
+
+The sharded campaign's whole correctness argument rests on the merge being
+an **exact set union**: then the parent can fold shard stores together in
+any order, re-merge after a crash, and merge across different shard
+layouts, always landing on the same coverage set.  The pairwise tests in
+tests/test_coverage_store.py pin individual behaviours; these fuzz the
+algebra itself with hypothesis-generated fingerprint sets:
+
+* commutativity — ``A ∪ B == B ∪ A``
+* associativity — ``(A ∪ B) ∪ C == A ∪ (B ∪ C)``
+* idempotence — ``A ∪ A == A`` (and re-merging adds zero)
+* shard-layout independence — all of the above across mismatched
+  ``shard_count`` values, including payload-based merges
+
+Metadata is only field-wise union (existing fields win), so value-level
+outcomes are order-dependent by design; the properties assert the
+order-independent parts: fingerprint sets, source mappings, marks, and
+metadata *key* sets.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline.coverage import CoverageStore
+
+#: Hex-ish fingerprints: realistic shard routing (leading hex digits) plus
+#: the occasional non-hex key exercising the hash fallback.
+_FINGERPRINTS = st.one_of(
+    st.text(alphabet="0123456789abcdef", min_size=4, max_size=40),
+    st.text(alphabet="ghxyz-", min_size=1, max_size=12),
+)
+
+_META = st.one_of(
+    st.none(),
+    st.fixed_dictionaries(
+        {},
+        optional={
+            "s": st.text(alphabet="0123456789abcdef", min_size=4, max_size=12),
+            "d": st.sampled_from(["mysql", "postgresql", "tidb"]),
+        },
+    ),
+)
+
+_ENTRIES = st.dictionaries(_FINGERPRINTS, _META, max_size=25)
+
+_MARKS = st.lists(
+    st.text(alphabet="abcdefgh:0123456789", min_size=1, max_size=20),
+    max_size=5,
+    unique=True,
+)
+
+_SHARDS = st.sampled_from([1, 2, 3, 5, 16])
+
+
+def _build(entries, marks, shard_count):
+    store = CoverageStore(shard_count=shard_count)
+    for fingerprint, meta in entries.items():
+        store.add(fingerprint, meta)
+        store.map_source("src-" + fingerprint, fingerprint)
+    for label in marks:
+        store.mark(label)
+    return store
+
+
+def _observable(store):
+    """The order-independent observable state of a store."""
+    return (
+        frozenset(store.fingerprints()),
+        frozenset(
+            (digest, store.lookup_source(digest))
+            for fingerprint in store.fingerprints()
+            for digest in ["src-" + fingerprint]
+            if store.lookup_source(digest) is not None
+        ),
+        frozenset(store.marks()),
+        frozenset(
+            (fingerprint, frozenset(store.get(fingerprint) or ()))
+            for fingerprint in store.fingerprints()
+        ),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_ENTRIES, b=_ENTRIES, marks_a=_MARKS, marks_b=_MARKS, sa=_SHARDS, sb=_SHARDS, st_=_SHARDS)
+def test_merge_commutes(a, b, marks_a, marks_b, sa, sb, st_):
+    left = _build(a, marks_a, st_)
+    left.merge(_build(b, marks_b, sb))
+    right = _build(b, marks_b, st_)
+    right.merge(_build(a, marks_a, sa))
+    assert _observable(left) == _observable(right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_ENTRIES, b=_ENTRIES, c=_ENTRIES, sa=_SHARDS, sb=_SHARDS, sc=_SHARDS)
+def test_merge_associates(a, b, c, sa, sb, sc):
+    # (A ∪ B) ∪ C
+    left = _build(a, [], sa)
+    left.merge(_build(b, [], sb))
+    left.merge(_build(c, [], sc))
+    # A ∪ (B ∪ C)
+    inner = _build(b, [], sb)
+    inner.merge(_build(c, [], sc))
+    right = _build(a, [], sa)
+    right.merge(inner)
+    assert _observable(left) == _observable(right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(entries=_ENTRIES, marks=_MARKS, sa=_SHARDS, sb=_SHARDS)
+def test_merge_idempotent(entries, marks, sa, sb):
+    store = _build(entries, marks, sa)
+    before = _observable(store)
+    twin = _build(entries, marks, sb)
+    first = store.merge(twin)
+    assert first == 0  # nothing in the twin is new
+    assert _observable(store) == before
+    # Self-merge via payload is equally a no-op.
+    assert store.merge_payload(store.to_payload()) == 0
+    assert _observable(store) == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_ENTRIES, b=_ENTRIES, sa=_SHARDS, sb=_SHARDS, st_=_SHARDS)
+def test_merge_counts_exact_union(a, b, sa, sb, st_):
+    # The return value is |B \ A| — the sharded campaign's "newly covered"
+    # accounting — independent of every store's shard layout.
+    target = _build(a, [], st_)
+    added = target.merge(_build(b, [], sb))
+    assert added == len(set(b) - set(a))
+    assert set(target.fingerprints()) == set(a) | set(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_ENTRIES, b=_ENTRIES, marks=_MARKS, sa=_SHARDS, sb=_SHARDS, st_=_SHARDS)
+def test_payload_merge_equals_store_merge(a, b, marks, sa, sb, st_):
+    # merge(store) and merge_payload(store.to_payload()) are the same
+    # union — the payload is the picklable cross-process form of a store.
+    via_store = _build(a, marks, st_)
+    other = _build(b, marks, sb)
+    count_store = via_store.merge(other)
+    via_payload = _build(a, marks, st_)
+    count_payload = via_payload.merge_payload(other.to_payload())
+    assert count_store == count_payload
+    assert _observable(via_store) == _observable(via_payload)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    parts=st.lists(_ENTRIES, min_size=1, max_size=5),
+    shards=st.lists(_SHARDS, min_size=5, max_size=5),
+    st_=_SHARDS,
+)
+def test_any_merge_order_reaches_the_same_union(parts, shards, st_):
+    # The sharded parent may receive shard payloads in any completion
+    # order; every order must land on the same merged store.
+    import itertools
+
+    expected = None
+    orders = list(itertools.permutations(range(len(parts))))[:6]
+    for order in orders:
+        target = CoverageStore(shard_count=st_)
+        for position in order:
+            target.merge_payload(
+                _build(parts[position], [], shards[position]).to_payload()
+            )
+        state = _observable(target)
+        if expected is None:
+            expected = state
+        else:
+            assert state == expected
