@@ -293,6 +293,14 @@ def collect_snapshot(quick: bool = False) -> dict:
         invariants["scan_filter_at_least_10x"] = (
             per_workload["scan_filter"].get("speedup_numpy", 0.0) >= 10.0
         )
+        # PR 8: the sort/searchsorted probe kernel must put the array path
+        # ahead of (or at least level with) the plain-list build/probe loop
+        # on the join microbench — before it, hash_join was the one workload
+        # where numpy trailed the list engine.
+        invariants["hash_join_numpy_at_least_list"] = (
+            per_workload["hash_join"].get("speedup_numpy", 0.0)
+            >= per_workload["hash_join"].get("speedup_list", 0.0)
+        )
     return {
         "benchmark": "executor",
         "quick": quick,

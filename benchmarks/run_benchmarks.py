@@ -7,7 +7,7 @@ Usage (from the repository root)::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --suite    # + full pytest-benchmark run
     PYTHONPATH=src python benchmarks/run_benchmarks.py --output somewhere.json
 
-Six snapshots are written:
+Seven snapshots are written:
 
 * ``BENCH_pipeline.json`` — batched-vs-single ingestion and
   fingerprint-vs-deep-compare speedup, with the service statistics proving
@@ -31,9 +31,13 @@ Six snapshots are written:
 * ``BENCH_parallel.json`` — sharded-campaign scaling vs serial (the
   merged coverage/Table V byte-identity flags are enforced everywhere;
   the ≥ 2.5x four-shard speedup floor only on ≥ 4-CPU hosts with a real
-  process pool) and the morsel-driven engine's result identity.
+  process pool) and the morsel-driven engine's result identity;
+* ``BENCH_optimizer.json`` — cost-based multi-join optimization vs the
+  as-written plan oracle (the five-table chain join must win by ≥ 50x
+  with identical results), the corpus/campaign toggle-equivalence flags,
+  and the intermediate-size-bound oracle check.
 
-``--only pipeline|coverage|campaign|executor|decorrelate|parallel``
+``--only pipeline|coverage|campaign|executor|decorrelate|parallel|optimizer``
 restricts the run to one snapshot.
 ``--quick`` shrinks the corpora so the whole driver finishes in seconds —
 that is the mode CI smoke-runs.  The tier-1 test suite the snapshots should
@@ -66,6 +70,7 @@ import bench_campaign  # noqa: E402
 import bench_coverage  # noqa: E402
 import bench_decorrelate  # noqa: E402
 import bench_executor  # noqa: E402
+import bench_optimizer  # noqa: E402
 import bench_parallel  # noqa: E402
 import bench_pipeline  # noqa: E402
 
@@ -172,6 +177,11 @@ def main(argv=None) -> int:
         help="where to write the parallel perf snapshot (default: repo root)",
     )
     parser.add_argument(
+        "--optimizer-output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_optimizer.json"),
+        help="where to write the optimizer perf snapshot (default: repo root)",
+    )
+    parser.add_argument(
         "--only",
         choices=[
             "pipeline",
@@ -180,9 +190,10 @@ def main(argv=None) -> int:
             "executor",
             "decorrelate",
             "parallel",
+            "optimizer",
         ],
         default=None,
-        help="run just one snapshot instead of all six",
+        help="run just one snapshot instead of all seven",
     )
     parser.add_argument(
         "--quick",
@@ -341,6 +352,29 @@ def main(argv=None) -> int:
         if not all(parallel_invariants.values()):
             print(
                 "PARALLEL INVARIANTS VIOLATED:", parallel_snapshot["invariants"],
+                file=sys.stderr,
+            )
+            violated = True
+
+    if args.only in (None, "optimizer"):
+        optimizer_snapshot = bench_optimizer.collect_snapshot(quick=args.quick)
+        write_snapshot(optimizer_snapshot, args.optimizer_output)
+        chain = optimizer_snapshot["chain_join"]
+        print(
+            "optimizer: 5-table chain join {:.0f}x vs as-written "
+            "(results identical: {}); corpus identical: {}; campaign "
+            "reports identical: {}; bound violations: {}".format(
+                chain["speedup"],
+                chain["results_identical"],
+                optimizer_snapshot["corpus_equivalence"]["identical"],
+                optimizer_snapshot["campaign_equivalence"]["reports_identical"],
+                len(optimizer_snapshot["bound_oracle"]["violations"]),
+            )
+        )
+        if not all(optimizer_snapshot["invariants"].values()):
+            print(
+                "OPTIMIZER INVARIANTS VIOLATED:",
+                optimizer_snapshot["invariants"],
                 file=sys.stderr,
             )
             violated = True

@@ -39,9 +39,9 @@ RELATIONAL_DIALECTS = ("mysql", "postgresql", "sqlite", "sqlserver", "sparksql",
 def create_dialect(name: str, **options) -> SimulatedDBMS:
     """Instantiate the simulated DBMS called *name*.
 
-    Keyword options (``prepared_cache=``, ``executor=``, ``decorrelate=``)
-    are forwarded to the dialect constructor — relational dialects accept
-    all three.
+    Keyword options (``prepared_cache=``, ``executor=``, ``decorrelate=``,
+    ``optimize_joins=``) are forwarded to the dialect constructor —
+    relational dialects accept all four.
     """
     try:
         dialect_class = DIALECTS[name.lower()]

@@ -30,6 +30,7 @@ from repro.dialects.prepared import PreparedQueryCache, reset_runtime
 from repro.engine import create_executor
 from repro.engine.executor import Executor, Row
 from repro.errors import DialectError, ParseError, UnsupportedFormatError
+from repro.optimizer.bounds import bound_violations
 from repro.optimizer.cost import CostModel
 from repro.optimizer.physical import PhysicalNode
 from repro.optimizer.planner import Planner, PlannerOptions
@@ -71,6 +72,11 @@ class ExplainOutput:
     format: str
     text: str
     query: str = ""
+    #: ``EXPLAIN ANALYZE`` only: operators whose actual row count exceeded
+    #: their proven intermediate-size bound (see :mod:`repro.optimizer.bounds`).
+    #: Always empty for a correct engine — any entry is an optimizer or
+    #: executor bug, which the campaign's "Bound" oracle reports.
+    bound_violations: Sequence[Dict[str, Any]] = ()
 
 
 class SimulatedDBMS:
@@ -122,6 +128,7 @@ class RelationalDialect(SimulatedDBMS):
         prepared_cache: bool = True,
         executor: str = "vectorized",
         decorrelate: bool = True,
+        optimize_joins: bool = True,
     ) -> None:
         self.database = Database(self.name)
         #: Whether the planner rewrites uncorrelated ``IN`` / ``EXISTS``
@@ -129,11 +136,16 @@ class RelationalDialect(SimulatedDBMS):
         #: per-row subquery filter path (the correctness oracle).  The two
         #: produce identical result rows and row order
         #: (tests/test_decorrelate.py); only the plans differ.
+        #: ``optimize_joins`` likewise toggles predicate pushdown and
+        #: cost-based join reordering against the as-written plan shape
+        #: (tests/test_optimizer.py) — identical result rows (identical
+        #: order for ORDER BY queries), different plans.
         self.planner = Planner(
             self.database,
             cost_model=self.cost_model(),
             options=self.planner_options(),
             decorrelate=decorrelate,
+            optimize_joins=optimize_joins,
         )
         #: Which executor implementation runs plans: ``"vectorized"`` (the
         #: columnar batch engine, the default) or ``"row"`` (the row-at-a-
@@ -172,6 +184,19 @@ class RelationalDialect(SimulatedDBMS):
         """
         if enabled != self.planner.decorrelate:
             self.planner.decorrelate = enabled
+            self.prepared.clear()
+
+    def set_optimize_joins(self, enabled: bool) -> None:
+        """Toggle predicate pushdown + cost-based join reordering.
+
+        ``False`` plans joins in the written FROM order with all WHERE
+        conjuncts filtered above them — the as-written correctness oracle.
+        Same toggle hygiene as :meth:`set_decorrelate`: cached physical
+        plans were produced under the previous setting, so the prepared-
+        query cache is dropped on an actual switch.
+        """
+        if enabled != self.planner.optimize_joins:
+            self.planner.optimize_joins = enabled
             self.prepared.clear()
 
     def planner_options(self) -> PlannerOptions:
@@ -250,13 +275,23 @@ class RelationalDialect(SimulatedDBMS):
             self.database.version,
             lambda: self.planner.plan_statement(parsed),
         )
+        violations: Sequence[Dict[str, Any]] = ()
         if analyze:
             # The cached tree is shared across executions; report this run's
             # statistics, not an accumulation over every run the tree saw.
             self.executor.execute(reset_runtime(physical), analyze=True)
+            # With fresh runtime counters in hand, check every operator's
+            # actual row count against its proven intermediate-size bound.
+            violations = tuple(bound_violations(physical))
         raw = self.shape_plan(physical, analyze=analyze)
         text = self.serialize_plan(raw, chosen)
-        return ExplainOutput(dbms=self.name, format=chosen, text=text, query=statement)
+        return ExplainOutput(
+            dbms=self.name,
+            format=chosen,
+            text=text,
+            query=statement,
+            bound_violations=violations,
+        )
 
     def reset(self) -> None:
         """Drop every table, returning the DBMS to a pristine state."""

@@ -63,6 +63,12 @@ class MySQLDialect(RelationalDialect):
         if analyze and node.runtime.executed:
             properties["actual_rows"] = node.runtime.actual_rows
             properties["actual_time_ms"] = round(node.runtime.actual_time_ms, 3)
+            properties["estimate_factor"] = round(
+                node.runtime.actual_rows / max(node.estimated_rows, 1.0), 2
+            )
+            bound = node.info.get("size_bound")
+            if bound is not None:
+                properties["size_bound"] = int(bound)
         return properties
 
     def _shape(self, node: PhysicalNode, analyze: bool) -> RawPlanNode:

@@ -75,6 +75,16 @@ class PostgreSQLDialect(RelationalDialect):
             properties["Actual Rows"] = node.runtime.actual_rows
             properties["Actual Total Time"] = round(node.runtime.actual_time_ms, 3)
             properties["Actual Loops"] = max(node.runtime.loops, 1)
+            # Estimated-vs-actual misestimation factor plus the proven
+            # intermediate-size bound (repro.optimizer.bounds): an actual
+            # row count above the bound is an engine bug, never a
+            # misestimate — the campaign's "Bound" oracle reports it.
+            properties["Estimate Factor"] = round(
+                node.runtime.actual_rows / max(node.estimated_rows, 1.0), 2
+            )
+            bound = node.info.get("size_bound")
+            if bound is not None:
+                properties["Size Bound"] = int(bound)
         return properties
 
     def _shape(self, node: PhysicalNode, analyze: bool) -> RawPlanNode:

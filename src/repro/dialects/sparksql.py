@@ -56,6 +56,12 @@ class SparkSQLDialect(RelationalDialect):
         properties: Dict[str, Any] = {"rowCount": int(max(node.estimated_rows, 1))}
         if analyze and node.runtime.executed:
             properties["numOutputRows"] = node.runtime.actual_rows
+            properties["estimateFactor"] = round(
+                node.runtime.actual_rows / max(node.estimated_rows, 1.0), 2
+            )
+            bound = node.info.get("size_bound")
+            if bound is not None:
+                properties["sizeBound"] = int(bound)
         return properties
 
     def _shape(self, node: PhysicalNode, analyze: bool) -> RawPlanNode:

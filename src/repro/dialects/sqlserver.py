@@ -57,6 +57,12 @@ class SQLServerDialect(RelationalDialect):
         if analyze and node.runtime.executed:
             properties["ActualRows"] = node.runtime.actual_rows
             properties["ActualElapsedms"] = round(node.runtime.actual_time_ms, 3)
+            properties["EstimateFactor"] = round(
+                node.runtime.actual_rows / max(node.estimated_rows, 1.0), 2
+            )
+            bound = node.info.get("size_bound")
+            if bound is not None:
+                properties["SizeBound"] = int(bound)
         return properties
 
     def _shape(self, node: PhysicalNode, analyze: bool) -> RawPlanNode:

@@ -77,6 +77,12 @@ class TiDBDialect(RelationalDialect):
         if analyze and node.runtime.executed:
             properties["actRows"] = node.runtime.actual_rows
             properties["execution info"] = f"time:{node.runtime.actual_time_ms:.3f}ms"
+            properties["estFactor"] = round(
+                node.runtime.actual_rows / max(node.estimated_rows, 1.0), 2
+            )
+            bound = node.info.get("size_bound")
+            if bound is not None:
+                properties["sizeBound"] = int(bound)
         return properties
 
     def _shape(self, node: PhysicalNode, analyze: bool, task: str) -> RawPlanNode:

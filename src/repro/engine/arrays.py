@@ -486,6 +486,77 @@ def selection_vector(result):
 
 
 # ---------------------------------------------------------------------------
+# Hash-join probe
+# ---------------------------------------------------------------------------
+
+
+def join_probe(left, right):
+    """Vectorized single-key equi-join probe, or ``None`` to fall back.
+
+    Returns ``(candidate_left, candidate_right, starts)`` — the candidate
+    pair lists in the exact order the per-row probe loop produces them:
+    left-major, and within one left row the matching right positions
+    ascending (the build table's bucket order).  ``starts`` has
+    ``len(left) + 1`` entries; row *i*'s candidates live at
+    ``[starts[i], starts[i+1])``.
+
+    Only ``int64``/``float64`` key columns qualify: their SQL ``=``
+    equality classes equal float64 equality exactly (``|int| <= 2**53`` by
+    the module contract, matching ``_normalise_value``'s ``("n", float(v))``
+    key).  Bool columns, NaN keys, and plain lists bail to the per-row
+    probe.  NULL keys on either side never match.
+    """
+    if not _enabled:
+        return None
+    # Key columns below ARRAY_MIN_ROWS (or sliced out of list batches) are
+    # plain lists; converting one here is O(n) — cheaper than the per-row
+    # probe loop it replaces — and make_column's dtype rules still decide.
+    if isinstance(left, list):
+        left = make_column(left)
+    if isinstance(right, list):
+        right = make_column(right)
+    if not isinstance(left, ArrayColumn) or not isinstance(right, ArrayColumn):
+        return None
+    if left.kind not in ("i", "f") or right.kind not in ("i", "f"):
+        return None
+    left_values = left.values.astype(_np.float64) if left.kind == "i" else left.values
+    right_values = right.values.astype(_np.float64) if right.kind == "i" else right.values
+    if left.kind == "f" and _np.isnan(left_values).any():
+        return None  # NaN has no stable _normalise_value equality class
+    if right.kind == "f" and _np.isnan(right_values).any():
+        return None
+
+    if right.validity is not None:
+        right_positions = _np.flatnonzero(right.validity)
+        right_keys = right_values[right_positions]
+    else:
+        right_positions = _np.arange(len(right_values), dtype=_np.intp)
+        right_keys = right_values
+    # Stable sort: equal keys keep ascending right positions, so each
+    # bucket enumerates in exactly the build dict's append order.
+    order = _np.argsort(right_keys, kind="stable")
+    sorted_keys = right_keys[order]
+    sorted_positions = right_positions[order]
+
+    lo = _np.searchsorted(sorted_keys, left_values, side="left")
+    hi = _np.searchsorted(sorted_keys, left_values, side="right")
+    counts = hi - lo
+    if left.validity is not None:
+        counts = _np.where(left.validity, counts, 0)
+    length = len(left_values)
+    starts = _np.zeros(length + 1, dtype=_np.int64)
+    _np.cumsum(counts, out=starts[1:])
+    total = int(starts[-1])
+    candidate_left = _np.repeat(_np.arange(length, dtype=_np.intp), counts)
+    if total:
+        offsets = _np.arange(total, dtype=_np.int64) - _np.repeat(starts[:-1], counts)
+        candidate_right = sorted_positions[_np.repeat(lo, counts) + offsets]
+    else:
+        candidate_right = _np.empty(0, dtype=_np.intp)
+    return candidate_left, candidate_right, starts
+
+
+# ---------------------------------------------------------------------------
 # Batch plumbing: gather / concat
 # ---------------------------------------------------------------------------
 

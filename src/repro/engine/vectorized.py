@@ -506,25 +506,37 @@ class VectorizedExecutor(Executor):
         left_keys = self._key_columns(left, [pair[0] for pair in keys])
         right_keys = self._key_columns(right, [pair[1] for pair in keys])
 
-        # Build on the right side: normalised key tuple -> right positions
-        # (in right order, matching the row executor's bucket lists).
-        build = self._hash_build(right, right_keys)
+        # Probe.  Single-key array columns take the sort/searchsorted kernel
+        # (arrays.join_probe), which emits candidate pairs in exactly the
+        # per-row loop's order — left-major, ascending right positions per
+        # left row — so both paths feed identical candidates downstream.
+        probed = (
+            arrays.join_probe(left_keys[0], right_keys[0])
+            if left_keys is not None and right_keys is not None and len(keys) == 1
+            else None
+        )
+        if probed is not None:
+            candidate_left, candidate_right, candidate_starts = probed
+        else:
+            # Build on the right side: normalised key tuple -> right positions
+            # (in right order, matching the row executor's bucket lists).
+            build = self._hash_build(right, right_keys)
 
-        # Probe: collect candidate (left, right) pairs left-major.
-        candidate_left: List[int] = []
-        candidate_right: List[int] = []
-        candidate_starts: List[int] = []  # per left row, start offset
-        for position in range(left.length):
+            # Probe: collect candidate (left, right) pairs left-major.
+            candidate_left: List[int] = []
+            candidate_right: List[int] = []
+            candidate_starts: List[int] = []  # per left row, start offset
+            for position in range(left.length):
+                candidate_starts.append(len(candidate_left))
+                if left_keys is None:
+                    continue
+                key = _key_at(left_keys, position)
+                if key is None:
+                    continue
+                for right_position in build.get(key, ()):
+                    candidate_left.append(position)
+                    candidate_right.append(right_position)
             candidate_starts.append(len(candidate_left))
-            if left_keys is None:
-                continue
-            key = _key_at(left_keys, position)
-            if key is None:
-                continue
-            for right_position in build.get(key, ()):
-                candidate_left.append(position)
-                candidate_right.append(right_position)
-        candidate_starts.append(len(candidate_left))
 
         combined_keys, sides = _combined_schema(left, right)
         candidates = RowBatch(

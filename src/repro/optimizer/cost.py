@@ -29,6 +29,11 @@ class CostModel:
     parallel_setup_cost: float = 1000.0
     parallel_tuple_cost: float = 0.1
     hash_mem_factor: float = 1.0
+    #: Multiplier the greedy join-order fallback applies to edge-less
+    #: (cartesian) pairings so they are only picked when no connected
+    #: pairing exists.  A *penalty*, not a cost: it steers enumeration
+    #: order and never appears in a plan's Cost properties.
+    cartesian_penalty: float = 1000.0
 
     # -- scans ---------------------------------------------------------------------
 

@@ -7,11 +7,21 @@ operations, and a physical plan is selected using a cost model.
 
 Main features:
 
-* predicate pushdown of single-table conjuncts onto scans,
+* predicate pushdown of single-table conjuncts onto scans, including below
+  the preserved side of outer joins (never below the null-extended side),
 * access-path selection (sequential scan vs index scan vs index-only scan)
   driven by per-column statistics,
 * join ordering via dynamic programming over the join graph (greedy fallback
   above a size threshold), with hash / merge / nested-loop algorithm choice,
+* proven intermediate-size bounds (:mod:`repro.optimizer.bounds`) threaded
+  through every node's ``info["size_bound"]``: cardinality estimates are
+  capped at the bound, the DP memo prunes branches whose children already
+  cost more than the best complete plan, and EXPLAIN ANALYZE checks actual
+  row counts against the bounds (the campaign's "Bound" oracle),
+* an ``optimize_joins=False`` as-written mode — joins planned exactly in the
+  written FROM order with every WHERE conjunct evaluated above them — kept
+  as the oracle the optimizing planner is fuzzed against: flipping the
+  toggle changes plans and coverage, never results or Table V,
 * hash or sorted aggregation, DISTINCT, set operations, ORDER BY / LIMIT,
 * subqueries in FROM (planned recursively) and subqueries in predicates
   (planned as attached subplans, mirroring how PostgreSQL displays them),
@@ -31,6 +41,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.catalog.database import Database
 from repro.catalog.statistics import ColumnStatistics
 from repro.errors import PlanningError
+from repro.optimizer import bounds
 from repro.optimizer.cardinality import (
     estimate_distinct_groups,
     estimate_join_selectivity,
@@ -106,10 +117,20 @@ class Planner:
         cost_model: Optional[CostModel] = None,
         options: Optional[PlannerOptions] = None,
         decorrelate: bool = True,
+        optimize_joins: bool = True,
     ) -> None:
         self.database = database
         self.cost_model = cost_model or CostModel()
         self.options = options or PlannerOptions()
+        #: Run the optimization phase — predicate pushdown and cost-based
+        #: join reordering.  ``optimize_joins=False`` plans joins exactly in
+        #: the written FROM order and keeps every WHERE conjunct in a filter
+        #: above them: the as-written oracle the optimizing planner is
+        #: checked against (tests/test_optimizer.py fuzzes the equivalence).
+        #: Like ``decorrelate``, flipping it changes plans and coverage but
+        #: never result rows (up to order for queries without ORDER BY),
+        #: oracle verdicts, or Table V.
+        self.optimize_joins = optimize_joins
         #: Rewrite uncorrelated ``IN`` / ``EXISTS`` WHERE conjuncts into hash
         #: semi/anti joins (O(outer + inner)) instead of evaluating the
         #: subquery once per outer row inside a filter predicate
@@ -218,29 +239,33 @@ class Planner:
                 total_cost=cost.total,
                 set_operator="UNION ALL",
             )
-            return node
-        append = make_node(
-            OpKind.APPEND,
-            children=[left, right],
-            estimated_rows=total_rows,
-            startup_cost=cost.startup,
-            total_cost=cost.total,
-            set_operator=operator,
+            return self._propagate_bound(node)
+        append = self._propagate_bound(
+            make_node(
+                OpKind.APPEND,
+                children=[left, right],
+                estimated_rows=total_rows,
+                startup_cost=cost.startup,
+                total_cost=cost.total,
+                set_operator=operator,
+            )
         )
         if operator == "UNION":
             groups = max(total_rows * 0.9, 1.0)
             aggregate_cost = self.cost_model.aggregate(total_rows, groups, hashed=True)
-            return make_node(
-                OpKind.HASH_AGGREGATE,
-                children=[append],
-                estimated_rows=groups,
-                startup_cost=cost.total + aggregate_cost.startup,
-                total_cost=cost.total + aggregate_cost.total,
-                group_keys=[],
-                aggregates=[],
-                strategy="hash",
-                deduplicate=True,
-                set_operator="UNION",
+            return self._propagate_bound(
+                make_node(
+                    OpKind.HASH_AGGREGATE,
+                    children=[append],
+                    estimated_rows=groups,
+                    startup_cost=cost.total + aggregate_cost.startup,
+                    total_cost=cost.total + aggregate_cost.total,
+                    group_keys=[],
+                    aggregates=[],
+                    strategy="hash",
+                    deduplicate=True,
+                    set_operator="UNION",
+                )
             )
         kind = OpKind.INTERSECT if operator == "INTERSECT" else OpKind.EXCEPT
         result_rows = (
@@ -248,13 +273,15 @@ class Planner:
             if kind is OpKind.INTERSECT
             else max(left.estimated_rows - right.estimated_rows, 1.0)
         )
-        return make_node(
-            kind,
-            children=[left, right],
-            estimated_rows=result_rows,
-            startup_cost=cost.startup,
-            total_cost=cost.total + total_rows * self.cost_model.cpu_operator_cost,
-            set_operator=operator,
+        return self._propagate_bound(
+            make_node(
+                kind,
+                children=[left, right],
+                estimated_rows=result_rows,
+                startup_cost=cost.startup,
+                total_cost=cost.total + total_rows * self.cost_model.cpu_operator_cost,
+                set_operator=operator,
+            )
         )
 
     # ------------------------------------------------------------------ SELECT core
@@ -263,13 +290,22 @@ class Planner:
         if core.from_clause is None:
             return self._plan_constant_select(core)
 
-        relations, edges, outer_joins, residual = self._collect_relations(core)
+        relations, edges, outer_joins, residual, nullable = self._collect_relations(core)
         group_by = self._resolve_group_by(core, relations)
+        resolver = self._statistics_resolver(relations)
 
         # Classify WHERE conjuncts.
+        use_syntactic = outer_joins or not self.optimize_joins
         where_conjuncts = ast.split_conjuncts(core.where)
-        join_conjuncts: List[ast.Expression] = []
-        complex_conjuncts: List[ast.Expression] = list(residual)
+        # Join conditions that are not two-relation edges (a single-table or
+        # three-way ON condition).  The syntactic join path applies them at
+        # their own join node, so re-applying them above would wrongly drop
+        # null-padded outer-join rows; the reordering path consults only the
+        # edge list, so they must survive as a residual filter (sound there —
+        # outer joins always take the syntactic path).
+        complex_conjuncts: List[ast.Expression] = (
+            [] if use_syntactic else list(residual)
+        )
         semi_targets: List[_SemiJoinTarget] = []
         alias_names = {relation.alias for relation in relations}
         for conjunct in where_conjuncts:
@@ -282,21 +318,35 @@ class Planner:
                     semi_targets.append(target)
                 else:
                     complex_conjuncts.append(conjunct)
-            elif len(aliases) == 1 and not outer_joins:
-                # With outer joins, pushing a predicate below the join would
-                # change null-extension semantics, so it stays above the join.
+            elif not self.optimize_joins:
+                # As-written mode: no pushdown — every plain conjunct is
+                # evaluated in one filter above the syntactic join tree.
+                complex_conjuncts.append(conjunct)
+            elif len(aliases) == 1 and next(iter(aliases)) not in nullable:
+                # Pushing below a join is safe for a single-relation conjunct
+                # as long as the relation is never null-extended: filtering a
+                # preserved-side row before the join removes exactly the
+                # output rows the same filter would remove above it.  A
+                # conjunct on a nullable (outer-join inner) side must stay
+                # above, where it sees the padded NULLs.
                 alias = next(iter(aliases))
                 self._relation_by_alias(relations, alias).predicates.append(conjunct)
-            elif len(aliases) == 2 and isinstance(conjunct, ast.BinaryOp):
+            elif (
+                len(aliases) == 2
+                and isinstance(conjunct, ast.BinaryOp)
+                and not outer_joins
+            ):
+                # A two-relation WHERE conjunct is an extra (inner) join
+                # edge.  With outer joins in the FROM tree the edge list is
+                # not consulted — the conjunct must survive as a filter.
                 left_alias, right_alias = sorted(aliases)
-                join_conjuncts.append(conjunct)
                 edges.append(_JoinEdge(left_alias, right_alias, conjunct))
             else:
                 complex_conjuncts.append(conjunct)
 
         # Plan access paths and join order.
         needed_columns = self._compute_needed_columns(core, relations, edges, group_by)
-        if outer_joins:
+        if use_syntactic:
             plan = self._plan_syntactic_joins(
                 core.from_clause, relations, alias_names, needed_columns
             )
@@ -307,14 +357,19 @@ class Planner:
         for target in semi_targets:
             plan = self._add_semi_join(plan, target)
 
-        # Residual predicates that could not be pushed down.
+        # Residual predicates that could not be pushed down.  Selectivity is
+        # estimated with the same per-conjunct statistics the pushdown path
+        # uses, so the as-written filter and the pushed-down scans agree on
+        # the root estimate — CERT verdicts are toggle-independent.
         if complex_conjuncts:
-            plan = self._add_filter(plan, ast.conjoin(complex_conjuncts))
+            plan = self._add_filter(
+                plan, ast.conjoin(complex_conjuncts), resolver=resolver
+            )
 
         # Aggregation.
         aggregates = self._collect_aggregates(core)
         if group_by or aggregates:
-            plan = self._add_aggregate(plan, core, aggregates, group_by)
+            plan = self._add_aggregate(plan, core, aggregates, group_by, resolver)
             if core.having is not None:
                 plan = self._add_filter(plan, core.having, is_having=True)
         elif core.having is not None:
@@ -338,6 +393,7 @@ class Planner:
             total_cost=self.cost_model.cpu_tuple_cost,
             items=items,
             where=core.where,
+            size_bound=1.0,
         )
         return node
 
@@ -345,11 +401,28 @@ class Planner:
 
     def _collect_relations(
         self, core: ast.SelectCore
-    ) -> Tuple[List[_Relation], List[_JoinEdge], bool, List[ast.Expression]]:
+    ) -> Tuple[
+        List[_Relation], List[_JoinEdge], bool, List[ast.Expression], Set[str]
+    ]:
         relations: List[_Relation] = []
         edges: List[_JoinEdge] = []
         residual: List[ast.Expression] = []
+        #: Aliases on the null-extended side of some outer join: the right
+        #: subtree of a LEFT join, the left of a RIGHT join, both of a FULL
+        #: join.  WHERE conjuncts on these may not be pushed below the join.
+        nullable: Set[str] = set()
         has_outer = False
+
+        def subtree_aliases(table_expression: ast.TableExpression) -> Set[str]:
+            if isinstance(table_expression, ast.TableRef):
+                return {table_expression.effective_name}
+            if isinstance(table_expression, ast.SubqueryRef):
+                return {table_expression.alias}
+            if isinstance(table_expression, ast.Join):
+                return subtree_aliases(table_expression.left) | subtree_aliases(
+                    table_expression.right
+                )
+            return set()
 
         def visit(table_expression: ast.TableExpression) -> None:
             nonlocal has_outer
@@ -368,6 +441,10 @@ class Planner:
                 visit(table_expression.right)
                 if table_expression.join_type in {"LEFT", "RIGHT", "FULL"}:
                     has_outer = True
+                    if table_expression.join_type in {"LEFT", "FULL"}:
+                        nullable.update(subtree_aliases(table_expression.right))
+                    if table_expression.join_type in {"RIGHT", "FULL"}:
+                        nullable.update(subtree_aliases(table_expression.left))
                 condition = table_expression.condition
                 if condition is None and table_expression.using_columns:
                     condition = self._using_to_condition(table_expression)
@@ -388,7 +465,7 @@ class Planner:
             )
 
         visit(core.from_clause)
-        return relations, edges, has_outer, residual
+        return relations, edges, has_outer, residual, nullable
 
     def _using_to_condition(self, join: ast.Join) -> Optional[ast.Expression]:
         left_tables = ast.base_tables(join.left)
@@ -642,14 +719,16 @@ class Planner:
         if target.probe is not None:
             info["probe"] = target.probe
             info["inner_column"] = self._subquery_output_name(target.subquery)
-        return make_node(
-            kind,
-            children=[child, inner],
-            estimated_rows=output_rows,
-            startup_cost=cost.startup,
-            total_cost=cost.total,
-            width=child.width,
-            **info,
+        return self._propagate_bound(
+            make_node(
+                kind,
+                children=[child, inner],
+                estimated_rows=output_rows,
+                startup_cost=cost.startup,
+                total_cost=cost.total,
+                width=child.width,
+                **info,
+            )
         )
 
     def _subquery_output_name(self, query: ast.SelectStatement) -> str:
@@ -856,7 +935,7 @@ class Planner:
     ) -> PhysicalNode:
         if relation.subquery is not None:
             inner = self.plan_select(relation.subquery)
-            return make_node(
+            node = make_node(
                 OpKind.SUBQUERY_SCAN,
                 children=[inner],
                 estimated_rows=inner.estimated_rows,
@@ -865,6 +944,10 @@ class Planner:
                 alias=relation.alias,
                 filter=ast.conjoin(relation.predicates),
             )
+            inner_bound = inner.info.get("size_bound")
+            if inner_bound is not None:
+                node.info["size_bound"] = inner_bound
+            return node
 
         table_name = relation.table_name
         if table_name is None or not self.database.has_table(table_name):
@@ -892,6 +975,10 @@ class Planner:
                 )
             ):
                 best = index_plan
+        # The proven output bound of any scan is the table's *actual* row
+        # count (filters only shrink it) — deliberately not the possibly
+        # stale statistics row count, since the bound must never under-claim.
+        best.info["size_bound"] = float(table.row_count)
         return best
 
     def _seq_scan_node(
@@ -1130,6 +1217,8 @@ class Planner:
                         if not connecting and len(edges) > 0 and subset_size < len(aliases):
                             # Avoid cartesian products until forced to.
                             continue
+                        if self._prune_split(best[left_key], best[right_key], best_plan):
+                            continue
                         candidate = self._make_join(
                             best[left_key], best[right_key], connecting, resolver
                         )
@@ -1143,6 +1232,10 @@ class Planner:
                             right_key = subset_key - left_key
                             if left_key not in best or right_key not in best:
                                 continue
+                            if self._prune_split(
+                                best[left_key], best[right_key], best_plan
+                            ):
+                                continue
                             candidate = self._make_join(best[left_key], best[right_key], [], resolver)
                             if best_plan is None or candidate.cost.total < best_plan.cost.total:
                                 best_plan = candidate
@@ -1153,6 +1246,25 @@ class Planner:
         if full_key not in best:
             raise PlanningError("join ordering failed to produce a complete plan")
         return best[full_key]
+
+    def _prune_split(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        best_plan: Optional[PhysicalNode],
+    ) -> bool:
+        """Branch-and-bound pruning of one memo split.
+
+        Every join cost formula in :class:`CostModel` includes both
+        children's full totals, so a split whose children alone already cost
+        at least the best complete plan for the subset cannot win — the join
+        on top only adds cost.  Sound (never discards a cheaper plan) and
+        deterministic (depends only on memo costs, not enumeration order
+        beyond the fixed ``itertools`` order).
+        """
+        if best_plan is None:
+            return False
+        return left.cost.total + right.cost.total >= best_plan.cost.total
 
     def _greedy_join(
         self,
@@ -1171,7 +1283,7 @@ class Planner:
                 candidate = self._make_join(
                     remaining[left_key], remaining[right_key], connecting, resolver
                 )
-                penalty = 1.0 if connecting else 1000.0
+                penalty = 1.0 if connecting else self.cost_model.cartesian_penalty
                 score = candidate.cost.total * penalty
                 if best_score is None or score < best_score:
                     best_plan = candidate
@@ -1184,6 +1296,73 @@ class Planner:
             remaining[left_key | right_key] = best_plan
         return next(iter(remaining.values()))
 
+    #: Comparison operators and their operand-swapped mirrors, used to
+    #: re-orient join-edge conditions to the enumeration's chosen child order.
+    _MIRRORED_COMPARISONS = {
+        "=": "=",
+        "<>": "<>",
+        "<": ">",
+        ">": "<",
+        "<=": ">=",
+        ">=": "<=",
+    }
+
+    def _plan_aliases(self, node: PhysicalNode) -> Set[str]:
+        """Every relation alias contributing rows to *node*'s subtree."""
+        aliases: Set[str] = set()
+        for descendant in node.walk():
+            alias = descendant.info.get("alias")
+            if alias:
+                aliases.add(alias)
+        return aliases
+
+    def _oriented_join_condition(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        connecting: List[_JoinEdge],
+    ) -> ast.Expression:
+        """Conjoin the edge conditions, flipped to the chosen child order.
+
+        The join-order enumeration freely builds (B, A) from an edge written
+        ``a.x = b.x``.  Both executors' hash/merge key extraction resolves a
+        comparison's left reference against the left child, so a misoriented
+        conjunct would read as an unresolvable (hence NULL) key and silently
+        match nothing.  A conjunct is flipped only when its sides provably
+        live entirely in the opposite subtrees; anything else (unqualified
+        references, single-sided conditions) is left as written.
+        """
+        left_aliases = self._plan_aliases(left)
+        right_aliases = self._plan_aliases(right)
+        conjuncts: List[ast.Expression] = []
+        for edge in connecting:
+            for conjunct in ast.split_conjuncts(edge.condition):
+                if (
+                    isinstance(conjunct, ast.BinaryOp)
+                    and conjunct.operator in self._MIRRORED_COMPARISONS
+                ):
+                    side_aliases = [
+                        {
+                            reference.table
+                            for reference in ast.referenced_columns(expression)
+                            if reference.table
+                        }
+                        for expression in (conjunct.left, conjunct.right)
+                    ]
+                    if (
+                        side_aliases[0]
+                        and side_aliases[1]
+                        and side_aliases[0] <= right_aliases
+                        and side_aliases[1] <= left_aliases
+                    ):
+                        conjunct = ast.BinaryOp(
+                            self._MIRRORED_COMPARISONS[conjunct.operator],
+                            conjunct.right,
+                            conjunct.left,
+                        )
+                conjuncts.append(conjunct)
+        return ast.conjoin(conjuncts)
+
     def _make_join(
         self,
         left: PhysicalNode,
@@ -1192,11 +1371,36 @@ class Planner:
         resolver,
         join_type: str = "INNER",
     ) -> PhysicalNode:
-        condition = ast.conjoin([edge.condition for edge in connecting]) if connecting else None
+        condition = (
+            self._oriented_join_condition(left, right, connecting)
+            if connecting
+            else None
+        )
         selectivity = estimate_join_selectivity(condition, resolver)
         output_rows = max(left.estimated_rows * right.estimated_rows * selectivity, 1.0)
         width = left.width + right.width
         equi_join = condition is not None and self._is_equi_join(condition)
+
+        # Proven size bound: the product of the input bounds, reduced when a
+        # side's equated join columns cover one of its unique keys, plus
+        # null-padding terms for outer joins.  An estimate above the proven
+        # maximum is certainly wrong, so cap it at the bound.
+        size_bound: Optional[float] = None
+        left_bound = left.info.get("size_bound")
+        right_bound = right.info.get("size_bound")
+        if left_bound is not None and right_bound is not None:
+            equated = self._equated_join_columns(condition)
+            size_bound = bounds.join_bound(
+                left_bound,
+                right_bound,
+                join_type,
+                left_unique=self._scan_unique_on(left, equated),
+                right_unique=self._scan_unique_on(right, equated),
+            )
+            output_rows = max(min(output_rows, size_bound), 1.0)
+        extra: Dict[str, object] = (
+            {"size_bound": size_bound} if size_bound is not None else {}
+        )
 
         candidates: List[PhysicalNode] = []
         if self.options.enable_hash_join and equi_join:
@@ -1213,6 +1417,7 @@ class Planner:
                     width=width,
                     condition=condition,
                     join_type=join_type,
+                    **extra,
                 )
             )
         if self.options.enable_merge_join and equi_join:
@@ -1229,6 +1434,7 @@ class Planner:
                     width=width,
                     condition=condition,
                     join_type=join_type,
+                    **extra,
                 )
             )
         if self.options.enable_nested_loop_join or not candidates:
@@ -1245,6 +1451,7 @@ class Planner:
                     width=width,
                     condition=condition,
                     join_type=join_type,
+                    **extra,
                 )
             )
         return min(candidates, key=lambda node: node.cost.total)
@@ -1258,6 +1465,63 @@ class Planner:
             and isinstance(conjunct.right, ast.ColumnRef)
             for conjunct in conjuncts
         )
+
+    #: Operators whose output is exactly the rows of one base table.
+    _SCAN_KINDS = frozenset(
+        {OpKind.SEQ_SCAN, OpKind.INDEX_SCAN, OpKind.INDEX_ONLY_SCAN}
+    )
+
+    def _equated_join_columns(
+        self, condition: Optional[ast.Expression]
+    ) -> Dict[str, Set[str]]:
+        """``alias → columns`` equated across relations by ``=`` conjuncts.
+
+        Only *qualified* cross-relation ``col = col`` equalities count: an
+        unqualified reference cannot prove which relation it constrains, and
+        a same-alias or column-constant equality says nothing about how many
+        rows of one side each row of the other side can match.
+        """
+        equated: Dict[str, Set[str]] = {}
+        if condition is None:
+            return equated
+        for conjunct in ast.split_conjuncts(condition):
+            if not (
+                isinstance(conjunct, ast.BinaryOp)
+                and conjunct.operator == "="
+                and isinstance(conjunct.left, ast.ColumnRef)
+                and isinstance(conjunct.right, ast.ColumnRef)
+            ):
+                continue
+            left, right = conjunct.left, conjunct.right
+            if not left.table or not right.table or left.table == right.table:
+                continue
+            equated.setdefault(left.table, set()).add(left.column.lower())
+            equated.setdefault(right.table, set()).add(right.column.lower())
+        return equated
+
+    def _scan_unique_on(
+        self, node: PhysicalNode, equated: Dict[str, Set[str]]
+    ) -> bool:
+        """Whether *node* is a base-table scan whose equated join columns
+        cover an enforced unique key — so every opposite-side row matches at
+        most one of its rows.  Sound only for scans: any deeper subtree may
+        duplicate or rename columns on the way up."""
+        if node.kind not in self._SCAN_KINDS:
+            return False
+        alias = node.info.get("alias")
+        table_name = node.info.get("table")
+        if not alias or not table_name or not self.database.has_table(table_name):
+            return False
+        columns = equated.get(alias)
+        if not columns:
+            return False
+        for index in self.database.indexes_for(table_name):
+            if not index.definition.unique:
+                continue
+            key = {column.lower() for column in index.definition.columns}
+            if key and key.issubset(columns):
+                return True
+        return False
 
     def _plan_syntactic_joins(
         self,
@@ -1298,25 +1562,53 @@ class Planner:
 
     # ------------------------------------------------------------------ upper operators
 
+    def _propagate_bound(
+        self, node: PhysicalNode, limit: Optional[float] = None
+    ) -> PhysicalNode:
+        """Thread the children's proven size bounds onto *node* and cap its
+        row estimate at the bound (an estimate above a proven maximum is
+        certainly wrong)."""
+        child_bounds = [child.info.get("size_bound") for child in node.children]
+        bound = bounds.propagated_bound(node.kind, child_bounds, limit=limit)
+        if bound is not None:
+            node.info["size_bound"] = bound
+            if node.estimated_rows > bound:
+                node.estimated_rows = max(bound, 1.0)
+        return node
+
     def _add_filter(
-        self, child: PhysicalNode, predicate: Optional[ast.Expression], is_having: bool = False
+        self,
+        child: PhysicalNode,
+        predicate: Optional[ast.Expression],
+        is_having: bool = False,
+        resolver=None,
     ) -> PhysicalNode:
         if predicate is None:
             return child
-        selectivity = 0.5 if self._contains_subquery(predicate) else 0.33
+        if resolver is not None:
+            # WHERE residuals use the same per-conjunct statistics the
+            # pushdown path uses, so the as-written single filter and the
+            # optimized pushed-down scans agree on the root estimate.
+            selectivity = estimate_selectivity(predicate, resolver)
+        else:
+            # HAVING (and other statistics-less call sites) keep the
+            # original flat magic numbers.
+            selectivity = 0.5 if self._contains_subquery(predicate) else 0.33
         output_rows = max(child.estimated_rows * selectivity, 1.0)
         subplans = self._plan_predicate_subqueries(predicate)
-        return make_node(
-            OpKind.FILTER,
-            children=[child],
-            estimated_rows=output_rows,
-            startup_cost=child.cost.startup,
-            total_cost=child.cost.total
-            + child.estimated_rows * self.cost_model.cpu_operator_cost,
-            width=child.width,
-            predicate=predicate,
-            is_having=is_having,
-            subplans=subplans,
+        return self._propagate_bound(
+            make_node(
+                OpKind.FILTER,
+                children=[child],
+                estimated_rows=output_rows,
+                startup_cost=child.cost.startup,
+                total_cost=child.cost.total
+                + child.estimated_rows * self.cost_model.cpu_operator_cost,
+                width=child.width,
+                predicate=predicate,
+                is_having=is_having,
+                subplans=subplans,
+            )
         )
 
     def _plan_predicate_subqueries(
@@ -1365,52 +1657,85 @@ class Planner:
         core: ast.SelectCore,
         aggregates: List[ast.FunctionCall],
         group_by: Optional[List[ast.Expression]] = None,
+        resolver=None,
     ) -> PhysicalNode:
         group_keys = list(group_by if group_by is not None else core.group_by)
-        groups = estimate_distinct_groups(len(group_keys), child.estimated_rows)
+        groups = estimate_distinct_groups(
+            len(group_keys),
+            child.estimated_rows,
+            resolver_ndv=self._group_key_ndv(group_keys, resolver),
+        )
         hashed = self.options.prefer_hash_aggregate and bool(group_keys)
         cost = self.cost_model.aggregate(child.estimated_rows, groups, hashed=hashed)
         kind = OpKind.HASH_AGGREGATE if hashed else OpKind.SORT_AGGREGATE
         if not group_keys:
             kind = OpKind.SORT_AGGREGATE
-        return make_node(
-            kind,
-            children=[child],
-            estimated_rows=groups,
-            startup_cost=child.cost.total + cost.startup,
-            total_cost=child.cost.total + cost.total,
-            width=child.width,
-            group_keys=group_keys,
-            aggregates=aggregates,
-            strategy="hash" if kind is OpKind.HASH_AGGREGATE else "sorted",
+        return self._propagate_bound(
+            make_node(
+                kind,
+                children=[child],
+                estimated_rows=groups,
+                startup_cost=child.cost.total + cost.startup,
+                total_cost=child.cost.total + cost.total,
+                width=child.width,
+                group_keys=group_keys,
+                aggregates=aggregates,
+                strategy="hash" if kind is OpKind.HASH_AGGREGATE else "sorted",
+            )
         )
+
+    def _group_key_ndv(self, group_keys, resolver) -> Optional[float]:
+        """Product of the grouping columns' NDV statistics, or ``None``.
+
+        Under attribute-value independence the number of groups is at most
+        the product of the keys' distinct counts (``estimate_distinct_groups``
+        still clamps it to the input row count).  Provable only when *every*
+        key is a plain column reference with collected statistics — one
+        expression key or missing NDV and the estimator falls back to its
+        square-root heuristic.
+        """
+        if resolver is None or not group_keys:
+            return None
+        product = 1.0
+        for key in group_keys:
+            if not isinstance(key, ast.ColumnRef):
+                return None
+            statistics = resolver(key)
+            if statistics is None or statistics.distinct_values <= 0:
+                return None
+            product *= float(statistics.distinct_values)
+        return product
 
     def _add_projection(self, child: PhysicalNode, core: ast.SelectCore) -> PhysicalNode:
         items: List[Tuple[ast.Expression, str]] = []
         for item in core.items:
             name = item.alias or print_expression(item.expression)
             items.append((item.expression, name))
-        return make_node(
-            OpKind.PROJECT,
-            children=[child],
-            estimated_rows=child.estimated_rows,
-            startup_cost=child.cost.startup,
-            total_cost=child.cost.total
-            + child.estimated_rows * self.cost_model.cpu_tuple_cost,
-            width=child.width,
-            items=items,
+        return self._propagate_bound(
+            make_node(
+                OpKind.PROJECT,
+                children=[child],
+                estimated_rows=child.estimated_rows,
+                startup_cost=child.cost.startup,
+                total_cost=child.cost.total
+                + child.estimated_rows * self.cost_model.cpu_tuple_cost,
+                width=child.width,
+                items=items,
+            )
         )
 
     def _add_distinct(self, child: PhysicalNode) -> PhysicalNode:
         groups = max(child.estimated_rows * 0.9, 1.0)
         cost = self.cost_model.aggregate(child.estimated_rows, groups, hashed=True)
-        return make_node(
-            OpKind.DISTINCT,
-            children=[child],
-            estimated_rows=groups,
-            startup_cost=child.cost.total + cost.startup,
-            total_cost=child.cost.total + cost.total,
-            width=child.width,
+        return self._propagate_bound(
+            make_node(
+                OpKind.DISTINCT,
+                children=[child],
+                estimated_rows=groups,
+                startup_cost=child.cost.total + cost.startup,
+                total_cost=child.cost.total + cost.total,
+                width=child.width,
+            )
         )
 
     def _add_sort(
@@ -1452,24 +1777,35 @@ class Planner:
                 if limit_value is not None and limit_value >= 0
                 else child.estimated_rows
             )
-            return make_node(
-                OpKind.TOP_N,
+            return self._propagate_bound(
+                make_node(
+                    OpKind.TOP_N,
+                    children=[child],
+                    estimated_rows=max(rows, 1.0),
+                    startup_cost=child.cost.total + cost.startup,
+                    total_cost=child.cost.total + cost.total,
+                    width=child.width,
+                    sort_keys=keys,
+                    limit=limit,
+                ),
+                # A negative literal LIMIT means "no limit" (SQLite
+                # semantics), so it contributes no bound of its own.
+                limit=(
+                    limit_value
+                    if limit_value is not None and limit_value >= 0
+                    else None
+                ),
+            )
+        return self._propagate_bound(
+            make_node(
+                OpKind.SORT,
                 children=[child],
-                estimated_rows=max(rows, 1.0),
+                estimated_rows=child.estimated_rows,
                 startup_cost=child.cost.total + cost.startup,
                 total_cost=child.cost.total + cost.total,
                 width=child.width,
                 sort_keys=keys,
-                limit=limit,
             )
-        return make_node(
-            OpKind.SORT,
-            children=[child],
-            estimated_rows=child.estimated_rows,
-            startup_cost=child.cost.total + cost.startup,
-            total_cost=child.cost.total + cost.total,
-            width=child.width,
-            sort_keys=keys,
         )
 
     def _limit_literal(self, limit: Optional[ast.Expression]) -> Optional[float]:
@@ -1506,15 +1842,22 @@ class Planner:
             fraction = 1.0
             rows = child.estimated_rows
         cost = self.cost_model.limit(child.cost.total, fraction)
-        return make_node(
-            OpKind.LIMIT,
-            children=[child],
-            estimated_rows=max(rows, 1.0),
-            startup_cost=child.cost.startup,
-            total_cost=child.cost.startup + cost.total,
-            width=child.width,
-            limit=limit,
-            offset=offset,
+        return self._propagate_bound(
+            make_node(
+                OpKind.LIMIT,
+                children=[child],
+                estimated_rows=max(rows, 1.0),
+                startup_cost=child.cost.startup,
+                total_cost=child.cost.startup + cost.total,
+                width=child.width,
+                limit=limit,
+                offset=offset,
+            ),
+            limit=(
+                limit_value
+                if limit_value is not None and limit_value >= 0
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------ DML

@@ -124,12 +124,14 @@ class ShardedCampaign:
         seed: int = 1,
         queries_per_dbms: int = 150,
         cert_pairs_per_dbms: int = 60,
+        bound_checks_per_dbms: int = 20,
         shards: int = 2,
         persist_to: Optional[str] = None,
         max_rounds: Optional[int] = None,
         prepared_cache: bool = True,
         executor: str = "vectorized",
         decorrelate: bool = True,
+        optimize_joins: bool = True,
         parallel: bool = True,
         max_workers: Optional[int] = None,
     ) -> None:
@@ -139,12 +141,14 @@ class ShardedCampaign:
         self.seed = seed
         self.queries_per_dbms = queries_per_dbms
         self.cert_pairs_per_dbms = cert_pairs_per_dbms
+        self.bound_checks_per_dbms = bound_checks_per_dbms
         self.shards = shards
         self.persist_to = persist_to
         self.max_rounds = max_rounds
         self.prepared_cache = prepared_cache
         self.executor = executor
         self.decorrelate = decorrelate
+        self.optimize_joins = optimize_joins
         self.parallel = parallel
         self.max_workers = max_workers
         #: Whether the last :meth:`run` actually used a process pool (False
@@ -184,11 +188,13 @@ class ShardedCampaign:
                         "seed": self.seed,
                         "queries_per_dbms": self.queries_per_dbms,
                         "cert_pairs_per_dbms": self.cert_pairs_per_dbms,
+                        "bound_checks_per_dbms": self.bound_checks_per_dbms,
                         "persist_to": self.shard_dir(shard),
                         "max_rounds": self.max_rounds,
                         "prepared_cache": self.prepared_cache,
                         "executor": self.executor,
                         "decorrelate": self.decorrelate,
+                        "optimize_joins": self.optimize_joins,
                     },
                 }
             )
@@ -271,6 +277,7 @@ class ShardedCampaign:
             for index, payload in rounds:
                 merged.queries_generated += payload.get("queries_generated", 0)
                 merged.cert_pairs_checked += payload.get("cert_pairs_checked", 0)
+                merged.bound_queries_checked += payload.get("bound_queries_checked", 0)
                 for row in payload.get("reports", []):
                     merged.reports.append(BugReport(**row))
                 merged.round_payloads.append((index, payload))

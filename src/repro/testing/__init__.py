@@ -9,6 +9,7 @@ from repro.testing.cert import (
     CERTViolation,
     root_cardinality_estimate,
 )
+from repro.testing.bound import BoundStatistics, BoundViolation, SizeBoundChecker
 from repro.testing.bugs import FaultyDialect, KnownBug, KNOWN_BUGS, bugs_for
 from repro.testing.campaign import BugReport, CampaignResult, TestingCampaign
 
@@ -25,6 +26,9 @@ __all__ = [
     "CERTStatistics",
     "CERTViolation",
     "root_cardinality_estimate",
+    "BoundStatistics",
+    "BoundViolation",
+    "SizeBoundChecker",
     "FaultyDialect",
     "KnownBug",
     "KNOWN_BUGS",

@@ -9,7 +9,10 @@ realistic defects into the simulated dialects:
   that hit a trigger condition (e.g. an ``IN (GREATEST(...))`` predicate with
   an index on the column — Listing 3's MySQL bug 113302);
 * **performance bugs** — the optimizer's cardinality estimate violates
-  monotonicity for restricted queries, which CERT flags.
+  monotonicity for restricted queries, which CERT flags;
+* **bound bugs** — ``EXPLAIN ANALYZE`` reports an operator producing more
+  rows than its statically proven intermediate-size bound, which the Bound
+  oracle flags (Table V has none of these; injection is test-only).
 
 Each injected fault carries the corresponding bug id from Table V, so the
 campaign report can be compared 1:1 with the paper's table.
@@ -83,11 +86,18 @@ class FaultyDialect:
         dialect: RelationalDialect,
         logic_bugs: Sequence[KnownBug] = (),
         performance_bugs: Sequence[KnownBug] = (),
+        bound_bugs: Sequence[KnownBug] = (),
         trigger_rate: int = 7,
     ) -> None:
         self.dialect = dialect
         self.logic_bugs = list(logic_bugs)
         self.performance_bugs = list(performance_bugs)
+        #: Faults that make ``EXPLAIN ANALYZE`` report an operator producing
+        #: more rows than its proven intermediate-size bound — the class of
+        #: engine bug the campaign's "Bound" oracle flags.  Table V has no
+        #: bugs of this kind (the paper predates the oracle), so default
+        #: campaigns pass ``()`` and the oracle stays silent.
+        self.bound_bugs = list(bound_bugs)
         self.trigger_rate = max(trigger_rate, 1)
 
     # -- delegation -------------------------------------------------------------
@@ -126,6 +136,15 @@ class FaultyDialect:
             return self.performance_bugs[bucket % len(self.performance_bugs)]
         return None
 
+    def bound_fault_for(self, query: str) -> Optional[KnownBug]:
+        """Return the intermediate-size-bound bug triggered by *query*, if any."""
+        if not self.bound_bugs or not query.upper().lstrip().startswith("SELECT"):
+            return None
+        bucket = self._bucket(query)
+        if bucket % (self.trigger_rate + 9) == 0:
+            return self.bound_bugs[bucket % len(self.bound_bugs)]
+        return None
+
     # -- perturbed behaviour ---------------------------------------------------------
 
     def execute(self, statement: str):
@@ -137,7 +156,28 @@ class FaultyDialect:
         return rows
 
     def explain(self, statement: str, format: Optional[str] = None, analyze: bool = False) -> ExplainOutput:
-        return self.dialect.explain(statement, format=format, analyze=analyze)
+        output = self.dialect.explain(statement, format=format, analyze=analyze)
+        if analyze:
+            fault = self.bound_fault_for(statement)
+            if fault is not None:
+                # A faulty executor leaks more rows out of an operator than
+                # its proven size bound allows.  Deterministic values keep
+                # campaign reports reproducible across runs.
+                bucket = self._bucket(statement)
+                bound = float(10 + bucket % 90)
+                violation = {
+                    "operator": "Hash Join",
+                    "size_bound": bound,
+                    "actual_rows": int(bound) + 1 + bucket % 1000,
+                }
+                output = ExplainOutput(
+                    dbms=output.dbms,
+                    format=output.format,
+                    text=output.text,
+                    query=output.query,
+                    bound_violations=tuple(output.bound_violations) + (violation,),
+                )
+        return output
 
     def estimated_root_rows(self, statement: str) -> float:
         """Root cardinality estimate, perturbed for performance-fault triggers."""

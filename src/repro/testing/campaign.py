@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dialects import create_dialect
 from repro.pipeline import PlanIngestService
+from repro.testing.bound import SizeBoundChecker
 from repro.testing.bugs import FaultyDialect, KnownBug, bugs_for
 from repro.testing.cert import CardinalityRestrictionTester
 from repro.testing.generator import GeneratorConfig, RandomQueryGenerator
@@ -63,6 +64,10 @@ class CampaignResult:
     queries_generated: int = 0
     unique_plans: int = 0
     cert_pairs_checked: int = 0
+    #: ``EXPLAIN ANALYZE`` queries checked by the intermediate-size-bound
+    #: oracle.  Real DBMSs have no Table V bugs of the "bound" kind, so the
+    #: oracle contributes no reports to a default campaign.
+    bound_queries_checked: int = 0
     #: The union of the per-round structural-fingerprint coverage sets,
     #: including coverage loaded from a persisted store when resuming.
     plan_fingerprints: Set[str] = field(default_factory=set)
@@ -128,16 +133,19 @@ class TestingCampaign:
         seed: int = 1,
         queries_per_dbms: int = 150,
         cert_pairs_per_dbms: int = 60,
+        bound_checks_per_dbms: int = 20,
         persist_to: Optional[str] = None,
         max_rounds: Optional[int] = None,
         prepared_cache: bool = True,
         executor: str = "vectorized",
         decorrelate: bool = True,
+        optimize_joins: bool = True,
     ) -> None:
         self.dbms_names = dbms_names or ["mysql", "postgresql", "tidb"]
         self.seed = seed
         self.queries_per_dbms = queries_per_dbms
         self.cert_pairs_per_dbms = cert_pairs_per_dbms
+        self.bound_checks_per_dbms = bound_checks_per_dbms
         #: Whether the dialects' prepared-query caches are enabled.  The
         #: cache is semantically invisible — a campaign run with it off
         #: produces byte-identical coverage sets and Table V reports (see
@@ -155,6 +163,12 @@ class TestingCampaign:
         #: *plans* — and thus QPG's coverage universe — are not: with
         #: decorrelation on, semi/anti-join operators appear in coverage.
         self.decorrelate = decorrelate
+        #: Whether the planners push predicates below joins and reorder
+        #: multi-way joins cost-based (the PR-8 optimizer).  Like
+        #: ``decorrelate``, the toggle may change *plans* — and thus QPG's
+        #: coverage universe — but never result rows, oracle verdicts, or
+        #: Table V (tests/test_optimizer.py pins the equivalence).
+        self.optimize_joins = optimize_joins
         #: Directory for the durable coverage store; None keeps it in memory.
         self.persist_to = persist_to
         #: Stop (gracefully, between rounds) after this many executed
@@ -176,6 +190,7 @@ class TestingCampaign:
         return (
             f"round:{dbms_name}:{self.seed + index}"
             f":{self.queries_per_dbms}:{self.cert_pairs_per_dbms}"
+            f":{self.bound_checks_per_dbms}"
         )
 
     def _create_dialect(self, dbms_name: str):
@@ -186,6 +201,8 @@ class TestingCampaign:
             dialect.set_executor(self.executor)
         if hasattr(dialect, "set_decorrelate"):
             dialect.set_decorrelate(self.decorrelate)
+        if hasattr(dialect, "set_optimize_joins"):
+            dialect.set_optimize_joins(self.optimize_joins)
         return dialect
 
     def run(
@@ -251,6 +268,7 @@ class TestingCampaign:
             payload = json.load(handle)
         result.queries_generated += payload.get("queries_generated", 0)
         result.cert_pairs_checked += payload.get("cert_pairs_checked", 0)
+        result.bound_queries_checked += payload.get("bound_queries_checked", 0)
         for row in payload.get("reports", []):
             result.reports.append(BugReport(**row))
         result.round_payloads.append((index, payload))
@@ -272,6 +290,7 @@ class TestingCampaign:
                 "reports": len(result.reports),
                 "queries": result.queries_generated,
                 "pairs": result.cert_pairs_checked,
+                "bound_queries": result.bound_queries_checked,
             }
             logic_bugs = bugs_for(dbms_name, "logic")
             performance_bugs = bugs_for(dbms_name, "performance")
@@ -338,6 +357,40 @@ class TestingCampaign:
                         )
                     )
 
+            # --- Bound oracle -------------------------------------------------
+            # Intermediate-size bounds double as a runtime oracle: a correct
+            # engine can never report an actual operator row count above its
+            # proven bound, so any EXPLAIN ANALYZE violation is a bug.  No
+            # real DBMS in Table V has a "bound"-kind bug, so this section
+            # adds zero reports to default campaigns — it exists so seeded
+            # bound faults (tests) surface through the same reporting path.
+            bound_bugs = bugs_for(dbms_name, "bound")
+            bound_generator = RandomQueryGenerator(
+                seed=self.seed + 200 + index, config=GeneratorConfig(max_tables=2)
+            )
+            bound_dialect = FaultyDialect(
+                self._create_dialect(dbms_name),
+                logic_bugs=(),
+                performance_bugs=(),
+                bound_bugs=bound_bugs,
+            )
+            bound_checker = SizeBoundChecker(bound_dialect, bound_generator)
+            bound_statistics = bound_checker.run(queries=self.bound_checks_per_dbms)
+            result.bound_queries_checked += bound_statistics.queries_checked
+            if bound_statistics.violations and bound_bugs:
+                for position, bound_violation in enumerate(bound_statistics.violations):
+                    bug = bound_bugs[min(position, len(bound_bugs) - 1)]
+                    result.reports.append(
+                        BugReport(
+                            dbms=dbms_name,
+                            found_by="Bound",
+                            bug_id=bug.bug_id,
+                            status=bug.status,
+                            severity=bug.severity,
+                            trigger_query=bound_violation.query,
+                        )
+                    )
+
             # The round is complete: persist its results, mark it, and
             # atomically checkpoint the store, so a stop/crash from here on
             # resumes after this round with nothing lost — coverage *and*
@@ -351,6 +404,8 @@ class TestingCampaign:
                 - round_start["queries"],
                 "cert_pairs_checked": result.cert_pairs_checked
                 - round_start["pairs"],
+                "bound_queries_checked": result.bound_queries_checked
+                - round_start["bound_queries"],
             }
             self._persist_round(label, round_payload)
             result.round_payloads.append((index, round_payload))

@@ -22,6 +22,7 @@ if _BENCHMARKS not in sys.path:
 
 import bench_coverage  # noqa: E402
 import bench_executor  # noqa: E402
+import bench_optimizer  # noqa: E402
 import bench_parallel  # noqa: E402
 import run_benchmarks  # noqa: E402
 
@@ -264,3 +265,102 @@ def test_committed_coverage_snapshot_has_multicore_flag():
         snapshot = json.load(handle)
     assert "skipped_multicore" in snapshot
     assert snapshot["skipped_multicore"] == (snapshot["cpus"] < 2)
+
+
+def _fake_optimizer_snapshot(invariants):
+    """A structurally complete optimizer snapshot with canned numbers."""
+    return {
+        "benchmark": "optimizer",
+        "quick": True,
+        "chain_join": {
+            "rows_per_table": 10,
+            "tables": 5,
+            "repeats": 3,
+            "query": "SELECT 1",
+            "optimized_seconds": 0.001,
+            "as_written_seconds": 0.2,
+            "speedup": 200.0,
+            "count": 10,
+            "results_identical": True,
+        },
+        "bound_oracle": {"query": "SELECT 1", "violations": [], "no_violations": True},
+        "corpus_equivalence": {"seed": 1, "queries": 40, "mismatches": 0, "identical": True},
+        "campaign_equivalence": {
+            "queries_per_dbms": 8,
+            "cert_pairs_per_dbms": 3,
+            "unique_plans_optimized": 7,
+            "unique_plans_as_written": 8,
+            "bound_queries_checked": 10,
+            "reports_identical": True,
+        },
+        "tracked": {"chain_join_speedup": 200.0},
+        "invariants": invariants,
+    }
+
+
+_OPTIMIZER_GREEN = {
+    "chain_join_at_least_50x": True,
+    "chain_results_identical": True,
+    "corpus_results_identical": True,
+    "campaign_reports_identical": True,
+    "no_bound_violations": True,
+}
+
+
+@pytest.fixture
+def run_optimizer_only(monkeypatch, tmp_path, capsys):
+    """Run the driver's optimizer section against a patched collector."""
+
+    def run(invariants):
+        monkeypatch.setattr(
+            bench_optimizer,
+            "collect_snapshot",
+            lambda quick=False: _fake_optimizer_snapshot(invariants),
+        )
+        output = tmp_path / "BENCH_optimizer.json"
+        code = run_benchmarks.main(
+            ["--only", "optimizer", "--optimizer-output", str(output)]
+        )
+        captured = capsys.readouterr()
+        return code, json.loads(output.read_text()), captured
+
+    return run
+
+
+def test_optimizer_green_flags_exit_zero(run_optimizer_only):
+    code, written, captured = run_optimizer_only(dict(_OPTIMIZER_GREEN))
+    assert code == 0
+    assert "INVARIANTS VIOLATED" not in captured.err
+    assert all(written["invariants"].values())
+
+
+@pytest.mark.parametrize(
+    "broken",
+    [
+        "chain_join_at_least_50x",
+        "chain_results_identical",
+        "corpus_results_identical",
+        "campaign_reports_identical",
+        "no_bound_violations",
+    ],
+)
+def test_optimizer_false_invariant_exits_nonzero(run_optimizer_only, broken):
+    flags = dict(_OPTIMIZER_GREEN)
+    flags[broken] = False
+    code, written, captured = run_optimizer_only(flags)
+    assert code == 1
+    assert "OPTIMIZER INVARIANTS VIOLATED" in captured.err
+    assert written["invariants"][broken] is False
+
+
+def test_committed_optimizer_snapshot_invariants_all_hold():
+    """The checked-in BENCH_optimizer.json must never ship with red flags."""
+    path = os.path.join(os.path.dirname(_BENCHMARKS), "BENCH_optimizer.json")
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    assert snapshot["invariants"], "snapshot carries no invariants"
+    assert all(snapshot["invariants"].values()), snapshot["invariants"]
+    # The tentpole acceptance number: the committed (full-mode) snapshot
+    # must record the ≥ 50x chain-join win, measured, not gated away.
+    assert snapshot["quick"] is False
+    assert snapshot["chain_join"]["speedup"] >= 50.0
