@@ -35,9 +35,15 @@ Seven snapshots are written:
 * ``BENCH_optimizer.json`` — cost-based multi-join optimization vs the
   as-written plan oracle (the five-table chain join must win by ≥ 50x
   with identical results), the corpus/campaign toggle-equivalence flags,
-  and the intermediate-size-bound oracle check.
+  and the intermediate-size-bound oracle check;
+* ``BENCH_service.json`` — the query service under eight concurrent
+  clients: read throughput vs single-client serial with p50/p99 latency
+  (the ≥ 2.5x floor only on ≥ 4-CPU full-size runs, mirroring the
+  parallel snapshot's gating), plus the always-enforced isolation,
+  linearizable-DDL, zero-leakage, and campaign-through-service
+  byte-identity flags.
 
-``--only pipeline|coverage|campaign|executor|decorrelate|parallel|optimizer``
+``--only pipeline|coverage|campaign|executor|decorrelate|parallel|optimizer|service``
 restricts the run to one snapshot.
 ``--quick`` shrinks the corpora so the whole driver finishes in seconds —
 that is the mode CI smoke-runs.  The tier-1 test suite the snapshots should
@@ -73,6 +79,7 @@ import bench_executor  # noqa: E402
 import bench_optimizer  # noqa: E402
 import bench_parallel  # noqa: E402
 import bench_pipeline  # noqa: E402
+import bench_service  # noqa: E402
 
 
 def _time_ingest(batched: bool, raws, repeats: int = 5) -> dict:
@@ -182,6 +189,11 @@ def main(argv=None) -> int:
         help="where to write the optimizer perf snapshot (default: repo root)",
     )
     parser.add_argument(
+        "--service-output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_service.json"),
+        help="where to write the service perf snapshot (default: repo root)",
+    )
+    parser.add_argument(
         "--only",
         choices=[
             "pipeline",
@@ -191,9 +203,10 @@ def main(argv=None) -> int:
             "decorrelate",
             "parallel",
             "optimizer",
+            "service",
         ],
         default=None,
-        help="run just one snapshot instead of all seven",
+        help="run just one snapshot instead of all eight",
     )
     parser.add_argument(
         "--quick",
@@ -375,6 +388,34 @@ def main(argv=None) -> int:
             print(
                 "OPTIMIZER INVARIANTS VIOLATED:",
                 optimizer_snapshot["invariants"],
+                file=sys.stderr,
+            )
+            violated = True
+
+    if args.only in (None, "service"):
+        service_snapshot = bench_service.collect_snapshot(quick=args.quick)
+        write_snapshot(service_snapshot, args.service_output)
+        throughput = service_snapshot["read_throughput"]
+        print(
+            "service: {} concurrent clients {:.2f}x vs single-client serial "
+            "on {} cpu(s) (p50 {:.1f} ms, p99 {:.1f} ms); isolation={} "
+            "ddl_linearizable={} zero_leakage={} campaign identical: {}".format(
+                throughput["clients"],
+                throughput["speedup"],
+                service_snapshot["cpus"],
+                throughput["concurrent"]["p50_ms"],
+                throughput["concurrent"]["p99_ms"],
+                service_snapshot["isolation"]["consistent"],
+                service_snapshot["ddl_and_leakage"]["ddl_linearizable"],
+                service_snapshot["ddl_and_leakage"]["zero_leakage"],
+                service_snapshot["campaign_equivalence"]["identical"],
+            )
+        )
+        service_invariants = dict(service_snapshot["invariants"])
+        service_invariants.pop("scaling_gated", None)  # informational
+        if not all(service_invariants.values()):
+            print(
+                "SERVICE INVARIANTS VIOLATED:", service_snapshot["invariants"],
                 file=sys.stderr,
             )
             violated = True

@@ -4,17 +4,65 @@ A :class:`Database` is the storage-and-catalog substrate shared by the
 simulated relational DBMSs.  Each dialect owns its own ``Database`` instance,
 so mutations issued against one simulated DBMS do not affect another — exactly
 as with separate real installations.
+
+Since the serving layer (PR 9) one database may be read by many sessions at
+once.  The concurrency contract lives here:
+
+* :attr:`Database.gate` is a writer-preferring readers-writer gate.  The
+  service runs read-only statements under shared access and DDL/DML under
+  exclusive access, which makes writes linearizable without serializing
+  reads against each other.
+* :meth:`Database.bump_version` is lock-guarded, so the version is a true
+  monotonic counter even when mutators race (they should not, under the
+  gate — the lock makes the invariant independent of caller discipline).
+* :meth:`Database.pin_view` captures a :class:`DatabaseView` — an immutable
+  ``{table name → TableSnapshot}`` mapping at one version.  A statement that
+  pinned a view reads only those snapshots; later writers replace the
+  table's cached snapshot rather than mutating it, so the pinned view stays
+  valid by reference-holding (MVCC without a retention policy).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.catalog.schema import Column, DataType, Index, TableSchema
 from repro.catalog.statistics import TableStatistics, collect_table_statistics
+from repro.core.concurrency import ReadWriteGate
 from repro.errors import CatalogError
 from repro.storage.index import OrderedIndex
-from repro.storage.table import HeapTable, Row
+from repro.storage.table import HeapTable, Row, TableSnapshot
+
+
+class DatabaseView:
+    """An immutable read view of a database pinned at one catalog version.
+
+    The view holds direct references to the :class:`TableSnapshot` objects
+    that existed at pin time; snapshots are never mutated in place, so the
+    view keeps serving version-consistent data even while writers advance
+    the live database underneath it.
+    """
+
+    __slots__ = ("version", "_snapshots")
+
+    def __init__(self, version: int, snapshots: Dict[str, TableSnapshot]) -> None:
+        self.version = version
+        self._snapshots = snapshots
+
+    def get(self, table_name: str) -> Optional[TableSnapshot]:
+        """Return the pinned snapshot for *table_name* (``None`` if absent)."""
+        return self._snapshots.get(table_name.lower())
+
+    def table_names(self) -> List[str]:
+        """The lower-cased names of every table captured in the view."""
+        return list(self._snapshots)
+
+    def __contains__(self, table_name: str) -> bool:
+        return table_name.lower() in self._snapshots
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DatabaseView(version={self.version}, tables={len(self._snapshots)})"
 
 
 class Database:
@@ -31,6 +79,12 @@ class Database:
         #: bumps it.  The prepared-query cache keys plans by this number, so
         #: a mutated database can never serve a stale plan.
         self._version = 0
+        self._version_lock = threading.Lock()
+        #: Readers-writer gate for the serving layer: read-only statements
+        #: hold it shared, DDL/DML hold it exclusively.  Embedded (direct
+        #: dialect) use never touches it, so single-threaded callers pay
+        #: nothing.
+        self.gate = ReadWriteGate()
 
     @property
     def version(self) -> int:
@@ -38,9 +92,31 @@ class Database:
         return self._version
 
     def bump_version(self) -> int:
-        """Advance the catalog version, invalidating cached prepared plans."""
-        self._version += 1
-        return self._version
+        """Advance the catalog version, invalidating cached prepared plans.
+
+        Guarded by a lock: ``+= 1`` on a plain attribute is a
+        read-modify-write race, and the version doubles as the snapshot-
+        isolation timestamp, so two racing bumps must never collapse into
+        one.
+        """
+        with self._version_lock:
+            self._version += 1
+            return self._version
+
+    def pin_view(self) -> DatabaseView:
+        """Capture a :class:`DatabaseView` of every table at the current version.
+
+        Intended to be called while holding :attr:`gate` in shared mode (or
+        from a single-threaded caller): the version cannot move mid-capture,
+        so all snapshots in the view belong to one version.  Snapshot builds
+        are cached per table, so repeated pins at an unchanged version reuse
+        the same :class:`TableSnapshot` objects.
+        """
+        version = self._version
+        snapshots = {
+            key: table.column_batch(version) for key, table in self._tables.items()
+        }
+        return DatabaseView(version, snapshots)
 
     # -- DDL ------------------------------------------------------------------------
 
@@ -288,3 +364,87 @@ class Database:
             replica.insert_rows(table.schema.name, [dict(row) for row in table.rows()])
         replica.analyze()
         return replica
+
+    # -- serialization (process replicas) ---------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Return a picklable description of the database at its current version.
+
+        The service's process-dispatch mode ships this to read workers, which
+        rebuild an equivalent database with :meth:`from_payload`.  Only
+        catalog-visible state travels: schemas, rows, and secondary indexes
+        (primary indexes and statistics are re-derived on the other side).
+        """
+        tables = []
+        for table in self._tables.values():
+            schema = table.schema
+            tables.append(
+                {
+                    "name": schema.name,
+                    "columns": [
+                        {
+                            "name": column.name,
+                            "data_type": column.data_type.name,
+                            "nullable": column.nullable,
+                            "primary_key": column.primary_key,
+                            "unique": column.unique,
+                            "default": column.default,
+                        }
+                        for column in schema.columns
+                    ],
+                    "rows": [dict(row) for row in table.rows()],
+                }
+            )
+        indexes = [
+            {
+                "name": index.definition.name,
+                "table": index.definition.table_name,
+                "columns": list(index.definition.columns),
+                "unique": index.definition.unique,
+            }
+            for index in self._indexes.values()
+            if not index.definition.primary
+        ]
+        return {
+            "name": self.name,
+            "version": self._version,
+            "tables": tables,
+            "indexes": indexes,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Database":
+        """Rebuild a database from :meth:`to_payload` output.
+
+        The replica's tables, rows, indexes, and statistics match the source;
+        its :attr:`version` is forced to the payload's version so prepared
+        plans keyed on it line up across processes.
+        """
+        database = cls(payload["name"])
+        for spec in payload["tables"]:
+            database.create_table(
+                TableSchema(
+                    name=spec["name"],
+                    columns=[
+                        Column(
+                            name=column["name"],
+                            data_type=DataType[column["data_type"]],
+                            nullable=column["nullable"],
+                            primary_key=column["primary_key"],
+                            unique=column["unique"],
+                            default=column["default"],
+                        )
+                        for column in spec["columns"]
+                    ],
+                )
+            )
+        for spec in payload["indexes"]:
+            database.create_index(
+                spec["name"], spec["table"], spec["columns"], spec["unique"]
+            )
+        for spec in payload["tables"]:
+            if spec["rows"]:
+                database.insert_rows(spec["name"], [dict(row) for row in spec["rows"]])
+        database.analyze()
+        database._version = payload["version"]
+        return database

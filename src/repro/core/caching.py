@@ -4,14 +4,25 @@ The converter hub keys conversions by ``(dbms, format, source-hash)`` and the
 ingestion service observes its hit/miss counters, so the cache exposes its
 statistics as first-class data rather than hiding them the way
 ``functools.lru_cache`` does.
+
+Since the serving layer (PR 9) the cache is built for **concurrent readers**:
+a ``get`` never blocks.  The uncontended path takes the lock with a
+non-blocking acquire and runs the classic locked hit (allocation-free); when
+another thread holds the lock, the reader falls back to a bare dictionary
+probe — atomic under the GIL — and defers its recency touch and counter
+update into a pending queue (``deque.append`` is atomic) that the next lock
+holder drains.  Hits therefore never serialize behind a writer or behind each
+other, while the hit/miss counters stay *exact*: every lookup is counted
+exactly once, merely sometimes a moment later.  Reading :attr:`LRUCache.stats`
+drains the queue first, so observers always see settled numbers.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Deque, Dict, Hashable, Optional, Tuple
 
 _MISSING = object()
 
@@ -50,52 +61,110 @@ class CacheStats:
 class LRUCache:
     """A bounded mapping with least-recently-used eviction and statistics.
 
-    All operations take an internal lock, so one cache instance may be shared
-    by the ingestion service's worker threads.
+    One cache instance may be shared by any number of threads: mutations are
+    lock-guarded, and lookups never block (see the module docstring for the
+    deferred-touch design).  Values handed out on the contended read path may
+    momentarily outlive their eviction — callers already treat cached values
+    as shared immutable objects, so a just-evicted value is still a valid
+    answer.
     """
 
     def __init__(self, maxsize: int = 1024) -> None:
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
-        self.stats = CacheStats()
+        self._stats = CacheStats()
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
+        #: Lookups recorded by readers that found the lock contended:
+        #: ``(key, was_hit)`` pairs folded into the recency list and the
+        #: counters by the next thread that takes the lock.
+        self._pending: Deque[Tuple[Hashable, bool]] = deque()
+
+    # -- deferred bookkeeping -----------------------------------------------------
+
+    def _drain_pending_locked(self) -> None:
+        """Fold deferred lookups in.  Caller must hold ``self._lock``."""
+        pending = self._pending
+        entries = self._entries
+        stats = self._stats
+        while pending:
+            try:
+                key, was_hit = pending.popleft()
+            except IndexError:  # pragma: no cover - appends are concurrent
+                break
+            if was_hit:
+                stats.hits += 1
+                if key in entries:
+                    entries.move_to_end(key)
+            else:
+                stats.misses += 1
+
+    @property
+    def stats(self) -> CacheStats:
+        """The live counters, with any deferred lookups folded in first."""
+        if self._pending:
+            with self._lock:
+                self._drain_pending_locked()
+        return self._stats
+
+    # -- mapping operations -------------------------------------------------------
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        """Return the cached value for *key*, refreshing its recency."""
-        with self._lock:
-            value = self._entries.get(key, _MISSING)
-            if value is _MISSING:
-                self.stats.misses += 1
-                return default
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return value
+        """Return the cached value for *key*, refreshing its recency.
+
+        Never blocks: when the lock is contended the value is read straight
+        from the dictionary (atomic under the GIL) and the recency touch and
+        counter update are deferred to the next lock holder.
+        """
+        lock = self._lock
+        if lock.acquire(False):
+            try:
+                if self._pending:
+                    self._drain_pending_locked()
+                value = self._entries.get(key, _MISSING)
+                if value is _MISSING:
+                    self._stats.misses += 1
+                    return default
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return value
+            finally:
+                lock.release()
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self._pending.append((key, False))
+            return default
+        self._pending.append((key, True))
+        return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh *key*, evicting the oldest entry when full."""
         with self._lock:
+            self._drain_pending_locked()
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._entries[key] = value
                 return
             if len(self._entries) >= self.maxsize:
                 self._entries.popitem(last=False)
-                self.stats.evictions += 1
+                self._stats.evictions += 1
             self._entries[key] = value
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        with self._lock:
-            return key in self._entries
+        # A bare dictionary probe is atomic under the GIL; membership tests
+        # are not lookups, so nothing needs deferring.
+        return key in self._entries
 
     def clear(self, reset_stats: bool = False) -> None:
         """Drop every entry; optionally reset the counters as well."""
         with self._lock:
             self._entries.clear()
             if reset_stats:
-                self.stats = CacheStats()
+                self._pending.clear()
+                self._stats = CacheStats()
+            else:
+                self._drain_pending_locked()

@@ -38,6 +38,12 @@ Row = Dict[str, object]
 class Executor:
     """Executes physical plans against a database."""
 
+    #: Optional pinned :class:`~repro.catalog.database.DatabaseView` set by
+    #: the serving layer for snapshot-isolated reads.  The row executor scans
+    #: the live heap and ignores it (it is the semantics oracle and only ever
+    #: runs under exclusive access); the vectorized executor honors it.
+    snapshot_view = None
+
     def __init__(self, database: Database, planner: Optional[object] = None) -> None:
         self.database = database
         # The planner is only needed to plan subqueries found in expressions;

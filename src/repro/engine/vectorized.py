@@ -333,10 +333,27 @@ class VectorizedExecutor(Executor):
 
     # ------------------------------------------------------------------ producers
 
+    def _table_snapshot(self, table):
+        """The columnar snapshot scans read from.
+
+        With a pinned :class:`~repro.catalog.database.DatabaseView` installed
+        (the serving layer's snapshot isolation), scans read the view's
+        snapshot of the table — the version the statement was planned
+        against — even if writers have advanced the live database since.
+        Without a view, behavior is unchanged: the table's cached snapshot
+        at the current version.
+        """
+        view = self.snapshot_view
+        if view is not None:
+            snapshot = view.get(table.schema.name)
+            if snapshot is not None:
+                return snapshot
+        return table.column_batch(self.database.version)
+
     def _batch_seq_scan(self, node: PhysicalNode, analyze: bool) -> List[RowBatch]:
         table = self.database.table(node.info["table"])
         alias = node.info.get("alias") or node.info["table"]
-        snapshot = table.column_batch(self.database.version)
+        snapshot = self._table_snapshot(table)
         prefix = alias + "."
         base = RowBatch(
             {prefix + name: values for name, values in snapshot.columns.items()},
@@ -366,7 +383,7 @@ class VectorizedExecutor(Executor):
                 row_id
                 for _, row_id in index.range_scan(low, high, include_low, include_high)
             ]
-        snapshot = table.column_batch(self.database.version)
+        snapshot = self._table_snapshot(table)
         try:
             positions = [snapshot.position_of(row_id) for row_id in row_ids]
         except KeyError as exc:

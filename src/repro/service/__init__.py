@@ -1,0 +1,34 @@
+"""The multi-tenant asyncio query service (PR 9).
+
+An :mod:`asyncio` front end over the thread-safe dialect core: sessions,
+per-tenant catalogs, prepared statements, cancellation, and EXPLAIN
+passthrough, over a length-prefixed JSON wire protocol.  Read-only
+statements run concurrently with snapshot isolation; DDL/DML is
+linearizable.  See ``README.md`` ("Serving") and the "Service layer"
+invariants block in ``ROADMAP.md``.
+"""
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceDialect,
+    ServiceError,
+    ServiceSession,
+    StatementCancelled,
+)
+from repro.service.protocol import MAX_MESSAGE_BYTES, FrameDecoder, ProtocolError
+from repro.service.server import QueryService
+from repro.service.tenants import TenantCatalog, TenantRegistry
+
+__all__ = [
+    "QueryService",
+    "ServiceClient",
+    "ServiceSession",
+    "ServiceDialect",
+    "ServiceError",
+    "StatementCancelled",
+    "TenantCatalog",
+    "TenantRegistry",
+    "FrameDecoder",
+    "ProtocolError",
+    "MAX_MESSAGE_BYTES",
+]

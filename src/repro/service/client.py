@@ -1,0 +1,221 @@
+"""Blocking client for the query service, plus the campaign adapter.
+
+:class:`ServiceClient` owns one socket and is **not** thread-safe — give
+each client thread its own instance (sessions are addressable from any
+connection, so a second client can cancel a statement the first is blocked
+on).
+
+:class:`ServiceDialect` adapts a session to the dialect surface the testing
+oracles use (``name`` / ``execute`` / ``explain`` / ``analyze_tables`` /
+``estimated_root_rows`` / ``database.index_names``), which is what lets a
+whole :class:`~repro.testing.campaign.TestingCampaign` run through a
+loopback service — byte-identically to the direct-dialect run, because JSON
+round-trips every value exactly and the server executes the very same
+stack.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dialects.base import ExplainOutput
+from repro.errors import ReproError
+from repro.service import protocol
+
+
+class ServiceError(ReproError):
+    """A request failed on the server; carries the remote error identity."""
+
+    def __init__(self, remote_type: str, remote_message: str) -> None:
+        super().__init__(f"{remote_type}: {remote_message}")
+        self.remote_type = remote_type
+        self.remote_message = remote_message
+
+
+class StatementCancelled(ServiceError):
+    """The in-flight statement was cancelled (usually by another connection)."""
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.QueryService`."""
+
+    def __init__(self, address: Tuple[str, int], timeout: Optional[float] = 60.0) -> None:
+        self.address = (address[0], address[1])
+        self._sock = socket.create_connection(self.address, timeout=timeout)
+        self._request_counter = 0
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and return the response payload.
+
+        Raises :class:`StatementCancelled` / :class:`ServiceError` when the
+        server reports a failure.
+        """
+        self._request_counter += 1
+        message = {"op": op, "id": self._request_counter}
+        message.update(fields)
+        protocol.send_message(self._sock, message)
+        while True:
+            response = protocol.recv_message(self._sock)
+            if response is None:
+                raise ServiceError("ConnectionClosed", "server closed the connection")
+            # Requests on one connection are answered in order; id echo is a
+            # sanity check, not a demultiplexer.
+            if response.get("id") in (None, message["id"]):
+                break
+        if response.get("ok"):
+            return response
+        error = response.get("error", {})
+        remote_type = error.get("type", "ServiceError")
+        remote_message = error.get("message", "")
+        if response.get("cancelled") or remote_type == "StatementCancelled":
+            raise StatementCancelled(remote_type, remote_message)
+        raise ServiceError(remote_type, remote_message)
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def open_session(
+        self,
+        dbms: str,
+        tenant: str = "default",
+        options: Optional[Dict[str, Any]] = None,
+    ) -> "ServiceSession":
+        """Open a session bound to *tenant*'s *dbms* dialect."""
+        response = self.request("open", dbms=dbms, tenant=tenant, options=options or {})
+        return ServiceSession(self, response["session"], response["dbms"], tenant)
+
+    def cancel(self, session_id: str) -> bool:
+        """Ask the server to cancel *session_id*'s in-flight statement."""
+        return bool(self.request("cancel", session=session_id).get("delivered"))
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServiceSession:
+    """One server-side session, driven through a client connection."""
+
+    def __init__(self, client: ServiceClient, session_id: str, dbms: str, tenant: str) -> None:
+        self.client = client
+        self.id = session_id
+        self.dbms = dbms
+        self.tenant = tenant
+
+    def execute(self, sql: str, delay_ms: int = 0) -> List[Dict[str, Any]]:
+        """Execute SQL, returning result rows."""
+        fields: Dict[str, Any] = {"session": self.id, "sql": sql}
+        if delay_ms:
+            fields["delay_ms"] = delay_ms
+        return self.client.request("execute", **fields)["rows"]
+
+    def explain(
+        self, sql: str, format: Optional[str] = None, analyze: bool = False
+    ) -> ExplainOutput:
+        """EXPLAIN passthrough: the server's plan text, as an ExplainOutput."""
+        fields: Dict[str, Any] = {"session": self.id, "sql": sql, "analyze": analyze}
+        if format is not None:
+            fields["format"] = format
+        response = self.client.request("explain", **fields)
+        return ExplainOutput(
+            dbms=response["dbms"],
+            format=response["format"],
+            text=response["text"],
+            query=response["query"],
+            bound_violations=tuple(response["bound_violations"]),
+        )
+
+    def estimate(self, sql: str) -> float:
+        """The planner's root-cardinality estimate for *sql*."""
+        return float(self.client.request("estimate", session=self.id, sql=sql)["rows"])
+
+    def prepare(self, sql: str) -> str:
+        """Prepare *sql*, returning a statement handle."""
+        return self.client.request("prepare", session=self.id, sql=sql)["statement"]
+
+    def execute_prepared(self, handle: str) -> List[Dict[str, Any]]:
+        """Execute a prepared statement by handle."""
+        return self.client.request("execute_prepared", session=self.id, statement=handle)["rows"]
+
+    def analyze_tables(self) -> None:
+        """Refresh optimizer statistics for every table of the session's DBMS."""
+        self.client.request("analyze", session=self.id)
+
+    def reset(self) -> None:
+        """Drop every table of the session's DBMS."""
+        self.client.request("reset", session=self.id)
+
+    def catalog(self) -> Dict[str, Any]:
+        """Table names, index names, and catalog version."""
+        response = self.client.request("catalog", session=self.id)
+        return {
+            "tables": response["tables"],
+            "indexes": response["indexes"],
+            "version": response["version"],
+        }
+
+    def cancel_from_new_connection(self) -> bool:
+        """Cancel this session's in-flight statement via a fresh connection.
+
+        The session's own connection is blocked waiting for the statement's
+        response, so cancellation must travel out-of-band.
+        """
+        with ServiceClient(self.client.address) as side_channel:
+            return side_channel.cancel(self.id)
+
+    def close(self) -> None:
+        self.client.request("close", session=self.id)
+
+
+class _RemoteCatalog:
+    """The minimal ``dialect.database`` surface the oracles touch."""
+
+    def __init__(self, session: ServiceSession) -> None:
+        self._session = session
+
+    def index_names(self) -> List[str]:
+        return self._session.catalog()["indexes"]
+
+    def table_names(self) -> List[str]:
+        return self._session.catalog()["tables"]
+
+    @property
+    def version(self) -> int:
+        return self._session.catalog()["version"]
+
+
+class ServiceDialect:
+    """A remote session presented as a dialect (for the testing campaign).
+
+    Only the surface the oracles use is implemented; anything else is an
+    AttributeError by design — the adapter must never silently run work
+    locally that the campaign expects to run on the server.
+    """
+
+    def __init__(self, session: ServiceSession) -> None:
+        self.session = session
+        self.name = session.dbms
+        self.database = _RemoteCatalog(session)
+
+    def execute(self, statement: str) -> List[Dict[str, Any]]:
+        return self.session.execute(statement)
+
+    def explain(
+        self, statement: str, format: Optional[str] = None, analyze: bool = False
+    ) -> ExplainOutput:
+        return self.session.explain(statement, format=format, analyze=analyze)
+
+    def estimated_root_rows(self, statement: str) -> float:
+        return self.session.estimate(statement)
+
+    def analyze_tables(self) -> None:
+        self.session.analyze_tables()

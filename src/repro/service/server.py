@@ -1,0 +1,490 @@
+"""The asyncio query service.
+
+One :class:`QueryService` owns a TCP endpoint, a tenant registry, and a
+worker-thread pool.  The asyncio loop (running on a dedicated background
+thread, so the service embeds in synchronous programs and tests) only does
+I/O and coordination; every statement executes on a worker thread running
+the ordinary dialect stack.
+
+Concurrency contract (the "Service layer" invariants in ROADMAP.md):
+
+* **Statement classification** — a request is *read-only* iff every parsed
+  statement is a ``SELECT`` or a plain ``EXPLAIN`` (no ``ANALYZE``;
+  ``EXPLAIN ANALYZE`` executes the plan and mutates shared runtime
+  counters, so it classifies as a write).
+* **Gate discipline** — read-only statements hold the database's
+  :class:`~repro.core.concurrency.ReadWriteGate` shared; everything else
+  holds it exclusively.  The gate prefers writers, so DDL is linearizable
+  under any read load.
+* **Snapshot isolation** — before executing, a read-only statement pins a
+  :class:`~repro.catalog.database.DatabaseView` at the version it will plan
+  against; the vectorized executor reads only that view's snapshots.
+  Writers replace snapshots, never mutate them, so a pinned view cannot see
+  torn state.  (The planner's lazy auto-analyze may bump the version during
+  a read — it recomputes statistics from the same rows and is the one
+  benign write allowed under the shared gate.)
+* **Sessions** — statements of one session execute in submission order (a
+  per-session lock), matching single-connection semantics even when the
+  session is addressed from several connections.  Sessions of one tenant
+  share that tenant's dialects (and databases); sessions of different
+  tenants share nothing.
+* **Cancellation** — ``cancel`` (typically sent on a second connection) is
+  cooperative: it flags the session's in-flight statement, which aborts at
+  its next check; a statement past its last check completes but its result
+  is discarded and the client still sees ``StatementCancelled``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.concurrency import AtomicCounter
+from repro.service import protocol
+from repro.service.replica import ProcessReadPool
+from repro.service.tenants import TenantCatalog, TenantRegistry
+from repro.sqlparser import ast_nodes as ast
+
+
+class StatementCancelled(Exception):
+    """The statement was cancelled before (or while) it ran."""
+
+
+class _Session:
+    """Server-side session state."""
+
+    def __init__(self, session_id: str, catalog: TenantCatalog, dialect) -> None:
+        self.id = session_id
+        self.catalog = catalog
+        self.dialect = dialect
+        #: Serializes the session's statements (submission order).
+        self.lock = asyncio.Lock()
+        #: Set by ``cancel``; checked by the in-flight statement.
+        self.cancel_event = threading.Event()
+        #: Whether a statement is currently executing (targets for cancel).
+        self.inflight = False
+        #: Prepared statements: handle -> SQL text.  Plans are cached by the
+        #: dialect's prepared-query cache; the handle just pins the text.
+        self.prepared: Dict[str, str] = {}
+        self._prepared_counter = 0
+
+    def next_prepared_handle(self) -> str:
+        self._prepared_counter += 1
+        return f"{self.id}/p{self._prepared_counter}"
+
+
+def _is_read_only(statements) -> bool:
+    """Whether every parsed statement can run under the shared gate."""
+    for parsed in statements:
+        if isinstance(parsed, ast.SelectStatement):
+            continue
+        if isinstance(parsed, ast.Explain) and not parsed.analyze:
+            # Plain EXPLAIN only plans; EXPLAIN ANALYZE executes (and for
+            # DML would mutate), so it falls through to the write side.
+            continue
+        return False
+    return True
+
+
+class QueryService:
+    """A multi-tenant query service over the simulated dialect stack."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 8,
+        read_dispatch: str = "thread",
+        process_workers: int = 2,
+        registry: Optional[TenantRegistry] = None,
+    ) -> None:
+        if read_dispatch not in ("thread", "process"):
+            raise ValueError("read_dispatch must be 'thread' or 'process'")
+        self._host = host
+        self._port = port
+        self._registry = registry if registry is not None else TenantRegistry()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._read_dispatch = read_dispatch
+        self._process_pool: Optional[ProcessReadPool] = None
+        if read_dispatch == "process":
+            self._process_pool = ProcessReadPool(workers=process_workers)
+        self._sessions: Dict[str, _Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._session_counter = AtomicCounter()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        #: ``(host, port)`` once the listener is bound.
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "QueryService":
+        """Bind the listener and serve on a background thread."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-service-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the pools (idempotent)."""
+        loop = self._loop
+        if loop is not None and self._shutdown is not None and loop.is_running():
+            loop.call_soon_threadsafe(self._shutdown.set)
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._pool.shutdown(wait=True)
+        if self._process_pool is not None:
+            self._process_pool.close()
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        finally:
+            loop.close()
+
+    async def _serve(self) -> None:
+        self._shutdown = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, self._host, self._port
+            )
+        except BaseException as exc:  # noqa: BLE001 - reported to start()
+            self._startup_error = exc
+            self._started.set()
+            return
+        self.address = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    # -- connection handling ------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                length = int.from_bytes(header, "big")
+                if length > protocol.MAX_MESSAGE_BYTES:
+                    break
+                try:
+                    payload = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                try:
+                    request = protocol.decode_payload(payload)
+                except protocol.ProtocolError:
+                    break
+                response = await self._handle_request(request)
+                writer.write(protocol.encode_message(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            writer.close()
+
+    async def _handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = request.get("id")
+        try:
+            payload = await self._dispatch(request)
+            response = {"ok": True}
+            response.update(payload)
+        except StatementCancelled as exc:
+            response = {
+                "ok": False,
+                "cancelled": True,
+                "error": {"type": "StatementCancelled", "message": str(exc)},
+            }
+        except Exception as exc:  # noqa: BLE001 - the wire carries the error
+            remote_type = getattr(exc, "remote_type", None) or type(exc).__name__
+            response = {
+                "ok": False,
+                "error": {"type": remote_type, "message": str(exc)},
+            }
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return {"pong": True}
+        if op == "open":
+            return self._op_open(request)
+        if op == "cancel":
+            return self._op_cancel(request)
+        session = self._session(request)
+        if op == "close":
+            with self._sessions_lock:
+                self._sessions.pop(session.id, None)
+            return {"closed": True}
+        if op == "execute":
+            return await self._op_execute(session, request)
+        if op == "execute_prepared":
+            handle = request["statement"]
+            try:
+                sql = session.prepared[handle]
+            except KeyError:
+                raise KeyError(f"unknown prepared statement {handle!r}")
+            return await self._op_execute(session, dict(request, sql=sql))
+        if op == "prepare":
+            # Parse eagerly so a bad statement fails at prepare time, and so
+            # the AST is already cached when the statement first executes.
+            session.dialect.prepared.parse(request["sql"])
+            handle = session.next_prepared_handle()
+            session.prepared[handle] = request["sql"]
+            return {"statement": handle}
+        if op == "explain":
+            return await self._op_explain(session, request)
+        if op == "estimate":
+            return await self._op_estimate(session, request)
+        if op == "analyze":
+            await self._run_statement(
+                session, lambda: session.dialect.analyze_tables(), read_only=False
+            )
+            return {"analyzed": True}
+        if op == "reset":
+            await self._run_statement(
+                session, lambda: session.dialect.reset(), read_only=False
+            )
+            return {"reset": True}
+        if op == "catalog":
+            return await self._op_catalog(session)
+        raise ValueError(f"unknown op {op!r}")
+
+    # -- session management -------------------------------------------------------
+
+    def _op_open(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        tenant_name = request.get("tenant", "default")
+        dbms_name = request["dbms"]
+        catalog = self._registry.catalog(tenant_name)
+        dialect = catalog.dialect(dbms_name, request.get("options"))
+        session_id = f"s{self._session_counter.increment()}"
+        session = _Session(session_id, catalog, dialect)
+        with self._sessions_lock:
+            self._sessions[session_id] = session
+        return {"session": session_id, "tenant": tenant_name, "dbms": dialect.name}
+
+    def _session(self, request: Dict[str, Any]) -> _Session:
+        session_id = request.get("session")
+        with self._sessions_lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise KeyError(f"unknown session {session_id!r}")
+        return session
+
+    def _op_cancel(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        # Deliberately does NOT take the session lock: cancel must overtake
+        # the statement it targets, not queue behind it.
+        session = self._session(request)
+        delivered = session.inflight
+        if delivered:
+            session.cancel_event.set()
+        return {"delivered": delivered}
+
+    # -- statement execution ------------------------------------------------------
+
+    async def _op_execute(self, session: _Session, request: Dict[str, Any]) -> Dict[str, Any]:
+        sql = request["sql"]
+        delay_ms = int(request.get("delay_ms", 0))
+        _, statements = session.dialect.prepared.parse(sql)
+        read_only = _is_read_only(statements)
+        if (
+            read_only
+            and self._process_pool is not None
+            and not any(isinstance(parsed, ast.Explain) for parsed in statements)
+        ):
+            rows = await self._run_statement(
+                session,
+                lambda: self._execute_on_replica(session, sql),
+                read_only=True,
+                delay_ms=delay_ms,
+                pin_view=False,
+            )
+        else:
+            rows = await self._run_statement(
+                session,
+                lambda: session.dialect.execute(sql),
+                read_only=read_only,
+                delay_ms=delay_ms,
+            )
+        return {"rows": rows, "read_only": read_only}
+
+    async def _op_explain(self, session: _Session, request: Dict[str, Any]) -> Dict[str, Any]:
+        sql = request["sql"]
+        format_name = request.get("format")
+        analyze = bool(request.get("analyze", False))
+        _, statements = session.dialect.prepared.parse(sql)
+        read_only = not analyze and _is_read_only(statements)
+
+        def work():
+            output = session.dialect.explain(sql, format=format_name, analyze=analyze)
+            return {
+                "dbms": output.dbms,
+                "format": output.format,
+                "text": output.text,
+                "query": output.query,
+                "bound_violations": [dict(item) for item in output.bound_violations],
+            }
+
+        return await self._run_statement(session, work, read_only=read_only)
+
+    async def _op_estimate(self, session: _Session, request: Dict[str, Any]) -> Dict[str, Any]:
+        sql = request["sql"]
+
+        def work():
+            from repro.sqlparser.parser import parse_one
+
+            physical = session.dialect.planner.plan_statement(parse_one(sql))
+            return {"rows": max(physical.estimated_rows, 1.0)}
+
+        return await self._run_statement(session, work, read_only=True, pin_view=False)
+
+    async def _op_catalog(self, session: _Session) -> Dict[str, Any]:
+        def work():
+            database = session.dialect.database
+            return {
+                "tables": sorted(database.table_names()),
+                "indexes": list(database.index_names()),
+                "version": database.version,
+            }
+
+        return await self._run_statement(session, work, read_only=True, pin_view=False)
+
+    async def _run_statement(
+        self,
+        session: _Session,
+        work,
+        read_only: bool,
+        delay_ms: int = 0,
+        pin_view: bool = True,
+    ):
+        """Run *work* on the thread pool under the session and gate contracts."""
+        async with session.lock:
+            if session.cancel_event.is_set():
+                session.cancel_event.clear()
+                raise StatementCancelled("cancelled before execution")
+            session.inflight = True
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(
+                self._pool,
+                self._call_blocking,
+                session,
+                work,
+                read_only,
+                delay_ms,
+                pin_view,
+            )
+            cancel_task = loop.create_task(self._wait_for_cancel(session))
+            try:
+                done, _ = await asyncio.wait(
+                    {future, cancel_task}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if future in done:
+                    return future.result()
+                # The worker keeps running (threads cannot be killed) but
+                # its result is discarded; the session stays ordered because
+                # the lock is held until this point either way.
+                _swallow(future)
+                raise StatementCancelled("cancelled mid-statement")
+            finally:
+                cancel_task.cancel()
+                session.inflight = False
+                session.cancel_event.clear()
+
+    async def _wait_for_cancel(self, session: _Session) -> None:
+        while not session.cancel_event.is_set():
+            await asyncio.sleep(0.002)
+
+    def _call_blocking(self, session: _Session, work, read_only: bool, delay_ms: int, pin_view: bool):
+        if delay_ms:
+            # Test hook: simulate a long-running statement in interruptible
+            # slices, so cancellation-mid-statement is deterministic.
+            deadline = time.monotonic() + delay_ms / 1000.0
+            while time.monotonic() < deadline:
+                if session.cancel_event.is_set():
+                    raise StatementCancelled("cancelled during execution")
+                time.sleep(min(0.005, max(deadline - time.monotonic(), 0.0)))
+        database = session.dialect.database
+        if read_only:
+            with database.gate.read_locked():
+                if session.cancel_event.is_set():
+                    raise StatementCancelled("cancelled during execution")
+                if not pin_view:
+                    return work()
+                executor = session.dialect.executor
+                executor.snapshot_view = database.pin_view()
+                try:
+                    return work()
+                finally:
+                    # Concurrent readers of the same dialect race on this
+                    # attribute, but every view pinned under the shared gate
+                    # has identical content (writers are excluded), and a
+                    # cleared slot just falls back to the live current-
+                    # version snapshot — the same data.
+                    executor.snapshot_view = None
+        with database.gate.write_locked():
+            return work()
+
+    def _execute_on_replica(self, session: _Session, sql: str):
+        """Run a read-only SELECT on the process pool (two-trip resync)."""
+        database = session.dialect.database
+        task = {
+            "tenant": session.catalog.name,
+            "dbms": session.dialect.name,
+            "version": database.version,
+            "sql": sql,
+        }
+        assert self._process_pool is not None
+        result = self._process_pool.run(task)
+        if result["status"] == "need_catalog":
+            # Still under the shared gate (our caller holds it), so the
+            # payload is a consistent capture at the task's version.
+            task["payload"] = database.to_payload()
+            result = self._process_pool.run(task)
+        if result["status"] == "ok":
+            return result["rows"]
+        error = RuntimeError(result.get("message", "replica failure"))
+        error.remote_type = result.get("type", "RuntimeError")
+        raise error
+
+
+def _swallow(future) -> None:
+    """Consume *future*'s eventual result/exception without raising."""
+
+    def _done(completed) -> None:
+        if not completed.cancelled():
+            completed.exception()
+
+    future.add_done_callback(_done)

@@ -22,6 +22,7 @@ representation.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.catalog.schema import TableSchema
@@ -108,6 +109,12 @@ class HeapTable:
             (column.name, column.default) for column in schema.columns
         ]
         self._snapshot: Optional[TableSnapshot] = None
+        # Serializes snapshot *builds* only: concurrent readers that find a
+        # valid cached snapshot never touch the lock (a slot read is atomic),
+        # and mutators just clear the slot.  The double-checked build below
+        # keeps two threads from constructing duplicate snapshots or
+        # publishing a half-initialized one.
+        self._snapshot_lock = threading.Lock()
 
     # -- modification ------------------------------------------------------------
 
@@ -221,10 +228,22 @@ class HeapTable:
         token = arrays.state_token()
         snapshot = self._snapshot
         if (
-            snapshot is None
-            or snapshot.version != version
-            or snapshot.arrays_token != token
+            snapshot is not None
+            and snapshot.version == version
+            and snapshot.arrays_token == token
         ):
+            return snapshot
+        with self._snapshot_lock:
+            # Double-check: another thread may have built the snapshot while
+            # this one waited; reuse it so concurrent same-version scans
+            # share one object instead of building duplicates.
+            snapshot = self._snapshot
+            if (
+                snapshot is not None
+                and snapshot.version == version
+                and snapshot.arrays_token == token
+            ):
+                return snapshot
             rows = list(self._rows.values())
             columns = {
                 name: [row[name] for row in rows] for name in self._column_names
@@ -238,6 +257,8 @@ class HeapTable:
                     for name, values in columns.items()
                 }
             snapshot = TableSnapshot(version, list(self._rows.keys()), columns, token)
+            # Publish only the fully-built snapshot: readers either see the
+            # old slot (or None) or this complete object, never a torn entry.
             self._snapshot = snapshot
         return snapshot
 

@@ -181,10 +181,17 @@ class FaultyDialect:
 
     def estimated_root_rows(self, statement: str) -> float:
         """Root cardinality estimate, perturbed for performance-fault triggers."""
-        physical = self.dialect.planner.plan_statement(
-            __import__("repro.sqlparser.parser", fromlist=["parse_one"]).parse_one(statement)
-        )
-        estimate = max(physical.estimated_rows, 1.0)
+        inner = getattr(self.dialect, "estimated_root_rows", None)
+        if inner is not None:
+            # The wrapped dialect exposes its own estimator (e.g. the service
+            # adapter, whose planner lives on the other side of the wire) —
+            # perturb that estimate instead of planning locally.
+            estimate = max(float(inner(statement)), 1.0)
+        else:
+            physical = self.dialect.planner.plan_statement(
+                __import__("repro.sqlparser.parser", fromlist=["parse_one"]).parse_one(statement)
+            )
+            estimate = max(physical.estimated_rows, 1.0)
         fault = self.performance_fault_for(statement)
         if fault is not None:
             # A restricted query suddenly gets a *larger* estimate: the

@@ -28,7 +28,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dialects import create_dialect
 from repro.pipeline import PlanIngestService
@@ -140,6 +140,7 @@ class TestingCampaign:
         executor: str = "vectorized",
         decorrelate: bool = True,
         optimize_joins: bool = True,
+        dialect_factory: Optional[Callable[[str, Dict[str, object]], object]] = None,
     ) -> None:
         self.dbms_names = dbms_names or ["mysql", "postgresql", "tidb"]
         self.seed = seed
@@ -174,6 +175,13 @@ class TestingCampaign:
         #: Stop (gracefully, between rounds) after this many executed
         #: rounds; a later run with the same configuration resumes.
         self.max_rounds = max_rounds
+        #: Optional hook replacing how per-round dialects are built: called
+        #: as ``dialect_factory(dbms_name, options)`` where ``options``
+        #: carries the campaign's dialect settings (prepared_cache, executor,
+        #: decorrelate, optimize_joins).  The service-equivalence tests use
+        #: it to route rounds through a loopback query service; the returned
+        #: object only needs the dialect surface the oracles touch.
+        self.dialect_factory = dialect_factory
         if max_rounds is not None and persist_to is None:
             # Without a durable store the completion marks die with the
             # process, so the remaining rounds would be unreachable: every
@@ -194,6 +202,16 @@ class TestingCampaign:
         )
 
     def _create_dialect(self, dbms_name: str):
+        if self.dialect_factory is not None:
+            return self.dialect_factory(
+                dbms_name,
+                {
+                    "prepared_cache": self.prepared_cache,
+                    "executor": self.executor,
+                    "decorrelate": self.decorrelate,
+                    "optimize_joins": self.optimize_joins,
+                },
+            )
         dialect = create_dialect(dbms_name)
         if not self.prepared_cache and hasattr(dialect, "prepared"):
             dialect.prepared.enabled = False

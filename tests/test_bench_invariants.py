@@ -24,6 +24,7 @@ import bench_coverage  # noqa: E402
 import bench_executor  # noqa: E402
 import bench_optimizer  # noqa: E402
 import bench_parallel  # noqa: E402
+import bench_service  # noqa: E402
 import run_benchmarks  # noqa: E402
 
 
@@ -351,6 +352,127 @@ def test_optimizer_false_invariant_exits_nonzero(run_optimizer_only, broken):
     assert code == 1
     assert "OPTIMIZER INVARIANTS VIOLATED" in captured.err
     assert written["invariants"][broken] is False
+
+
+def _fake_service_snapshot(invariants, cpus=1):
+    """A structurally complete service snapshot with canned numbers."""
+    return {
+        "benchmark": "service",
+        "quick": True,
+        "cpus": cpus,
+        "concurrent_clients": 8,
+        "read_throughput": {
+            "clients": 8,
+            "speedup": 3.1,
+            "serial": {"seconds": 1.0, "ops": 240},
+            "concurrent": {
+                "seconds": 0.32,
+                "ops": 240,
+                "p50_ms": 4.0,
+                "p99_ms": 11.0,
+            },
+            "all_clients_completed": True,
+        },
+        "isolation": {"consistent": True, "torn_reads": 0, "reads": 90},
+        "ddl_and_leakage": {
+            "ddl_linearizable": True,
+            "zero_leakage": True,
+            "leaks": 0,
+        },
+        "campaign_equivalence": {"identical": True},
+        "invariants": invariants,
+    }
+
+
+_SERVICE_GREEN = {
+    "isolation_reads_consistent": True,
+    "ddl_linearizable": True,
+    "zero_cross_tenant_leakage": True,
+    "campaign_through_service_identical": True,
+    "all_clients_completed": True,
+    "concurrent_read_speedup_at_least_2_5x": True,
+    "scaling_gated": True,
+}
+
+
+@pytest.fixture
+def run_service_only(monkeypatch, tmp_path, capsys):
+    """Run the driver's service section against a patched collector."""
+
+    def run(invariants):
+        monkeypatch.setattr(
+            bench_service,
+            "collect_snapshot",
+            lambda quick=False: _fake_service_snapshot(invariants),
+        )
+        output = tmp_path / "BENCH_service.json"
+        code = run_benchmarks.main(
+            ["--only", "service", "--service-output", str(output)]
+        )
+        captured = capsys.readouterr()
+        return code, json.loads(output.read_text()), captured
+
+    return run
+
+
+def test_service_green_flags_exit_zero(run_service_only):
+    code, written, captured = run_service_only(dict(_SERVICE_GREEN))
+    assert code == 0
+    assert "INVARIANTS VIOLATED" not in captured.err
+    assert all(written["invariants"].values())
+
+
+def test_service_gated_flag_is_informational(run_service_only):
+    # scaling_gated=False means the speedup floor WAS judged; the flag
+    # itself must never flip the exit code in either direction.
+    flags = dict(_SERVICE_GREEN, scaling_gated=False)
+    code, _, captured = run_service_only(flags)
+    assert code == 0
+    assert "INVARIANTS VIOLATED" not in captured.err
+
+
+@pytest.mark.parametrize(
+    "broken",
+    [
+        "isolation_reads_consistent",
+        "ddl_linearizable",
+        "zero_cross_tenant_leakage",
+        "campaign_through_service_identical",
+        "all_clients_completed",
+        "concurrent_read_speedup_at_least_2_5x",
+    ],
+)
+def test_service_false_invariant_exits_nonzero(run_service_only, broken):
+    flags = dict(_SERVICE_GREEN)
+    flags[broken] = False
+    code, written, captured = run_service_only(flags)
+    assert code == 1
+    assert "SERVICE INVARIANTS VIOLATED" in captured.err
+    assert written["invariants"][broken] is False
+
+
+def test_service_snapshot_gates_scaling_by_environment():
+    # Quick mode (or a small host) gates the speedup floor; the
+    # correctness flags are still real measurements and must hold.
+    snapshot = bench_service.collect_snapshot(quick=True)
+    assert snapshot["concurrent_clients"] >= 8
+    assert snapshot["invariants"]["scaling_gated"] is True  # quick => gated
+    assert snapshot["invariants"]["concurrent_read_speedup_at_least_2_5x"] is True
+    assert snapshot["invariants"]["isolation_reads_consistent"] is True
+    assert snapshot["invariants"]["ddl_linearizable"] is True
+    assert snapshot["invariants"]["zero_cross_tenant_leakage"] is True
+    assert snapshot["invariants"]["campaign_through_service_identical"] is True
+
+
+def test_committed_service_snapshot_invariants_all_hold():
+    """The checked-in BENCH_service.json must never ship with red flags."""
+    path = os.path.join(os.path.dirname(_BENCHMARKS), "BENCH_service.json")
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    assert snapshot["invariants"], "snapshot carries no invariants"
+    assert all(snapshot["invariants"].values()), snapshot["invariants"]
+    assert snapshot["concurrent_clients"] >= 8
+    assert snapshot["quick"] is False
 
 
 def test_committed_optimizer_snapshot_invariants_all_hold():

@@ -1,0 +1,218 @@
+"""Wire-protocol and basic service-surface tests."""
+
+import threading
+
+import pytest
+
+from repro.service import (
+    FrameDecoder,
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    QueryService,
+    ServiceClient,
+    ServiceError,
+    TenantRegistry,
+)
+from repro.service.protocol import decode_payload, encode_message
+
+
+@pytest.fixture(scope="module")
+def service():
+    with QueryService(max_workers=4) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(service):
+    with ServiceClient(service.address) as connected:
+        yield connected
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "execute", "sql": "SELECT 1", "id": 7, "values": [1, 2.5, None, True, "x"]}
+        frame = encode_message(message)
+        decoder = FrameDecoder()
+        assert decoder.feed(frame) == [message]
+
+    def test_incremental_feed(self):
+        message = {"op": "ping", "id": 1}
+        frame = encode_message(message)
+        decoder = FrameDecoder()
+        for position in range(len(frame) - 1):
+            assert decoder.feed(frame[position:position + 1]) == []
+        assert decoder.feed(frame[-1:]) == [message]
+
+    def test_multiple_messages_one_feed(self):
+        first = {"id": 1}
+        second = {"id": 2}
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_message(first) + encode_message(second)) == [first, second]
+
+    def test_oversized_length_prefix_rejected(self):
+        decoder = FrameDecoder()
+        bad = (MAX_MESSAGE_BYTES + 1).to_bytes(4, "big") + b"x"
+        with pytest.raises(ProtocolError):
+            decoder.feed(bad)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"[1, 2, 3]")
+
+    def test_exact_float_and_int_round_trip(self):
+        message = {"f": 0.1 + 0.2, "i": 2 ** 80, "neg": -1.5e-300}
+        (decoded,) = FrameDecoder().feed(encode_message(message))
+        assert decoded["f"] == message["f"]
+        assert decoded["i"] == message["i"]
+        assert decoded["neg"] == message["neg"]
+
+    def test_numpy_scalars_serialize_when_available(self):
+        numpy = pytest.importorskip("numpy")
+        message = {"i": numpy.int64(7), "f": numpy.float64(1.25)}
+        (decoded,) = FrameDecoder().feed(encode_message(message))
+        assert decoded == {"i": 7, "f": 1.25}
+
+
+class TestServiceSurface:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_execute_and_rows(self, client):
+        session = client.open_session("postgresql", tenant="proto-exec")
+        session.execute("CREATE TABLE t (a INT, b TEXT)")
+        session.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        rows = session.execute("SELECT a, b FROM t ORDER BY a")
+        assert rows == [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        session.close()
+
+    def test_explain_passthrough_matches_direct(self, client):
+        from repro.dialects import create_dialect
+
+        setup = [
+            "CREATE TABLE e (a INT PRIMARY KEY, b INT)",
+            "INSERT INTO e VALUES (1, 10), (2, 20)",
+        ]
+        query = "SELECT * FROM e WHERE a = 1"
+
+        direct = create_dialect("postgresql")
+        for statement in setup:
+            direct.execute(statement)
+        direct.analyze_tables()
+
+        session = client.open_session("postgresql", tenant="proto-explain")
+        for statement in setup:
+            session.execute(statement)
+        session.analyze_tables()
+
+        remote = session.explain(query, format="json")
+        local = direct.explain(query, format="json")
+        assert remote.text == local.text
+        assert remote.dbms == local.dbms
+        assert remote.format == local.format
+        session.close()
+
+    def test_explain_analyze_reports_bound_violations_field(self, client):
+        session = client.open_session("postgresql", tenant="proto-analyze")
+        session.execute("CREATE TABLE ba (a INT)")
+        session.execute("INSERT INTO ba VALUES (1), (2)")
+        output = session.explain("SELECT * FROM ba", analyze=True)
+        assert output.bound_violations == ()
+        assert "actual" in output.text or output.text
+        session.close()
+
+    def test_prepared_statements(self, client):
+        session = client.open_session("mysql", tenant="proto-prepared")
+        session.execute("CREATE TABLE p (v INT)")
+        session.execute("INSERT INTO p VALUES (5)")
+        handle = session.prepare("SELECT v FROM p")
+        assert session.execute_prepared(handle) == [{"v": 5}]
+        session.execute("INSERT INTO p VALUES (6)")
+        assert session.execute_prepared(handle) == [{"v": 5}, {"v": 6}]
+        session.close()
+
+    def test_prepare_rejects_bad_sql(self, client):
+        session = client.open_session("postgresql", tenant="proto-badsql")
+        with pytest.raises(ServiceError):
+            session.prepare("SELEC nonsense FROM")
+        session.close()
+
+    def test_errors_carry_remote_type(self, client):
+        session = client.open_session("postgresql", tenant="proto-errors")
+        with pytest.raises(ServiceError) as excinfo:
+            session.execute("SELECT * FROM does_not_exist")
+        assert excinfo.value.remote_type
+        assert "does_not_exist" in excinfo.value.remote_message
+        session.close()
+
+    def test_unknown_session_rejected(self, client):
+        with pytest.raises(ServiceError):
+            client.request("execute", session="nope", sql="SELECT 1")
+
+    def test_unknown_op_rejected(self, client):
+        with pytest.raises(ServiceError):
+            client.request("frobnicate")
+
+    def test_session_addressable_across_connections(self, service, client):
+        session = client.open_session("postgresql", tenant="proto-cross")
+        session.execute("CREATE TABLE cx (a INT)")
+        session.execute("INSERT INTO cx VALUES (42)")
+        with ServiceClient(service.address) as other:
+            rows = other.request("execute", session=session.id, sql="SELECT a FROM cx")["rows"]
+        assert rows == [{"a": 42}]
+        session.close()
+
+    def test_estimate_matches_local_planner(self, client):
+        from repro.dialects import create_dialect
+        from repro.sqlparser.parser import parse_one
+
+        setup = [
+            "CREATE TABLE est (a INT, b INT)",
+            "INSERT INTO est VALUES (1, 1), (2, 2), (3, 3), (4, 4)",
+        ]
+        query = "SELECT * FROM est WHERE a > 2"
+
+        direct = create_dialect("postgresql")
+        for statement in setup:
+            direct.execute(statement)
+        direct.analyze_tables()
+        local = max(direct.planner.plan_statement(parse_one(query)).estimated_rows, 1.0)
+
+        session = client.open_session("postgresql", tenant="proto-estimate")
+        for statement in setup:
+            session.execute(statement)
+        session.analyze_tables()
+        assert session.estimate(query) == local
+        session.close()
+
+
+class TestTenantRegistry:
+    def test_explicit_registries_are_independent(self):
+        registry_a = TenantRegistry()
+        registry_b = TenantRegistry()
+        catalog_a = registry_a.catalog("acme")
+        catalog_b = registry_b.catalog("acme")
+        assert catalog_a is not catalog_b
+        assert catalog_a.dialect("postgresql") is not catalog_b.dialect("postgresql")
+
+    def test_sessions_of_one_tenant_share_a_dialect(self):
+        registry = TenantRegistry()
+        catalog = registry.catalog("acme")
+        assert catalog.dialect("postgresql") is catalog.dialect("postgresql")
+        assert registry.catalog("acme") is catalog
+
+    def test_concurrent_dialect_creation_yields_one_instance(self):
+        registry = TenantRegistry()
+        catalog = registry.catalog("racing")
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def open_dialect():
+            barrier.wait()
+            seen.append(catalog.dialect("mysql"))
+
+        threads = [threading.Thread(target=open_dialect) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(dialect) for dialect in seen}) == 1
