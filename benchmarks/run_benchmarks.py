@@ -7,7 +7,7 @@ Usage (from the repository root)::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --suite    # + full pytest-benchmark run
     PYTHONPATH=src python benchmarks/run_benchmarks.py --output somewhere.json
 
-Seven snapshots are written:
+Nine snapshots are written:
 
 * ``BENCH_pipeline.json`` — batched-vs-single ingestion and
   fingerprint-vs-deep-compare speedup, with the service statistics proving
@@ -41,9 +41,14 @@ Seven snapshots are written:
   (the ≥ 2.5x floor only on ≥ 4-CPU full-size runs, mirroring the
   parallel snapshot's gating), plus the always-enforced isolation,
   linearizable-DDL, zero-leakage, and campaign-through-service
-  byte-identity flags.
+  byte-identity flags;
+* ``BENCH_similarity.json`` — the plan-similarity layer: embedding
+  determinism and integer-valuedness, nearest-neighbour query throughput
+  with the numpy-vs-list bit-identity flag, the index merge algebra
+  across shard layouts, and the campaign-mode checks (``novelty="exact"``
+  inert, ``novelty="similarity"`` deterministic).
 
-``--only pipeline|coverage|campaign|executor|decorrelate|parallel|optimizer|service``
+``--only pipeline|coverage|campaign|executor|decorrelate|parallel|optimizer|service|similarity``
 restricts the run to one snapshot.
 ``--quick`` shrinks the corpora so the whole driver finishes in seconds —
 that is the mode CI smoke-runs.  The tier-1 test suite the snapshots should
@@ -80,6 +85,7 @@ import bench_optimizer  # noqa: E402
 import bench_parallel  # noqa: E402
 import bench_pipeline  # noqa: E402
 import bench_service  # noqa: E402
+import bench_similarity  # noqa: E402
 
 
 def _time_ingest(batched: bool, raws, repeats: int = 5) -> dict:
@@ -194,6 +200,11 @@ def main(argv=None) -> int:
         help="where to write the service perf snapshot (default: repo root)",
     )
     parser.add_argument(
+        "--similarity-output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_similarity.json"),
+        help="where to write the similarity perf snapshot (default: repo root)",
+    )
+    parser.add_argument(
         "--only",
         choices=[
             "pipeline",
@@ -204,9 +215,10 @@ def main(argv=None) -> int:
             "parallel",
             "optimizer",
             "service",
+            "similarity",
         ],
         default=None,
-        help="run just one snapshot instead of all eight",
+        help="run just one snapshot instead of all nine",
     )
     parser.add_argument(
         "--quick",
@@ -416,6 +428,34 @@ def main(argv=None) -> int:
         if not all(service_invariants.values()):
             print(
                 "SERVICE INVARIANTS VIOLATED:", service_snapshot["invariants"],
+                file=sys.stderr,
+            )
+            violated = True
+
+    if args.only in (None, "similarity"):
+        similarity_snapshot = bench_similarity.collect_snapshot(quick=args.quick)
+        write_snapshot(similarity_snapshot, args.similarity_output)
+        queries = similarity_snapshot["index_queries"]
+        campaigns = similarity_snapshot["campaign_modes"]
+        print(
+            "similarity: {:.0f} NN q/s over {} entries (numpy/list identical: "
+            "{}); merges layout-independent: {}; exact mode inert: {}; "
+            "similarity campaigns deterministic: {} ({} plans indexed)".format(
+                queries["queries_per_second"],
+                queries["entries"],
+                queries["numpy_list_identical"],
+                similarity_snapshot["merge_identity"][
+                    "order_and_layout_independent"
+                ],
+                campaigns["exact_mode_inert"],
+                campaigns["similarity_deterministic"],
+                campaigns["similarity_indexed_plans"],
+            )
+        )
+        if not all(similarity_snapshot["invariants"].values()):
+            print(
+                "SIMILARITY INVARIANTS VIOLATED:",
+                similarity_snapshot["invariants"],
                 file=sys.stderr,
             )
             violated = True

@@ -52,6 +52,7 @@ from repro.core.compare import (
     average_category_histogram,
     category_histogram,
     diff_plans,
+    plan_distance,
     plan_similarity,
     plans_equal,
     producer_count,
@@ -94,6 +95,7 @@ __all__ = [
     "average_category_histogram",
     "producer_count",
     "tree_edit_distance",
+    "plan_distance",
     "plan_similarity",
     "diff_plans",
     "PlanDiff",

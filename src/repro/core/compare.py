@@ -270,6 +270,36 @@ def tree_edit_distance(left: Optional[PlanNode], right: Optional[PlanNode]) -> i
     return forest_distance((left,), (right,))
 
 
+def plan_distance(a: UnifiedPlan, b: UnifiedPlan, *, sort_children: bool = True) -> int:
+    """Public, stable tree-edit distance between two unified plans.
+
+    This is the supported entry point for consumers that previously reached
+    into :func:`tree_edit_distance` directly (the similarity layer uses it
+    to rerank cluster exemplars).  The distance counts node relabelings,
+    insertions, and deletions over the plan trees, labelling nodes exactly
+    as the structural fingerprint does (category + suffix-stripped unified
+    name), so structurally identical plans short-circuit to 0 without a
+    tree walk.
+
+    Determinism: with ``sort_children=True`` (the default) both trees are
+    first canonicalized with children ordered by fingerprint, so the result
+    does not depend on sibling enumeration order; within the edit-distance
+    recursion itself, equal-cost alternatives resolve in the fixed
+    match-then-delete-then-insert evaluation order.  The result is therefore
+    a pure function of plan content, stable across processes.  Pass
+    ``sort_children=False`` to treat child order as significant (build vs.
+    probe side of a join).
+    """
+    if structural_fingerprint(a) == structural_fingerprint(b):
+        return 0
+    if sort_children:
+        left = None if a.root is None else a.root.canonicalize(sort_children=True)
+        right = None if b.root is None else b.root.canonicalize(sort_children=True)
+    else:
+        left, right = a.root, b.root
+    return tree_edit_distance(left, right)
+
+
 def plan_similarity(left: UnifiedPlan, right: UnifiedPlan) -> float:
     """Return a [0, 1] similarity score based on tree edit distance."""
     distance = tree_edit_distance(left.root, right.root)

@@ -554,10 +554,11 @@ class UnifiedPlan:
     source_dbms: str = ""
     #: The query the plan belongs to, when known.
     query: str = ""
-    #: Plan-level fingerprint cache, keyed by fingerprint mode.  Each entry
-    #: stores ``(root_digest, plan_digest)`` so the cached value self-validates
-    #: against the tree's current digest (see :meth:`fingerprint`).
-    _fp_cache: Dict[str, Tuple[str, str]] = field(
+    #: Plan-level cache for content-derived values (fingerprints, embeddings),
+    #: keyed by derivation mode.  Each entry stores ``(root_digest, value)``
+    #: so the cached value self-validates against the tree's current digest
+    #: (see :meth:`fingerprint` and :meth:`content_cache_get`).
+    _fp_cache: Dict[str, Tuple[str, Any]] = field(
         default_factory=dict, repr=False, compare=False
     )
 
@@ -698,6 +699,39 @@ class UnifiedPlan:
         self._fp_cache.clear()
         if self.root is not None:
             self.root.invalidate_fingerprints()
+
+    # -- content-derived value cache --------------------------------------------
+    #
+    # The fingerprint cache above generalizes to any value derived purely
+    # from plan content: each entry stores ``(root_digest, value)`` so the
+    # cached value self-validates against the tree's current digest, and
+    # plan-level property mutation clears the cache via the _ObservedList
+    # hook.  :func:`repro.similarity.embed_plan` memoises plan embeddings
+    # through these hooks exactly like :meth:`fingerprint` memoises digests.
+
+    def content_cache_get(self, key: str) -> Optional[Any]:
+        """Return the cached content-derived value under *key*, if valid.
+
+        The value is returned only when the tree's current root digest
+        matches the digest the value was derived from (mutations of the
+        plan's own property list clear the cache directly).
+        """
+        cached = self._fp_cache.get(key)
+        if cached is None:
+            return None
+        root_digest = "<no-tree>" if self.root is None else self.root.fingerprint()
+        return cached[1] if cached[0] == root_digest else None
+
+    def content_cache_put(self, key: str, value: Any) -> None:
+        """Cache *value* under *key*, bound to the tree's current digest.
+
+        *value* must be derived purely from plan content (never from
+        ``source_dbms``/``query`` or process state), so that the cache —
+        which is dropped on pickle like the fingerprint cache — can be
+        rebuilt identically in any process.
+        """
+        root_digest = "<no-tree>" if self.root is None else self.root.fingerprint()
+        self._fp_cache[key] = (root_digest, value)
 
     def canonicalize(self, sort_children: bool = False) -> "UnifiedPlan":
         """Return a copy of the plan in canonical form (see PlanNode)."""

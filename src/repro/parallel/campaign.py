@@ -42,12 +42,8 @@ from typing import Dict, List, Optional
 
 from repro.engine import arrays
 from repro.pipeline.coverage import CoverageStore
-from repro.testing.campaign import (
-    BugReport,
-    CampaignResult,
-    TestingCampaign,
-    _dedupe,
-)
+from repro.testing.bugs import fold_reports, report_from_payload
+from repro.testing.campaign import CampaignResult, TestingCampaign
 
 try:  # BrokenProcessPool location varies with Python version
     from concurrent.futures.process import BrokenProcessPool
@@ -132,6 +128,9 @@ class ShardedCampaign:
         executor: str = "vectorized",
         decorrelate: bool = True,
         optimize_joins: bool = True,
+        novelty: str = "exact",
+        novelty_threshold: float = 0.05,
+        capture_trigger_plans: bool = True,
         parallel: bool = True,
         max_workers: Optional[int] = None,
     ) -> None:
@@ -149,6 +148,13 @@ class ShardedCampaign:
         self.executor = executor
         self.decorrelate = decorrelate
         self.optimize_joins = optimize_joins
+        #: Novelty mode / threshold / trigger-plan capture, passed through
+        #: to every shard's campaign.  In similarity mode the parent folds
+        #: the per-round index payloads into a merged sidecar index, just
+        #: as it folds coverage payloads into the merged store.
+        self.novelty = novelty
+        self.novelty_threshold = novelty_threshold
+        self.capture_trigger_plans = capture_trigger_plans
         self.parallel = parallel
         self.max_workers = max_workers
         #: Whether the last :meth:`run` actually used a process pool (False
@@ -195,6 +201,9 @@ class ShardedCampaign:
                         "executor": self.executor,
                         "decorrelate": self.decorrelate,
                         "optimize_joins": self.optimize_joins,
+                        "novelty": self.novelty,
+                        "novelty_threshold": self.novelty_threshold,
+                        "capture_trigger_plans": self.capture_trigger_plans,
                     },
                 }
             )
@@ -255,6 +264,14 @@ class ShardedCampaign:
 
         merged = CampaignResult()
         store = self._merged_store()
+        merged_index = None
+        if self.novelty == "similarity":
+            from repro.similarity import PlanIndex
+
+            # The merged sidecar index lives next to the merged store;
+            # re-merging is safe for the same reason: first-wins set union
+            # over content-derived vectors is idempotent.
+            merged_index = PlanIndex(path=self.merged_dir())
         try:
             for result in shard_results:
                 if result.store_payload is not None:
@@ -278,13 +295,16 @@ class ShardedCampaign:
                 merged.queries_generated += payload.get("queries_generated", 0)
                 merged.cert_pairs_checked += payload.get("cert_pairs_checked", 0)
                 merged.bound_queries_checked += payload.get("bound_queries_checked", 0)
+                merged.novelty_reward_total += payload.get("novelty_reward_total", 0.0)
                 for row in payload.get("reports", []):
-                    merged.reports.append(BugReport(**row))
+                    merged.reports.append(report_from_payload(row))
+                if merged_index is not None and "index" in payload:
+                    merged_index.merge_payload(payload["index"])
                 merged.round_payloads.append((index, payload))
 
             merged.plan_fingerprints |= store.structural_fingerprints()
             merged.unique_plans = len(merged.plan_fingerprints)
-            merged.reports = _dedupe(merged.reports)
+            merged.reports = fold_reports(merged.reports)
             order = {
                 name: position for position, name in enumerate(self.dbms_names)
             }
@@ -298,6 +318,11 @@ class ShardedCampaign:
             if store.path is not None:
                 store.save()
             merged.store_payload = store.to_payload()
+            if merged_index is not None:
+                merged_index.flush()
+                merged.index_payload = merged_index.to_payload()
         finally:
+            if merged_index is not None:
+                merged_index.close()
             store.close()
         return merged

@@ -25,6 +25,16 @@ durable and sharded:
   rounds for resume.
 
 The store is thread-safe; all mutating operations take an internal lock.
+
+**Sidecar contract** — other durable, per-fingerprint structures may live in
+the *same* directory as a store's segments provided their file names do not
+collide with ``shard-*.jsonl`` / ``MANIFEST.json``.  Sidecars share the
+store's durability primitives (:func:`atomic_write_lines` /
+:func:`atomic_write_json` below) and its merge discipline (exact set union).
+:class:`repro.similarity.PlanIndex` persists plan embeddings this way
+(``sim-*.jsonl`` + ``SIMILARITY.json``), so a campaign directory carries
+coverage and its similarity index side by side and both survive crashes the
+same way.
 """
 
 from __future__ import annotations
@@ -44,6 +54,37 @@ DEFAULT_SHARD_COUNT = 16
 _MANIFEST_VERSION = 1
 
 _MANIFEST_NAME = "MANIFEST.json"
+
+
+def atomic_write_lines(target: str, lines: Iterable[str]) -> int:
+    """Write *lines* to *target* via tmp file + fsync + ``os.replace``.
+
+    The write is all-or-nothing: a reader (or a crash) never observes a
+    half-written file.  Returns the number of lines written.  This is the
+    segment-durability primitive shared by the store and its sidecars.
+    """
+    tmp = target + ".tmp"
+    count = 0
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+            count += 1
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    return count
+
+
+def atomic_write_json(target: str, payload: Dict[str, object]) -> None:
+    """Atomically write *payload* as pretty-printed JSON (manifests)."""
+    tmp = target + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
 
 
 def shard_for(key: str, shard_count: int) -> int:
@@ -542,36 +583,25 @@ class CoverageStore:
 
     def _write_segment_atomic(self, shard: int, root: str) -> int:
         """Write one deduplicated segment via tmp-file + rename; line count."""
-        records = self._shard_records(shard)
-        target = self._segment_path(shard, root)
-        tmp = target + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            for record in records:
-                handle.write(
-                    json.dumps(record, sort_keys=True, separators=(",", ":"))
-                )
-                handle.write("\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, target)
-        return len(records)
+        return atomic_write_lines(
+            self._segment_path(shard, root),
+            (
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+                for record in self._shard_records(shard)
+            ),
+        )
 
     def _write_manifest(self, root: str) -> None:
-        manifest = {
-            "version": _MANIFEST_VERSION,
-            "shard_count": self.shard_count,
-            "entries": sum(len(shard) for shard in self._shards),
-            "sources": sum(len(shard) for shard in self._sources),
-            "marks": sum(len(shard) for shard in self._marks),
-        }
-        target = os.path.join(root, _MANIFEST_NAME)
-        tmp = target + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, target)
+        atomic_write_json(
+            os.path.join(root, _MANIFEST_NAME),
+            {
+                "version": _MANIFEST_VERSION,
+                "shard_count": self.shard_count,
+                "entries": sum(len(shard) for shard in self._shards),
+                "sources": sum(len(shard) for shard in self._sources),
+                "marks": sum(len(shard) for shard in self._marks),
+            },
+        )
 
     def save(self, path: Optional[str] = None) -> str:
         """Atomically persist the whole store; returns the directory written.

@@ -1,0 +1,56 @@
+"""Plan similarity: embeddings, nearest-neighbour search, and triage.
+
+Exact-fingerprint coverage treats two plans differing by one constant as
+distinct while crediting a wildly novel shape the same "+1".  This package
+refactors plan identity into a *pluggable similarity* subsystem on top of
+the unified representation:
+
+* :func:`embed_plan` — a deterministic, content-pure feature vector per
+  plan (operator-name histograms interned via :mod:`repro.core.naming`,
+  tree-shape features, property-category counts in the grammar's canonical
+  order), cached on the plan like fingerprints;
+* :class:`PlanIndex` — a cosine nearest-neighbour index with the
+  :mod:`repro.engine.arrays` soft-numpy contract (bit-identical list
+  fallback), deterministic ``(distance, fingerprint)`` ordering,
+  CoverageStore-sidecar durability, and first-wins exact-union merges for
+  sharded-campaign payload handoff;
+* :func:`cluster_reports` — similarity-clustered bug-report triage with
+  tree-edit-distance exemplar rerank (:func:`repro.core.compare.plan_distance`).
+
+Consumers: :class:`repro.testing.qpg.QueryPlanGuidance` scores candidate
+mutations by distance-to-nearest-covered-plan under
+``novelty="similarity"`` (the default ``"exact"`` mode is byte-identical to
+the pre-similarity behaviour), and
+:meth:`repro.testing.campaign.CampaignResult.cluster_reports` triages
+Table V reports.
+"""
+
+from repro.similarity.embedding import (
+    EMBEDDING_DIMENSIONS,
+    EMBEDDING_VERSION,
+    HISTOGRAM_BUCKETS,
+    embed_plan,
+)
+from repro.similarity.index import (
+    PlanIndex,
+    PlanIndexError,
+    cosine_distance,
+)
+from repro.similarity.triage import (
+    DEFAULT_CLUSTER_THRESHOLD,
+    ReportCluster,
+    cluster_reports,
+)
+
+__all__ = [
+    "EMBEDDING_DIMENSIONS",
+    "EMBEDDING_VERSION",
+    "HISTOGRAM_BUCKETS",
+    "embed_plan",
+    "PlanIndex",
+    "PlanIndexError",
+    "cosine_distance",
+    "DEFAULT_CLUSTER_THRESHOLD",
+    "ReportCluster",
+    "cluster_reports",
+]

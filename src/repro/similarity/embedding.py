@@ -1,0 +1,125 @@
+"""Deterministic plan embeddings: unified plans as fixed-width feature vectors.
+
+:func:`embed_plan` maps a :class:`~repro.core.model.UnifiedPlan` to a fixed
+``EMBEDDING_DIMENSIONS``-wide tuple of floats over three feature families:
+
+* **operation-category counts** — one dimension per category in the
+  grammar's canonical ``OPERATION_CATEGORY_ORDER`` (Table II's order);
+* **property-category counts** — one dimension per category in the
+  canonical ``PROPERTY_CATEGORY_ORDER`` (``Cardinality, Cost,
+  Configuration, Status``), over plan- and operation-associated properties;
+* **tree shape** — node count, depth, leaf count, maximum fan-out, and
+  internal-node count;
+* **operator-name histogram** — unified operator names (interned through
+  :func:`repro.core.naming.intern_identifier`, unstable ``_N`` suffixes
+  stripped exactly as the structural fingerprint strips them) hashed into
+  ``HISTOGRAM_BUCKETS`` buckets with a content-stable blake2b bucket key.
+
+Determinism contract:
+
+* The embedding is a pure function of plan *content* — ``source_dbms`` and
+  ``query`` never contribute, hashing uses blake2b (never Python's
+  randomized ``hash()``), so the vector is byte-identical across processes
+  and runs, like the Merkle fingerprints.
+* Every dimension is an exact non-negative **integer count** represented as
+  a float.  This is load-bearing: cosine arithmetic over integer-valued
+  float64 vectors (products and sums far below 2**53) is exact, so the
+  numpy and pure-list paths of :class:`repro.similarity.PlanIndex` produce
+  bit-identical distances.
+* The vector is memoised on the plan through the
+  :meth:`~repro.core.model.UnifiedPlan.content_cache_get` hooks — the same
+  self-validating, dropped-on-pickle cache the fingerprints use — under a
+  version-stamped key, so re-embedding a frozen plan is O(1) and a cached
+  vector never survives mutation or a format bump.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+from repro.core.categories import (
+    OPERATION_CATEGORY_ORDER,
+    PROPERTY_CATEGORY_ORDER,
+)
+from repro.core.compare import strip_unstable_suffix
+from repro.core.model import UnifiedPlan
+from repro.core.naming import intern_identifier
+
+#: Bump when the feature layout changes; stamped into the cache key and the
+#: index manifest so stale vectors are never mixed with current ones.
+EMBEDDING_VERSION = 1
+
+#: Operator-name histogram width.  Small enough that vectors stay cheap,
+#: large enough that the ~40-name unified vocabulary rarely collides.
+HISTOGRAM_BUCKETS = 24
+
+_OPERATION_DIMS = len(OPERATION_CATEGORY_ORDER)
+_PROPERTY_DIMS = len(PROPERTY_CATEGORY_ORDER)
+_SHAPE_DIMS = 5
+
+#: Total embedding width: 7 operation categories + 4 property categories
+#: + 5 tree-shape features + the operator-name histogram.
+EMBEDDING_DIMENSIONS = _OPERATION_DIMS + _PROPERTY_DIMS + _SHAPE_DIMS + HISTOGRAM_BUCKETS
+
+_CACHE_KEY = f"embedding:v{EMBEDDING_VERSION}"
+
+#: blake2b bucket keys are content-stable; memoise them per label so the
+#: hot path (one embedding per observed plan) hashes each vocabulary name
+#: once per process.
+_BUCKET_CACHE: Dict[str, int] = {}
+
+
+def _histogram_bucket(label: str) -> int:
+    bucket = _BUCKET_CACHE.get(label)
+    if bucket is None:
+        digest = hashlib.blake2b(label.encode("utf-8"), digest_size=4).hexdigest()
+        bucket = int(digest, 16) % HISTOGRAM_BUCKETS
+        if len(_BUCKET_CACHE) < 65536:  # mirror the identifier pool's bound
+            _BUCKET_CACHE[label] = bucket
+    return bucket
+
+
+def embed_plan(plan: UnifiedPlan) -> Tuple[float, ...]:
+    """Embed *plan* as a deterministic ``EMBEDDING_DIMENSIONS``-tuple.
+
+    The vector is cached on the plan (see module docstring); plans must be
+    treated as frozen once embedded, exactly like fingerprinted plans.
+    """
+    cached = plan.content_cache_get(_CACHE_KEY)
+    if cached is not None:
+        return cached
+    features = [0.0] * EMBEDDING_DIMENSIONS
+
+    category_counts = plan.count_categories()
+    for position, category in enumerate(OPERATION_CATEGORY_ORDER):
+        features[position] = float(category_counts[category])
+
+    property_counts = plan.count_property_categories()
+    for position, category in enumerate(PROPERTY_CATEGORY_ORDER):
+        features[_OPERATION_DIMS + position] = float(property_counts[category])
+
+    nodes = plan.nodes()
+    leaf_count = 0
+    max_fanout = 0
+    shape_base = _OPERATION_DIMS + _PROPERTY_DIMS
+    histogram_base = shape_base + _SHAPE_DIMS
+    for node in nodes:
+        fanout = len(node.children)
+        if fanout == 0:
+            leaf_count += 1
+        elif fanout > max_fanout:
+            max_fanout = fanout
+        operation = node.operation
+        name = intern_identifier(strip_unstable_suffix(operation.identifier))
+        label = operation.category.value + "->" + name
+        features[histogram_base + _histogram_bucket(label)] += 1.0
+    features[shape_base] = float(len(nodes))
+    features[shape_base + 1] = float(plan.depth())
+    features[shape_base + 2] = float(leaf_count)
+    features[shape_base + 3] = float(max_fanout)
+    features[shape_base + 4] = float(len(nodes) - leaf_count)
+
+    vector = tuple(features)
+    plan.content_cache_put(_CACHE_KEY, vector)
+    return vector

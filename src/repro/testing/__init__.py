@@ -10,8 +10,16 @@ from repro.testing.cert import (
     root_cardinality_estimate,
 )
 from repro.testing.bound import BoundStatistics, BoundViolation, SizeBoundChecker
-from repro.testing.bugs import FaultyDialect, KnownBug, KNOWN_BUGS, bugs_for
-from repro.testing.campaign import BugReport, CampaignResult, TestingCampaign
+from repro.testing.bugs import (
+    BugReport,
+    FaultyDialect,
+    KnownBug,
+    KNOWN_BUGS,
+    bugs_for,
+    fold_reports,
+    report_from_payload,
+)
+from repro.testing.campaign import CampaignResult, TestingCampaign
 
 __all__ = [
     "GeneratorConfig",
@@ -34,6 +42,8 @@ __all__ = [
     "KNOWN_BUGS",
     "bugs_for",
     "BugReport",
+    "fold_reports",
+    "report_from_payload",
     "CampaignResult",
     "TestingCampaign",
 ]

@@ -21,7 +21,7 @@ campaign report can be compared 1:1 with the paper's table.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Sequence
 
 from repro.dialects.base import ExplainOutput, RelationalDialect
@@ -37,6 +37,63 @@ class KnownBug:
     status: str
     severity: str
     kind: str  # "logic" or "performance"
+
+
+@dataclass
+class BugReport:
+    """One row of the campaign's bug report (mirrors Table V).
+
+    ``trigger_plan`` optionally carries the unified plan of the trigger
+    query (a :meth:`~repro.core.model.UnifiedPlan.to_dict` payload captured
+    when the report was filed) — the input to similarity-clustered triage
+    (:func:`repro.similarity.cluster_reports`).  It rides through JSON
+    round payloads and pickled worker results unchanged; it never appears
+    in Table V rows.  Cluster *assignments* are deliberately not a report
+    field: they are recomputed from the folded report list wherever needed,
+    so they cannot go stale across a sharded campaign's process boundary.
+    """
+
+    dbms: str
+    found_by: str
+    bug_id: str
+    status: str
+    severity: str
+    trigger_query: str = ""
+    trigger_plan: Optional[dict] = None
+
+
+#: The BugReport field names — the whitelist payload restoration uses.
+_REPORT_FIELDS = tuple(field.name for field in fields(BugReport))
+
+
+def report_from_payload(row: Dict[str, object]) -> BugReport:
+    """Rebuild a :class:`BugReport` from a persisted round-payload row.
+
+    Unknown keys are dropped and missing optional fields default, so
+    payloads written by older campaigns (without ``trigger_plan``) and by
+    newer ones (with fields this version does not know) both restore
+    instead of raising ``TypeError`` inside a resume or a sharded fold.
+    """
+    return BugReport(**{key: row[key] for key in _REPORT_FIELDS if key in row})
+
+
+def fold_reports(reports: Sequence[BugReport]) -> List[BugReport]:
+    """Deduplicate *reports*, keeping the first ``(dbms, bug_id)`` occurrence.
+
+    The fold is order-sensitive by design — campaigns fold in round-index
+    order so a sharded run keeps exactly the rows a serial run keeps — and
+    it keeps the first occurrence *whole*, including its captured
+    ``trigger_plan``, so triage clusters computed after the fold see the
+    same plans in every process.
+    """
+    seen = set()
+    unique: List[BugReport] = []
+    for report in reports:
+        key = (report.dbms, report.bug_id)
+        if key not in seen:
+            seen.add(key)
+            unique.append(report)
+    return unique
 
 
 #: Table V of the paper — the 17 previously unknown, unique bugs.

@@ -33,22 +33,19 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 from repro.dialects import create_dialect
 from repro.pipeline import PlanIngestService
 from repro.testing.bound import SizeBoundChecker
-from repro.testing.bugs import FaultyDialect, KnownBug, bugs_for
+from repro.testing.bugs import (
+    BugReport,
+    FaultyDialect,
+    KnownBug,
+    bugs_for,
+    fold_reports,
+    report_from_payload,
+)
 from repro.testing.cert import CardinalityRestrictionTester
 from repro.testing.generator import GeneratorConfig, RandomQueryGenerator
-from repro.testing.qpg import QPGConfig, QueryPlanGuidance
+from repro.testing.qpg import NOVELTY_MODES, QPGConfig, QueryPlanGuidance
 
-
-@dataclass
-class BugReport:
-    """One row of the campaign's bug report (mirrors Table V)."""
-
-    dbms: str
-    found_by: str
-    bug_id: str
-    status: str
-    severity: str
-    trigger_query: str = ""
+__all__ = ["BugReport", "CampaignResult", "TestingCampaign"]
 
 
 @dataclass
@@ -88,6 +85,28 @@ class CampaignResult:
     #: populated only when ``run(collect_store_payload=True)`` — the picklable
     #: store handoff from a sharded-campaign worker to its parent.
     store_payload: Optional[dict] = None
+    #: Summed per-plan novelty rewards (nearest-covered-plan distances)
+    #: across every QPG round; stays 0.0 under ``novelty="exact"``.
+    novelty_reward_total: float = 0.0
+    #: The campaign-level similarity index — the union of the per-round
+    #: indexes, exported with :meth:`repro.similarity.PlanIndex.to_payload`.
+    #: None under ``novelty="exact"``; picklable for the sharded handoff.
+    index_payload: Optional[dict] = None
+
+    def cluster_reports(self, *, threshold: Optional[float] = None):
+        """Similarity-clustered triage of the campaign's bug reports.
+
+        Returns :class:`repro.similarity.ReportCluster` groups over
+        ``self.reports`` (see :func:`repro.similarity.cluster_reports`).
+        Computed on demand — never shipped across process boundaries — so
+        a sharded campaign's merged result clusters exactly like a serial
+        run's: both recompute from the same folded, deduplicated reports.
+        """
+        from repro.similarity import DEFAULT_CLUSTER_THRESHOLD, cluster_reports
+
+        if threshold is None:
+            threshold = DEFAULT_CLUSTER_THRESHOLD
+        return cluster_reports(self.reports, threshold=threshold)
 
     def by_dbms(self) -> Dict[str, int]:
         """Bug counts per DBMS."""
@@ -110,15 +129,9 @@ class CampaignResult:
         ]
 
 
-def _dedupe(reports: List[BugReport]) -> List[BugReport]:
-    seen = set()
-    unique: List[BugReport] = []
-    for report in reports:
-        key = (report.dbms, report.bug_id)
-        if key not in seen:
-            seen.add(key)
-            unique.append(report)
-    return unique
+#: Backwards-compatible alias — report dedup now lives with the report
+#: type in :mod:`repro.testing.bugs` so payload folding has no import cycle.
+_dedupe = fold_reports
 
 
 class TestingCampaign:
@@ -140,6 +153,9 @@ class TestingCampaign:
         executor: str = "vectorized",
         decorrelate: bool = True,
         optimize_joins: bool = True,
+        novelty: str = "exact",
+        novelty_threshold: float = 0.05,
+        capture_trigger_plans: bool = True,
         dialect_factory: Optional[Callable[[str, Dict[str, object]], object]] = None,
     ) -> None:
         self.dbms_names = dbms_names or ["mysql", "postgresql", "tidb"]
@@ -170,6 +186,27 @@ class TestingCampaign:
         #: coverage universe — but never result rows, oracle verdicts, or
         #: Table V (tests/test_optimizer.py pins the equivalence).
         self.optimize_joins = optimize_joins
+        #: QPG novelty mode — ``"exact"`` (byte-identical to the
+        #: pre-similarity campaigns) or ``"similarity"``
+        #: (distance-to-nearest-covered-plan rewards; see
+        #: :mod:`repro.testing.qpg`).  In similarity mode each round's
+        #: :class:`~repro.similarity.PlanIndex` starts empty (the same
+        #: process-independence rule as ``seen_fingerprints``) and the
+        #: campaign merges the per-round indexes into
+        #: ``result.index_payload`` — persisted as ``sim-*.jsonl`` sidecars
+        #: next to the coverage store when ``persist_to=`` is set.
+        if novelty not in NOVELTY_MODES:
+            raise ValueError(
+                f"unknown novelty mode {novelty!r}; expected one of {NOVELTY_MODES}"
+            )
+        self.novelty = novelty
+        self.novelty_threshold = novelty_threshold
+        #: Whether each bug report captures its trigger query's unified
+        #: plan (``BugReport.trigger_plan``) for similarity triage.  The
+        #: capture runs through a campaign-private converter hub after the
+        #: oracles finish, so coverage sets, conversion counters, and
+        #: Table V stay byte-identical whether it is on or off.
+        self.capture_trigger_plans = capture_trigger_plans
         #: Directory for the durable coverage store; None keeps it in memory.
         self.persist_to = persist_to
         #: Stop (gracefully, between rounds) after this many executed
@@ -193,13 +230,19 @@ class TestingCampaign:
 
         The label pins everything that determines the round's behaviour —
         DBMS, derived seed, and workload sizes — so a resumed campaign only
-        skips rounds that an identically-configured run completed.
+        skips rounds that an identically-configured run completed.  The
+        novelty mode joins the label only when it is not ``"exact"``:
+        exact-mode labels must stay byte-identical to pre-similarity
+        campaigns so their persisted stores keep resuming.
         """
-        return (
+        label = (
             f"round:{dbms_name}:{self.seed + index}"
             f":{self.queries_per_dbms}:{self.cert_pairs_per_dbms}"
             f":{self.bound_checks_per_dbms}"
         )
+        if self.novelty != "exact":
+            label += f":novelty={self.novelty}:{self.novelty_threshold!r}"
+        return label
 
     def _create_dialect(self, dbms_name: str):
         if self.dialect_factory is not None:
@@ -248,13 +291,25 @@ class TestingCampaign:
             hub=ConverterHub(), persist_to=self.persist_to
         )
         store = ingest_service.coverage
+        campaign_index = None
+        if self.novelty == "similarity":
+            from repro.similarity import PlanIndex
+
+            # The campaign-level index accumulates the per-round indexes;
+            # with persist_to= it rides as sim-*.jsonl sidecars in the
+            # coverage store's directory and resumes with it.
+            campaign_index = PlanIndex(path=self.persist_to)
         try:
-            self._run_rounds(result, ingest_service, store, only_indexes)
+            self._run_rounds(
+                result, ingest_service, store, only_indexes, campaign_index
+            )
             if collect_store_payload:
                 result.store_payload = store.to_payload()
         finally:
             # Completed rounds were checkpointed; close the store handles
             # (and any process pool) even when a round aborts mid-way.
+            if campaign_index is not None:
+                campaign_index.close()
             ingest_service.close()
         return result
 
@@ -275,7 +330,13 @@ class TestingCampaign:
             handle.write("\n")
         os.replace(tmp, path)
 
-    def _restore_round(self, result: CampaignResult, index: int, label: str) -> None:
+    def _restore_round(
+        self,
+        result: CampaignResult,
+        index: int,
+        label: str,
+        campaign_index=None,
+    ) -> None:
         """Fold a previously-completed round's persisted results into
         *result*, so a resumed campaign returns the same Table V rows (not
         just the same coverage) as an uninterrupted run."""
@@ -287,13 +348,43 @@ class TestingCampaign:
         result.queries_generated += payload.get("queries_generated", 0)
         result.cert_pairs_checked += payload.get("cert_pairs_checked", 0)
         result.bound_queries_checked += payload.get("bound_queries_checked", 0)
+        result.novelty_reward_total += payload.get("novelty_reward_total", 0.0)
         for row in payload.get("reports", []):
-            result.reports.append(BugReport(**row))
+            result.reports.append(report_from_payload(row))
+        if campaign_index is not None and "index" in payload:
+            campaign_index.merge_payload(payload["index"])
         result.round_payloads.append((index, payload))
 
-    def _run_rounds(self, result, ingest_service, store, only_indexes=None) -> None:
+    def _capture_trigger_plan(self, triage_hub, dialect, query: str) -> Optional[dict]:
+        """Best-effort unified-plan capture for a bug report's trigger query.
+
+        Runs through *triage_hub* — a campaign-private converter hub, never
+        the ingest service — after the oracle that filed the report has
+        finished with *dialect*, so exact-mode coverage sets and conversion
+        counters are byte-identical whether capture is on or off.
+        """
+        if triage_hub is None:
+            return None
+        try:
+            explain_format = triage_hub.converter(dialect.name).formats[0]
+            output = dialect.explain(query, format=explain_format)
+            plan = triage_hub.convert(dialect.name, output.text, explain_format)
+            return plan.to_dict()
+        except Exception:
+            # A query the dialect cannot re-explain still yields a report;
+            # it just clusters as a singleton (no plan to compare).
+            return None
+
+    def _run_rounds(
+        self, result, ingest_service, store, only_indexes=None, campaign_index=None
+    ) -> None:
         if only_indexes is not None:
             only_indexes = set(only_indexes)
+        triage_hub = None
+        if self.capture_trigger_plans:
+            from repro.converters import ConverterHub
+
+            triage_hub = ConverterHub()
         for index, dbms_name in enumerate(self.dbms_names):
             if only_indexes is not None and index not in only_indexes:
                 continue
@@ -302,7 +393,7 @@ class TestingCampaign:
             label = self._round_label(index, dbms_name)
             if store.is_marked(label):
                 result.rounds_skipped += 1
-                self._restore_round(result, index, label)
+                self._restore_round(result, index, label, campaign_index)
                 continue
             round_start = {
                 "reports": len(result.reports),
@@ -322,11 +413,24 @@ class TestingCampaign:
             generator = RandomQueryGenerator(
                 seed=self.seed + index, config=GeneratorConfig(max_tables=2)
             )
+            round_index = None
+            if self.novelty == "similarity":
+                from repro.similarity import PlanIndex
+
+                # Fresh per round, like seen_fingerprints: round behaviour
+                # must not depend on which process runs the round, so a
+                # sharded campaign reproduces the serial one exactly.
+                round_index = PlanIndex()
             qpg = QueryPlanGuidance(
                 dialect,
                 generator,
-                config=QPGConfig(queries_per_round=self.queries_per_dbms),
+                config=QPGConfig(
+                    queries_per_round=self.queries_per_dbms,
+                    novelty=self.novelty,
+                    novelty_threshold=self.novelty_threshold,
+                ),
                 ingest_service=ingest_service,
+                plan_index=round_index,
             )
             statistics = qpg.run()
             result.queries_generated += statistics.queries_generated
@@ -346,6 +450,9 @@ class TestingCampaign:
                             status=bug.status,
                             severity=bug.severity,
                             trigger_query=query,
+                            trigger_plan=self._capture_trigger_plan(
+                                triage_hub, dialect, query
+                            ),
                         )
                     )
 
@@ -372,6 +479,9 @@ class TestingCampaign:
                             status=bug.status,
                             severity=bug.severity,
                             trigger_query=violation.restricted_query,
+                            trigger_plan=self._capture_trigger_plan(
+                                triage_hub, cert_dialect, violation.restricted_query
+                            ),
                         )
                     )
 
@@ -406,6 +516,9 @@ class TestingCampaign:
                             status=bug.status,
                             severity=bug.severity,
                             trigger_query=bound_violation.query,
+                            trigger_plan=self._capture_trigger_plan(
+                                triage_hub, bound_dialect, bound_violation.query
+                            ),
                         )
                     )
 
@@ -425,6 +538,16 @@ class TestingCampaign:
                 "bound_queries_checked": result.bound_queries_checked
                 - round_start["bound_queries"],
             }
+            if campaign_index is not None:
+                # The per-round index rides in the payload (JSON emits
+                # repr-faithful doubles, so vectors round-trip exactly) and
+                # folds into the campaign-level sidecar before the round is
+                # marked, matching the store's checkpoint granularity.
+                round_payload["novelty_reward_total"] = statistics.novelty_reward_total
+                round_payload["index"] = round_index.to_payload()
+                result.novelty_reward_total += statistics.novelty_reward_total
+                campaign_index.merge_payload(round_payload["index"])
+                campaign_index.flush()
             self._persist_round(label, round_payload)
             result.round_payloads.append((index, round_payload))
             store.mark(label)
@@ -438,7 +561,9 @@ class TestingCampaign:
         result.unique_plans = len(result.plan_fingerprints)
         result.conversions = ingest_service.stats.conversions
         result.conversion_cache_hits += ingest_service.stats.cache_hits
-        result.reports = _dedupe(result.reports)
+        if campaign_index is not None:
+            result.index_payload = campaign_index.to_payload()
+        result.reports = fold_reports(result.reports)
         # Order like Table V: MySQL, PostgreSQL, TiDB; QPG before CERT.
         order = {name: position for position, name in enumerate(self.dbms_names)}
         result.reports.sort(key=lambda report: (order.get(report.dbms, 9), report.found_by != "QPG", report.bug_id))

@@ -27,6 +27,20 @@ structural fingerprint straight from the store.  The per-round
 ``seen_fingerprints`` set intentionally starts empty each round — round
 behaviour (stagnation, mutations) must not depend on which process runs the
 round, or an interrupted campaign would diverge from an uninterrupted one.
+
+**Novelty modes.**  ``QPGConfig.novelty`` selects how "new" is judged:
+
+* ``"exact"`` (the default) — a plan is new iff its structural fingerprint
+  is unseen this round.  This is the pre-similarity behaviour, bit for
+  bit: no embedding is computed, no index consulted.
+* ``"similarity"`` — each distinct plan earns a *novelty reward*: its
+  cosine distance to the nearest plan already in the round's
+  :class:`~repro.similarity.PlanIndex` (1.0 for the round's first plan).
+  The plan counts as new when the reward exceeds
+  ``novelty_threshold``, so near-duplicates of covered shapes no longer
+  reset the stagnation counter and mutations fire sooner.  The index
+  starts empty each round for the same process-independence reason as
+  ``seen_fingerprints``; campaigns merge the per-round indexes afterwards.
 """
 
 from __future__ import annotations
@@ -38,8 +52,12 @@ from repro.core.compare import structural_fingerprint
 from repro.core.model import UnifiedPlan
 from repro.errors import ConversionError
 from repro.pipeline import PlanIngestService, PlanSource
+from repro.similarity import PlanIndex, embed_plan
 from repro.testing.generator import RandomQueryGenerator
 from repro.testing.tlp import TLPResult, check_tlp
+
+#: Valid ``QPGConfig.novelty`` modes.
+NOVELTY_MODES = ("exact", "similarity")
 
 
 @dataclass
@@ -50,6 +68,13 @@ class QPGConfig:
     stagnation_threshold: int = 12
     explain_format: Optional[str] = None
     run_tlp: bool = True
+    #: How plan novelty is judged — ``"exact"`` (structural-fingerprint set
+    #: membership, the byte-identical default) or ``"similarity"``
+    #: (distance-to-nearest-covered-plan; see the module docstring).
+    novelty: str = "exact"
+    #: Minimum nearest-neighbour cosine distance for a plan to count as
+    #: new under ``novelty="similarity"``; ignored in exact mode.
+    novelty_threshold: float = 0.05
 
 
 @dataclass
@@ -64,6 +89,9 @@ class QPGStatistics:
     fast_path_hits: int = 0
     oracle_checks: int = 0
     oracle_violations: int = 0
+    #: Sum of the per-plan novelty rewards (nearest-covered-plan distances)
+    #: under ``novelty="similarity"``; stays 0.0 in exact mode.
+    novelty_reward_total: float = 0.0
     violating_queries: List[str] = field(default_factory=list)
 
 
@@ -77,28 +105,77 @@ class QueryPlanGuidance:
         config: Optional[QPGConfig] = None,
         oracle: Optional[Callable[[str], bool]] = None,
         ingest_service: Optional[PlanIngestService] = None,
+        plan_index: Optional[PlanIndex] = None,
     ) -> None:
         self.dialect = dialect
         self.generator = generator
         self.config = config or QPGConfig()
+        if self.config.novelty not in NOVELTY_MODES:
+            raise ValueError(
+                f"unknown novelty mode {self.config.novelty!r}; "
+                f"expected one of {NOVELTY_MODES}"
+            )
         #: Conversion goes through the (optionally shared) ingest service so
         #: repeated plan texts parse once and conversion stats are observable.
         self.ingest_service = ingest_service or PlanIngestService()
         self.converter = self.ingest_service.hub.converter(dialect.name)
         self.seen_fingerprints: Set[str] = set()
+        #: The similarity index scoring novelty rewards; None in exact mode
+        #: (which must not touch the similarity machinery at all).  A caller
+        #: may inject a pre-built index — campaigns pass a fresh per-round
+        #: one so they can collect it afterwards.
+        if self.config.novelty == "similarity":
+            self.plan_index = plan_index if plan_index is not None else PlanIndex()
+        else:
+            self.plan_index = None
         self.statistics = QPGStatistics()
         #: Optional external oracle: called with the query, returns True when OK.
         self.oracle = oracle
 
     # ------------------------------------------------------------------ plan handling
 
+    def _record_observation(
+        self,
+        fingerprint: str,
+        plan: Optional[UnifiedPlan],
+        output_text: str,
+        explain_format: str,
+    ) -> bool:
+        """Record one observed plan; returns whether it counts as new.
+
+        Both ``observe_plan`` paths (fast and slow) funnel through here so
+        the novelty policy is applied exactly once per observation.  In
+        exact mode this is pure set membership — no embedding, no index.
+        In similarity mode the plan's novelty reward is its distance to the
+        round's nearest indexed plan; *plan* may be None (warm-start path),
+        in which case the raw text converts through the hub's cache only
+        when the reward is actually needed.
+        """
+        is_new = fingerprint not in self.seen_fingerprints
+        self.seen_fingerprints.add(fingerprint)
+        if self.plan_index is None:
+            return is_new
+        if self.plan_index.contains(fingerprint):
+            # Re-observing an indexed plan earns no reward (distance 0).
+            return False
+        if plan is None:
+            plan = self.ingest_service.hub.convert(
+                self.dialect.name, output_text, explain_format
+            )
+        vector = embed_plan(plan)
+        reward = self.plan_index.nearest_distance(vector)
+        self.plan_index.add(fingerprint, vector)
+        self.statistics.novelty_reward_total += reward
+        return reward > self.config.novelty_threshold
+
     def observe_plan(self, query: str) -> bool:
         """EXPLAIN *query*, ingest the plan, and record its fingerprint.
 
-        Returns whether the plan was structurally new *to this round*.
-        Plans resolved from the persistent coverage index (warm start)
-        never re-parse: their structural fingerprint is read from the
-        store's entry metadata instead of the plan object.
+        Returns whether the plan was new *to this round* under the
+        configured novelty mode (see module docstring).  Plans resolved
+        from the persistent coverage index (warm start) never re-parse:
+        their structural fingerprint is read from the store's entry
+        metadata instead of the plan object.
         """
         explain_format = self.config.explain_format or self.converter.formats[0]
         output = self.dialect.explain(query, format=explain_format)
@@ -115,21 +192,22 @@ class QueryPlanGuidance:
             )
             if self.ingest_service.coverage.contains(plan.fingerprint()):
                 self.statistics.fast_path_hits += 1
-                fingerprint = structural_fingerprint(plan)
-                is_new = fingerprint not in self.seen_fingerprints
-                self.seen_fingerprints.add(fingerprint)
-                return is_new
+                return self._record_observation(
+                    structural_fingerprint(plan), plan, output.text, explain_format
+                )
         entry = self.ingest_service.ingest(
             PlanSource(self.dialect.name, output.text, explain_format, query=query)
         )
         if not entry.ok:
             raise ConversionError(self.dialect.name, entry.error)
         if entry.plan is not None:
-            fingerprint = structural_fingerprint(entry.plan)
+            plan = entry.plan
+            fingerprint = structural_fingerprint(plan)
         else:
             # Warm start: the identity fingerprint came from the persistent
             # index without conversion; the structural fingerprint rides in
             # the store's metadata.
+            plan = None
             meta = self.ingest_service.coverage.get(entry.fingerprint) or {}
             structural = meta.get("s")
             if isinstance(structural, str):
@@ -138,16 +216,14 @@ class QueryPlanGuidance:
                 # A foreign/merged store may know the identity fingerprint
                 # but not the structural one; parse once to recover it and
                 # write it back so no later process repeats the work.
-                plan: UnifiedPlan = self.ingest_service.hub.convert(
+                plan = self.ingest_service.hub.convert(
                     self.dialect.name, output.text, explain_format
                 )
                 fingerprint = structural_fingerprint(plan)
                 self.ingest_service.coverage.add(
                     entry.fingerprint, {"s": fingerprint}
                 )
-        is_new = fingerprint not in self.seen_fingerprints
-        self.seen_fingerprints.add(fingerprint)
-        return is_new
+        return self._record_observation(fingerprint, plan, output.text, explain_format)
 
     # ------------------------------------------------------------------ oracle
 

@@ -25,6 +25,7 @@ import bench_executor  # noqa: E402
 import bench_optimizer  # noqa: E402
 import bench_parallel  # noqa: E402
 import bench_service  # noqa: E402
+import bench_similarity  # noqa: E402
 import run_benchmarks  # noqa: E402
 
 
@@ -486,3 +487,125 @@ def test_committed_optimizer_snapshot_invariants_all_hold():
     # must record the ≥ 50x chain-join win, measured, not gated away.
     assert snapshot["quick"] is False
     assert snapshot["chain_join"]["speedup"] >= 50.0
+
+
+def _fake_similarity_snapshot(invariants):
+    """A structurally complete similarity snapshot with canned numbers."""
+    return {
+        "benchmark": "similarity",
+        "quick": True,
+        "numpy_available": True,
+        "embedding": {
+            "plans": 40,
+            "dimensions": 40,
+            "seconds": 0.05,
+            "deterministic": True,
+            "integer_valued": True,
+        },
+        "index_queries": {
+            "entries": 40,
+            "probes": 20,
+            "k": 3,
+            "seconds": 0.01,
+            "queries_per_second": 2000.0,
+            "numpy_available": True,
+            "numpy_list_identical": True,
+            "self_nearest_all_zero": True,
+        },
+        "merge_identity": {
+            "entries": 40,
+            "layouts": [[3, 16, 5], [16, 1, 3]],
+            "union_exact": True,
+            "order_and_layout_independent": True,
+            "idempotent": True,
+        },
+        "campaign_modes": {
+            "settings": {"queries_per_dbms": 12},
+            "exact_reports": 5,
+            "exact_mode_inert": True,
+            "similarity_reports": 5,
+            "similarity_indexed_plans": 18,
+            "novelty_reward_total": 3.25,
+            "similarity_deterministic": True,
+            "cluster_sizes": [2, 3],
+            "clusters_cover_all_reports": True,
+        },
+        "tracked": {"query_throughput": 2000.0, "indexed_entries": 40},
+        "invariants": invariants,
+    }
+
+
+_SIMILARITY_GREEN = {
+    "embedding_deterministic": True,
+    "embedding_integer_valued": True,
+    "numpy_list_identical": True,
+    "self_nearest_all_zero": True,
+    "merge_union_exact": True,
+    "merge_order_and_layout_independent": True,
+    "merge_idempotent": True,
+    "exact_mode_inert": True,
+    "similarity_campaign_deterministic": True,
+    "clusters_cover_all_reports": True,
+    "query_throughput_at_least_25_per_second": True,
+}
+
+
+@pytest.fixture
+def run_similarity_only(monkeypatch, tmp_path, capsys):
+    """Run the driver's similarity section against a patched collector."""
+
+    def run(invariants):
+        monkeypatch.setattr(
+            bench_similarity,
+            "collect_snapshot",
+            lambda quick=False: _fake_similarity_snapshot(invariants),
+        )
+        output = tmp_path / "BENCH_similarity.json"
+        code = run_benchmarks.main(
+            ["--only", "similarity", "--similarity-output", str(output)]
+        )
+        captured = capsys.readouterr()
+        return code, json.loads(output.read_text()), captured
+
+    return run
+
+
+def test_similarity_green_flags_exit_zero(run_similarity_only):
+    code, written, captured = run_similarity_only(dict(_SIMILARITY_GREEN))
+    assert code == 0
+    assert "INVARIANTS VIOLATED" not in captured.err
+    assert all(written["invariants"].values())
+
+
+@pytest.mark.parametrize(
+    "broken",
+    [
+        "embedding_deterministic",
+        "numpy_list_identical",
+        "self_nearest_all_zero",
+        "merge_order_and_layout_independent",
+        "exact_mode_inert",
+        "similarity_campaign_deterministic",
+        "query_throughput_at_least_25_per_second",
+    ],
+)
+def test_similarity_false_invariant_exits_nonzero(run_similarity_only, broken):
+    flags = dict(_SIMILARITY_GREEN)
+    flags[broken] = False
+    code, written, captured = run_similarity_only(flags)
+    assert code == 1
+    assert "SIMILARITY INVARIANTS VIOLATED" in captured.err
+    assert written["invariants"][broken] is False
+
+
+def test_committed_similarity_snapshot_invariants_all_hold():
+    """The checked-in BENCH_similarity.json must never ship with red flags."""
+    path = os.path.join(os.path.dirname(_BENCHMARKS), "BENCH_similarity.json")
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    assert snapshot["invariants"], "snapshot carries no invariants"
+    assert all(snapshot["invariants"].values()), snapshot["invariants"]
+    # The committed snapshot is the full-mode run: exact-mode inertness and
+    # similarity determinism measured on the full campaign sizes.
+    assert snapshot["quick"] is False
+    assert snapshot["embedding"]["dimensions"] == 40

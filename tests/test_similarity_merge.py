@@ -1,0 +1,158 @@
+"""Algebraic property tests for :meth:`PlanIndex.merge`.
+
+The similarity layer's sharded-campaign handoff rests on the same argument
+as the coverage store's (tests/test_merge_properties.py): merging indexes
+is an **exact set union** over fingerprints, first write wins, so the
+parent can fold per-round index payloads in any completion order, re-merge
+after a crash, and merge across mismatched shard layouts, always landing
+on the same index.  These fuzz that algebra with hypothesis-generated
+fingerprint → integer-vector maps (integer-valued vectors, like real
+embeddings, so distances stay exact).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.similarity import PlanIndex
+
+_WIDTH = 6
+
+#: Hex-ish fingerprints: realistic shard routing (leading hex digits) plus
+#: the occasional non-hex key exercising the hash fallback.
+_FINGERPRINTS = st.one_of(
+    st.text(alphabet="0123456789abcdef", min_size=4, max_size=40),
+    st.text(alphabet="ghxyz-", min_size=1, max_size=12),
+)
+
+#: Integer-valued vectors, like real embeddings.
+_VECTORS = st.lists(
+    st.integers(min_value=0, max_value=9).map(float),
+    min_size=_WIDTH,
+    max_size=_WIDTH,
+).map(tuple)
+
+_ENTRIES = st.dictionaries(_FINGERPRINTS, _VECTORS, max_size=25)
+
+_SHARDS = st.sampled_from([1, 2, 3, 5, 16])
+
+
+def _build(entries, shard_count):
+    index = PlanIndex(shard_count=shard_count)
+    for fingerprint, vector in entries.items():
+        index.add(fingerprint, vector)
+    return index
+
+
+def _observable(index):
+    """The order- and layout-independent observable state of an index."""
+    return frozenset(
+        (fingerprint, index.get(fingerprint)) for fingerprint in index
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_ENTRIES, b=_ENTRIES, sa=_SHARDS, sb=_SHARDS, st_=_SHARDS)
+def test_merge_commutes(a, b, sa, sb, st_):
+    left = _build(a, st_)
+    left.merge(_build(b, sb))
+    right = _build(b, st_)
+    right.merge(_build(a, sa))
+    # First-wins can keep different vectors for a shared fingerprint only
+    # if the two sides disagree on it — real embeddings cannot (they are
+    # content-derived) — so restrict the claim to the fingerprint sets
+    # plus the value-agreeing entries, exactly like the store's metadata.
+    assert frozenset(left) == frozenset(right)
+    for fingerprint in left:
+        if a.get(fingerprint) == b.get(fingerprint) or (
+            fingerprint in a
+        ) != (fingerprint in b):
+            assert left.get(fingerprint) == right.get(fingerprint)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_ENTRIES, b=_ENTRIES, c=_ENTRIES, sa=_SHARDS, sb=_SHARDS, sc=_SHARDS)
+def test_merge_associates(a, b, c, sa, sb, sc):
+    # (A ∪ B) ∪ C
+    left = _build(a, sa)
+    left.merge(_build(b, sb))
+    left.merge(_build(c, sc))
+    # A ∪ (B ∪ C)
+    inner = _build(b, sb)
+    inner.merge(_build(c, sc))
+    right = _build(a, sa)
+    right.merge(inner)
+    assert _observable(left) == _observable(right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(entries=_ENTRIES, sa=_SHARDS, sb=_SHARDS)
+def test_merge_idempotent(entries, sa, sb):
+    index = _build(entries, sa)
+    before = _observable(index)
+    assert index.merge(_build(entries, sb)) == 0  # nothing is new
+    assert _observable(index) == before
+    # Self-merge via payload is equally a no-op.
+    assert index.merge_payload(index.to_payload()) == 0
+    assert _observable(index) == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_ENTRIES, b=_ENTRIES, sa=_SHARDS, sb=_SHARDS, st_=_SHARDS)
+def test_merge_counts_exact_union(a, b, sa, sb, st_):
+    # The return value is |B \ A|, independent of either shard layout.
+    target = _build(a, st_)
+    added = target.merge(_build(b, sb))
+    assert added == len(set(b) - set(a))
+    assert set(target.fingerprints()) == set(a) | set(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_ENTRIES, b=_ENTRIES, sa=_SHARDS, sb=_SHARDS, st_=_SHARDS)
+def test_payload_merge_equals_index_merge(a, b, sa, sb, st_):
+    via_index = _build(a, st_)
+    other = _build(b, sb)
+    count_index = via_index.merge(other)
+    via_payload = _build(a, st_)
+    count_payload = via_payload.merge_payload(other.to_payload())
+    assert count_index == count_payload
+    assert _observable(via_index) == _observable(via_payload)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    parts=st.lists(_ENTRIES, min_size=1, max_size=5),
+    shards=st.lists(_SHARDS, min_size=5, max_size=5),
+    st_=_SHARDS,
+)
+def test_any_merge_order_reaches_the_same_union(parts, shards, st_):
+    # The sharded parent may receive round payloads in any completion
+    # order; first-wins disagreements aside (see test_merge_commutes),
+    # the fingerprint set must be order-independent — and with disjoint
+    # or agreeing parts (the realistic case) the vectors too.
+    import itertools
+
+    expected = None
+    orders = list(itertools.permutations(range(len(parts))))[:6]
+    for order in orders:
+        target = PlanIndex(shard_count=st_)
+        for position in order:
+            target.merge_payload(_build(parts[position], shards[position]).to_payload())
+        fingerprint_set = frozenset(target)
+        if expected is None:
+            expected = fingerprint_set
+        else:
+            assert fingerprint_set == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(entries=_ENTRIES, sa=_SHARDS, sb=_SHARDS, probe=_VECTORS)
+def test_queries_independent_of_shard_layout_and_build_order(
+    entries, sa, sb, probe
+):
+    # Same entries, different layouts and insertion orders: every query
+    # must answer identically, bit for bit.
+    forward = _build(entries, sa)
+    backward = PlanIndex(shard_count=sb)
+    for fingerprint in reversed(list(entries)):
+        backward.add(fingerprint, entries[fingerprint])
+    k = max(1, min(3, len(entries)))
+    assert forward.query(probe, k=k) == backward.query(probe, k=k)
